@@ -1,0 +1,28 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test bench run-all examples
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem .
+
+# Regenerate every table and figure from the paper.
+run-all:
+	go run ./cmd/xuibench
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/preemption
+	go run ./examples/ionotify
+	go run ./examples/accel
+	go run ./examples/ipc

@@ -1,0 +1,216 @@
+// Package xui's top-level benchmark harness: one testing.B benchmark per
+// table and figure in the paper's evaluation, plus ablation benches for
+// the design choices DESIGN.md calls out. Each benchmark reports the
+// figure's headline quantity as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the paper's result set. Absolute numbers come from the
+// simulation models (see EXPERIMENTS.md for simulated-vs-paper tables);
+// ns/op measures host-side simulation cost only.
+package xui_test
+
+import (
+	"testing"
+
+	"xui/internal/cpu"
+	"xui/internal/experiments"
+	"xui/internal/sim"
+)
+
+// BenchmarkTable2UIPIMetrics regenerates Table 2.
+func BenchmarkTable2UIPIMetrics(b *testing.B) {
+	var r experiments.Table2Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table2()
+	}
+	b.ReportMetric(r.EndToEnd, "endToEnd-cy")
+	b.ReportMetric(r.ReceiverCost, "receiver-cy")
+	b.ReportMetric(r.Senduipi, "senduipi-cy")
+}
+
+// BenchmarkFig2Timeline regenerates the Figure 2 latency timeline.
+func BenchmarkFig2Timeline(b *testing.B) {
+	var r experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig2()
+	}
+	b.ReportMetric(r.Arrive, "arrive-cy")
+	b.ReportMetric(r.FirstNotif, "firstNotif-cy")
+	b.ReportMetric(r.DeliveryDone, "deliveryDone-cy")
+	b.ReportMetric(r.UiretCost, "uiret-cy")
+}
+
+// BenchmarkFig4ReceiverOverhead regenerates Figure 4 (per-event receiver
+// costs for the three configurations, averaged over fib/linpack/memops).
+func BenchmarkFig4ReceiverOverhead(b *testing.B) {
+	var avg map[string]float64
+	for i := 0; i < b.N; i++ {
+		avg = experiments.Fig4Summary(experiments.Fig4(200000))
+	}
+	b.ReportMetric(avg["UIPI SW Timer"], "uipi-cy/event")
+	b.ReportMetric(avg["xUI (SW Timer + Tracking)"], "tracked-cy/event")
+	b.ReportMetric(avg["xUI (KB_Timer + Tracking)"], "kbtimer-cy/event")
+}
+
+// BenchmarkFig5Safepoints regenerates Figure 5's 5 µs anchor (preemption
+// overhead by mechanism, matmul).
+func BenchmarkFig5Safepoints(b *testing.B) {
+	var rows []experiments.Fig5Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig5([]float64{5}, 150000)
+	}
+	for _, r := range rows {
+		if r.Workload != "matmul" {
+			continue
+		}
+		switch r.Method {
+		case "polling":
+			b.ReportMetric(r.OverheadPct, "polling-%")
+		case "uipi":
+			b.ReportMetric(r.OverheadPct, "uipi-%")
+		case "xui-safepoint":
+			b.ReportMetric(r.OverheadPct, "safepoint-%")
+		}
+	}
+}
+
+// BenchmarkFig6TimerCost regenerates Figure 6's 5 µs / 22-core point.
+func BenchmarkFig6TimerCost(b *testing.B) {
+	var rows []experiments.Fig6Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig6([]float64{5}, []int{22}, 20*sim.Millisecond)
+	}
+	for _, r := range rows {
+		switch r.Method {
+		case "setitimer":
+			b.ReportMetric(100*r.TimerUtil, "setitimer-util%")
+		case "nanosleep":
+			b.ReportMetric(100*r.TimerUtil, "nanosleep-util%")
+		case "rdtsc-spin":
+			b.ReportMetric(100*r.TimerUtil, "spin-send-util%")
+		}
+	}
+	b.ReportMetric(float64(experiments.Fig6SpinCapacity(5)), "spin-capacity-cores")
+}
+
+// BenchmarkFig7RocksDB regenerates Figure 7's near-saturation comparison.
+func BenchmarkFig7RocksDB(b *testing.B) {
+	var rows []experiments.Fig7Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig7([]float64{215_000}, 100*sim.Millisecond)
+	}
+	for _, r := range rows {
+		switch r.Config {
+		case "uipi-sw-timer":
+			b.ReportMetric(r.GetP99Us, "uipi-getP99-µs")
+		case "xui-kbtimer":
+			b.ReportMetric(r.GetP99Us, "xui-getP99-µs")
+		case "no-preempt":
+			b.ReportMetric(r.GetP99Us, "nopreempt-getP99-µs")
+		}
+	}
+}
+
+// BenchmarkFig8L3Fwd regenerates Figure 8's headline point (1 queue, 40 %
+// load).
+func BenchmarkFig8L3Fwd(b *testing.B) {
+	var rows []experiments.Fig8Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig8([]int{1}, []float64{40}, 15*sim.Millisecond)
+	}
+	for _, r := range rows {
+		if r.Mode == "xui" {
+			b.ReportMetric(r.FreePct, "xui-free-%")
+			b.ReportMetric(r.P95Us, "xui-p95-µs")
+		} else {
+			b.ReportMetric(r.FreePct, "poll-free-%")
+			b.ReportMetric(r.P95Us, "poll-p95-µs")
+		}
+	}
+}
+
+// BenchmarkFig9DSA regenerates Figure 9's 2 µs / 20 %-noise point.
+func BenchmarkFig9DSA(b *testing.B) {
+	var rows []experiments.Fig9Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig9([]float64{20}, 500)
+	}
+	for _, r := range rows {
+		if r.Class != "2us" {
+			continue
+		}
+		switch r.Method {
+		case "xui":
+			b.ReportMetric(r.FreePct, "xui-free-%")
+			b.ReportMetric(r.NotifyUs*1000, "xui-notify-ns")
+		case "busy-spin":
+			b.ReportMetric(r.NotifyUs*1000, "spin-notify-ns")
+		}
+	}
+}
+
+// BenchmarkWorstCaseLatency regenerates the §6.1 pathological case.
+func BenchmarkWorstCaseLatency(b *testing.B) {
+	var rows []experiments.WorstCaseRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.WorstCase([]int{50})
+	}
+	b.ReportMetric(float64(rows[0].TrackedCycles), "tracked-cy")
+	b.ReportMetric(float64(rows[0].FlushCycles), "flush-cy")
+}
+
+// BenchmarkSection2Costs regenerates the §2 mechanism-cost table.
+func BenchmarkSection2Costs(b *testing.B) {
+	var r experiments.Section2Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Section2()
+	}
+	b.ReportMetric(r.UIPIReceiverCycles, "uipi-cy")
+	b.ReportMetric(r.PollPositiveCycles, "pollPositive-cy")
+	b.ReportMetric(r.TightLoopPollPct, "tightLoopTax-%")
+}
+
+// BenchmarkAblationStrategies isolates the delivery-strategy choice
+// (flush vs. drain vs. tracked) on one workload with the full UPID path —
+// the paper's central design ablation.
+func BenchmarkAblationStrategies(b *testing.B) {
+	for _, s := range []cpu.Strategy{cpu.Flush, cpu.Drain, cpu.Tracked} {
+		s := s
+		b.Run(s.String(), func(b *testing.B) {
+			var per float64
+			for i := 0; i < b.N; i++ {
+				per = experiments.ReceiverEventCost(s, "linpack", false, 10000, 200000)
+			}
+			b.ReportMetric(per, "cy/event")
+		})
+	}
+}
+
+// BenchmarkAblationReinject quantifies the tracked re-injection state
+// machine: with it, interrupts survive mispredict squashes; the metric is
+// re-injections per delivered interrupt on a branchy workload.
+func BenchmarkAblationReinject(b *testing.B) {
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		core, port := experiments.NewReceiver(cpu.Tracked, experiments.SlowBranchStream(40000))
+		_ = port
+		for j := uint64(1); j <= 40; j++ {
+			core.ScheduleInterrupt(j*2000, cpu.Interrupt{
+				Vector: 1, SkipNotification: true, Handler: experiments.TinyHandler(),
+			})
+		}
+		res := core.Run(80000, 20_000_000)
+		reinj, n := 0, 0
+		for _, r := range res.Interrupts {
+			if r.UiretDone != 0 {
+				reinj += r.Reinjections
+				n++
+			}
+		}
+		if n > 0 {
+			rate = float64(reinj) / float64(n)
+		}
+	}
+	b.ReportMetric(rate, "reinjections/intr")
+}

@@ -1,0 +1,405 @@
+// Command xuibench regenerates the paper's tables and figures from the
+// simulation models. Run with -exp all (default) or one of: table2, fig2,
+// fig4, fig5, fig6, fig7, fig8, fig9, worstcase, section2.
+//
+// Output is the same rows/series the paper reports, with the paper's
+// measured values alongside where applicable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xui/internal/experiments"
+	"xui/internal/plot"
+	"xui/internal/sim"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, table2, fig2, fig4, fig5, fig6, fig7, fig8, fig9, worstcase, section2, ablations, multiworker")
+	quick := flag.Bool("quick", false, "smaller sweeps / shorter horizons")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	plotOut := flag.Bool("plot", false, "render ASCII charts of the curve figures (fig5, fig8, fig9)")
+	flag.Parse()
+
+	if *plotOut {
+		emitPlots(*quick)
+		return
+	}
+
+	runners := map[string]func(bool){
+		"table2":      runTable2,
+		"fig2":        runFig2,
+		"fig4":        runFig4,
+		"fig5":        runFig5,
+		"fig6":        runFig6,
+		"fig7":        runFig7,
+		"fig8":        runFig8,
+		"fig9":        runFig9,
+		"worstcase":   runWorstCase,
+		"section2":    runSection2,
+		"ablations":   runAblations,
+		"multiworker": runMultiWorker,
+		"section35":   runSection35,
+	}
+	order := []string{"table2", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "worstcase", "section2", "section35", "ablations", "multiworker"}
+
+	name := strings.ToLower(*exp)
+	if *jsonOut {
+		emitJSON(name, order, *quick)
+		return
+	}
+	if name == "all" {
+		for _, n := range order {
+			runners[n](*quick)
+		}
+		return
+	}
+	run, ok := runners[name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from %s or all\n", name, strings.Join(order, ", "))
+		os.Exit(2)
+	}
+	run(*quick)
+}
+
+// emitJSON prints the selected experiments' typed rows as one JSON object
+// keyed by experiment name, for downstream tooling and plotting scripts.
+func emitJSON(name string, order []string, quick bool) {
+	horizon := 100 * sim.Millisecond
+	uops := uint64(300000)
+	if quick {
+		horizon = 30 * sim.Millisecond
+		uops = 120000
+	}
+	data := func(n string) any {
+		switch n {
+		case "table2":
+			return map[string]any{"simulated": experiments.Table2(), "paper": experiments.PaperTable2()}
+		case "fig2":
+			return map[string]any{"simulated": experiments.Fig2(), "paper": experiments.PaperFig2()}
+		case "fig4":
+			rows := experiments.Fig4(uops)
+			return map[string]any{"rows": rows, "averages": experiments.Fig4Summary(rows)}
+		case "fig5":
+			return experiments.Fig5([]float64{2, 5, 10, 25, 50}, uops)
+		case "fig6":
+			return experiments.Fig6([]float64{5, 10, 20, 50, 100}, []int{1, 2, 4, 8, 16, 22, 26}, horizon)
+		case "fig7":
+			return experiments.Fig7([]float64{25_000, 50_000, 100_000, 150_000, 200_000, 225_000, 245_000}, horizon)
+		case "fig8":
+			return experiments.Fig8([]int{1, 2, 4, 8}, []float64{10, 20, 40, 60, 80}, horizon)
+		case "fig9":
+			return experiments.Fig9([]float64{0, 10, 20, 30, 40, 50}, 1000)
+		case "worstcase":
+			return experiments.WorstCase([]int{5, 10, 20, 35, 50, 60})
+		case "section2":
+			return experiments.Section2()
+		case "section35":
+			return map[string]any{
+				"pointerChase": experiments.S35PointerChase([]int{8, 64, 1024, 16384, 131072}),
+				"linearity":    experiments.S35Linearity([]int{5, 10, 20, 40}),
+			}
+		case "multiworker":
+			return experiments.MultiWorker([]int{1, 2, 4}, 400_000, horizon)
+		case "ablations":
+			return map[string]any{
+				"cluiStui":         experiments.CluiStuiCriticalSection(5, horizon),
+				"safepointDensity": experiments.SafepointDensity([]int{5, 25, 100, 400}, uops),
+				"pollDensity":      experiments.PollDensity([]int{4, 10, 25, 50, 100}, uops),
+			}
+		}
+		return nil
+	}
+	out := map[string]any{}
+	if name == "all" {
+		for _, n := range order {
+			out[n] = data(n)
+		}
+	} else {
+		d := data(name)
+		if d == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		out[name] = d
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func header(s string) {
+	fmt.Printf("\n%s\n%s\n", s, strings.Repeat("=", len(s)))
+}
+
+func runTable2(bool) {
+	header("Table 2 — Key performance metrics of UIPIs (cycles)")
+	got := experiments.Table2()
+	paper := experiments.PaperTable2()
+	fmt.Printf("%-16s %10s %10s\n", "metric", "simulated", "paper")
+	row := func(n string, g, p float64) { fmt.Printf("%-16s %10.0f %10.0f\n", n, g, p) }
+	row("end-to-end", got.EndToEnd, paper.EndToEnd)
+	row("receiver cost", got.ReceiverCost, paper.ReceiverCost)
+	row("senduipi", got.Senduipi, paper.Senduipi)
+	row("clui", got.Clui, paper.Clui)
+	row("stui", got.Stui, paper.Stui)
+}
+
+func runFig2(bool) {
+	header("Figure 2 — UIPI latency timeline (cycles from senduipi start)")
+	got := experiments.Fig2()
+	paper := experiments.PaperFig2()
+	fmt.Printf("%-28s %10s %10s\n", "event", "simulated", "paper")
+	row := func(n string, g, p float64) { fmt.Printf("%-28s %10.0f %10.0f\n", n, g, p) }
+	row("interrupt arrives", got.Arrive, paper.Arrive)
+	row("first notification event", got.FirstNotif, paper.FirstNotif)
+	row("notification+delivery done", got.DeliveryDone, paper.DeliveryDone)
+	fmt.Printf("%-28s %10.0f %10s\n", "handler starts", got.HandlerStart, "-")
+	row("uiret", got.UiretCost, paper.UiretCost)
+}
+
+func runFig4(quick bool) {
+	header("Figure 4 — Receiver overhead, periodic 5 µs interrupts")
+	uops := uint64(400000)
+	if quick {
+		uops = 150000
+	}
+	rows := experiments.Fig4(uops)
+	fmt.Printf("%-9s %-27s %12s %10s\n", "workload", "config", "cycles/event", "overhead")
+	for _, r := range rows {
+		fmt.Printf("%-9s %-27s %12.0f %9.2f%%\n", r.Workload, r.Config, r.PerEvent, r.OverheadPct)
+	}
+	avg := experiments.Fig4Summary(rows)
+	fmt.Printf("\naverages: UIPI=%.0f tracked=%.0f kb_timer=%.0f (paper: 645 / 231 / 105)\n",
+		avg["UIPI SW Timer"], avg["xUI (SW Timer + Tracking)"], avg["xUI (KB_Timer + Tracking)"])
+}
+
+func runFig5(quick bool) {
+	header("Figure 5 — Preemption overhead vs. quantum (matmul, base64)")
+	quanta := []float64{2, 5, 10, 25, 50}
+	uops := uint64(200000)
+	if quick {
+		quanta = []float64{5, 25}
+		uops = 120000
+	}
+	rows := experiments.Fig5(quanta, uops)
+	fmt.Printf("%-9s %-14s %10s %10s\n", "workload", "method", "quantum", "overhead")
+	for _, r := range rows {
+		fmt.Printf("%-9s %-14s %8gµs %9.2f%%\n", r.Workload, r.Method, r.QuantumUs, r.OverheadPct)
+	}
+	fmt.Println("\npaper anchors at 5 µs: safepoints 1.2-1.5 %, polling 8.5-11 %, UIPI between")
+}
+
+func runFig6(quick bool) {
+	header("Figure 6 — The cost of a timer core")
+	periods := []float64{5, 10, 20, 50, 100}
+	cores := []int{1, 2, 4, 8, 16, 22, 26}
+	horizon := 50 * sim.Millisecond
+	if quick {
+		periods = []float64{5, 50}
+		cores = []int{1, 8, 22}
+		horizon = 10 * sim.Millisecond
+	}
+	rows := experiments.Fig6(periods, cores, horizon)
+	fmt.Printf("%-12s %9s %6s %10s %6s\n", "method", "period", "cores", "timer-util", "late")
+	for _, r := range rows {
+		fmt.Printf("%-12s %7gµs %6d %9.1f%% %6d\n", r.Method, r.PeriodUs, r.AppCores, 100*r.TimerUtil, r.TicksLate)
+	}
+	fmt.Printf("\nrdtsc-spin capacity at 5 µs: %d app cores (paper: 22)\n", experiments.Fig6SpinCapacity(5))
+}
+
+func runFig7(quick bool) {
+	header("Figure 7 — RocksDB on Aspen: tail latency vs. offered load")
+	loads := []float64{25_000, 50_000, 100_000, 150_000, 200_000, 215_000, 225_000, 235_000, 245_000}
+	horizon := 250 * sim.Millisecond
+	if quick {
+		loads = []float64{50_000, 150_000, 225_000}
+		horizon = 80 * sim.Millisecond
+	}
+	rows := experiments.Fig7(loads, horizon)
+	fmt.Printf("%-14s %10s %10s %10s %11s %10s\n", "config", "offered", "achieved", "GET p99", "GET p99.9", "SCAN p99")
+	for _, r := range rows {
+		fmt.Printf("%-14s %10.0f %10.0f %8.1fµs %9.1fµs %8.0fµs\n",
+			r.Config, r.OfferedRPS, r.AchievedRPS, r.GetP99Us, r.GetP999Us, r.ScanP99Us)
+	}
+	cap := experiments.Fig7Capacity(rows, 300)
+	fmt.Printf("\ncapacity at 300 µs GET-p99 SLO: uipi=%.0f xui=%.0f (+%.1f%%; paper: +10%%)\n",
+		cap["uipi-sw-timer"], cap["xui-kbtimer"],
+		100*(cap["xui-kbtimer"]/cap["uipi-sw-timer"]-1))
+}
+
+func runFig8(quick bool) {
+	header("Figure 8 — l3fwd efficiency: polling vs. xUI device interrupts")
+	nics := []int{1, 2, 4, 8}
+	loads := []float64{10, 20, 40, 60, 80}
+	horizon := 20 * sim.Millisecond
+	if quick {
+		nics = []int{1, 8}
+		loads = []float64{20, 40}
+		horizon = 10 * sim.Millisecond
+	}
+	rows := experiments.Fig8(nics, loads, horizon)
+	fmt.Printf("%-5s %5s %6s %7s %7s %7s %7s %12s %9s %6s\n",
+		"mode", "nics", "load", "net", "poll", "notify", "free", "pps", "p95", "drops")
+	for _, r := range rows {
+		fmt.Printf("%-5s %5d %5.0f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%% %12.0f %7.2fµs %6d\n",
+			r.Mode, r.NICs, r.LoadPct, r.NetPct, r.PollPct, r.NotifyPct, r.FreePct,
+			r.ThroughputPPS, r.P95Us, r.Dropped)
+	}
+	fmt.Println("\npaper anchors: polling free=0 always; xUI ≈45% free at 40% load/1 queue; throughput parity")
+}
+
+func runFig9(quick bool) {
+	header("Figure 9 — DSA response delivery: free cycles and latency")
+	noises := []float64{0, 10, 20, 30, 40, 50}
+	requests := 2000
+	if quick {
+		noises = []float64{0, 40}
+		requests = 400
+	}
+	rows := experiments.Fig9(noises, requests)
+	fmt.Printf("%-5s %-14s %6s %7s %10s %10s\n", "class", "method", "noise", "free", "notify", "request")
+	for _, r := range rows {
+		fmt.Printf("%-5s %-14s %5.0f%% %6.1f%% %8.3fµs %8.2fµs\n",
+			r.Class, r.Method, r.NoisePct, r.FreePct, r.NotifyUs, r.RequestUs)
+	}
+	fmt.Println("\npaper anchors: xUI within 0.2 µs of spinning; ≈75% free cycles for 2 µs class")
+}
+
+func runWorstCase(quick bool) {
+	header("§6.1 — Maximum interrupt latency (SP-dependent load chain)")
+	chains := []int{5, 10, 20, 35, 50, 60}
+	if quick {
+		chains = []int{10, 50}
+	}
+	rows := experiments.WorstCase(chains)
+	fmt.Printf("%-10s %12s %12s\n", "chain", "tracked", "flush")
+	for _, r := range rows {
+		fmt.Printf("%-10d %12d %12d\n", r.ChainLen, r.TrackedCycles, r.FlushCycles)
+	}
+	fmt.Println("\npaper: ≈7000 cycles worst case for tracking at 50+ loads, ≈10x the flush latency")
+}
+
+func runSection35(bool) {
+	header("\u00a73.5 \u2014 Deconstructing the microarchitecture (strategy detectors)")
+	fmt.Println("pointer-chase detector: delivery latency vs. receiver working set")
+	fmt.Printf("%12s %12s %12s\n", "working set", "flush", "drain")
+	for _, r := range experiments.S35PointerChase([]int{8, 64, 1024, 16384, 131072}) {
+		fmt.Printf("%10dKB %10.0fcy %10.0fcy\n", r.WorkingSetKB, r.FlushCycles, r.DrainCycles)
+	}
+	lin := experiments.S35Linearity([]int{5, 10, 20, 40})
+	fmt.Printf("\nflush-linearity detector: squashed uops vs. interrupt count\n")
+	for i, k := range lin.Interrupts {
+		fmt.Printf("  %3d interrupts -> %6d squashed uops\n", k, lin.Squashed[i])
+	}
+	fmt.Printf("  slope %.0f uops/interrupt, correlation r=%.4f\n", lin.PerIntr, lin.Correlation)
+	fmt.Println("\npaper: latency independent of in-flight work + exactly-linear flushed uops => flush strategy")
+}
+
+func runAblations(quick bool) {
+	header("Ablations — design-choice studies beyond the paper's figures")
+	horizon := 150 * sim.Millisecond
+	if quick {
+		horizon = 50 * sim.Millisecond
+	}
+	fmt.Print(experiments.FormatAblations(horizon))
+}
+
+func runMultiWorker(quick bool) {
+	header("Multi-worker scaling — Aspen work stealing under xUI preemption")
+	horizon := 150 * sim.Millisecond
+	if quick {
+		horizon = 50 * sim.Millisecond
+	}
+	fmt.Print(experiments.FormatMultiWorker(horizon))
+	fmt.Println("\nall arrivals target worker 0; stealing spreads them across cores")
+}
+
+func runSection2(bool) {
+	header("§2 — Costs of existing user-level notification mechanisms")
+	r := experiments.Section2()
+	fmt.Printf("signal delivery:        %6.0f cycles (paper ≈4800 = 2.4 µs)\n", r.SignalCycles)
+	fmt.Printf("  of which kernel:      %6.0f cycles (paper ≈2800)\n", r.SignalKernelCycles)
+	fmt.Printf("UIPI receiver:          %6.0f cycles (paper 600-900)\n", r.UIPIReceiverCycles)
+	fmt.Printf("negative poll:          %6.2f cycles (≈free)\n", r.PollNegativeCycles)
+	fmt.Printf("positive poll:          %6.0f cycles (paper ≈100)\n", r.PollPositiveCycles)
+	fmt.Printf("tight-loop poll tax:    %6.1f %% (paper: up to ≈50%% on linpack2)\n", r.TightLoopPollPct)
+	fmt.Printf("loop-check geomean:     %6.1f %% (Go proposal measured ≈7%%)\n", r.LoopPollGeomeanPct)
+}
+
+// emitPlots renders the shape of the curve figures as terminal charts.
+func emitPlots(quick bool) {
+	horizon := 20 * sim.Millisecond
+	uops := uint64(200000)
+	requests := 1500
+	if quick {
+		horizon = 8 * sim.Millisecond
+		uops = 100000
+		requests = 400
+	}
+
+	header("Figure 5 (shape) — preemption overhead vs. quantum, matmul")
+	quanta := []float64{2, 5, 10, 25, 50}
+	rows5 := experiments.Fig5(quanta, uops)
+	series5 := map[string]*plot.Series{}
+	for _, m := range experiments.Fig5Methods {
+		series5[m] = &plot.Series{Name: m}
+	}
+	for _, r := range rows5 {
+		if r.Workload != "matmul" {
+			continue
+		}
+		sr := series5[r.Method]
+		sr.X = append(sr.X, r.QuantumUs)
+		sr.Y = append(sr.Y, r.OverheadPct)
+	}
+	var list5 []plot.Series
+	for _, m := range experiments.Fig5Methods {
+		list5 = append(list5, *series5[m])
+	}
+	fmt.Print(plot.Chart("", "quantum µs", "overhead %", list5, 60, 14))
+
+	header("Figure 8 (shape) — free cycles vs. load, 1 NIC")
+	loads := []float64{10, 20, 40, 60, 80}
+	rows8 := experiments.Fig8([]int{1}, loads, horizon)
+	var pollS, xuiS plot.Series
+	pollS.Name, xuiS.Name = "poll", "xui"
+	for _, r := range rows8 {
+		if r.Mode == "poll" {
+			pollS.X = append(pollS.X, r.LoadPct)
+			pollS.Y = append(pollS.Y, r.FreePct)
+		} else {
+			xuiS.X = append(xuiS.X, r.LoadPct)
+			xuiS.Y = append(xuiS.Y, r.FreePct)
+		}
+	}
+	fmt.Print(plot.Chart("", "offered load %", "free cycles %", []plot.Series{pollS, xuiS}, 60, 14))
+
+	header("Figure 9 (shape) — notify latency vs. noise, 20 µs offloads")
+	noises := []float64{0, 10, 20, 30, 40, 50}
+	rows9 := experiments.Fig9(noises, requests)
+	series9 := map[string]*plot.Series{}
+	for _, m := range experiments.Fig9Methods {
+		series9[m] = &plot.Series{Name: m}
+	}
+	for _, r := range rows9 {
+		if r.Class != "20us" {
+			continue
+		}
+		sr := series9[r.Method]
+		sr.X = append(sr.X, r.NoisePct)
+		sr.Y = append(sr.Y, r.NotifyUs)
+	}
+	var list9 []plot.Series
+	for _, m := range experiments.Fig9Methods {
+		list9 = append(list9, *series9[m])
+	}
+	fmt.Print(plot.Chart("", "noise %", "notify µs", list9, 60, 14))
+}

@@ -1,0 +1,62 @@
+// Command xuisim runs one end-to-end Tier-2 scenario with adjustable
+// parameters — the interactive companion to xuibench's fixed sweeps.
+//
+// Scenarios:
+//
+//	rocksdb  — Aspen runtime serving the bimodal GET/SCAN mix
+//	l3fwd    — layer-3 forwarding from N NICs
+//	dsa      — closed-loop accelerator offload
+//	timer    — dedicated timer-core utilization
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xui/internal/experiments"
+	"xui/internal/sim"
+)
+
+func main() {
+	scenario := flag.String("scenario", "rocksdb", "rocksdb | l3fwd | dsa | timer")
+	ms := flag.Uint64("ms", 100, "simulated horizon in milliseconds")
+	load := flag.Float64("load", 150000, "rocksdb: offered rps; l3fwd: % of core capacity")
+	nics := flag.Int("nics", 1, "l3fwd: NIC/queue count")
+	noise := flag.Float64("noise", 20, "dsa: noise magnitude in % of base latency")
+	cores := flag.Int("cores", 8, "timer: application cores to preempt")
+	period := flag.Float64("period", 5, "timer: preemption period in µs")
+	flag.Parse()
+
+	horizon := sim.Time(*ms) * sim.Millisecond
+	switch *scenario {
+	case "rocksdb":
+		rows := experiments.Fig7([]float64{*load}, horizon)
+		fmt.Printf("%-14s %10s %10s %11s %10s\n", "config", "achieved", "GET p99", "GET p99.9", "SCAN p99")
+		for _, r := range rows {
+			fmt.Printf("%-14s %10.0f %8.1fµs %9.1fµs %8.0fµs\n",
+				r.Config, r.AchievedRPS, r.GetP99Us, r.GetP999Us, r.ScanP99Us)
+		}
+	case "l3fwd":
+		rows := experiments.Fig8([]int{*nics}, []float64{*load}, horizon)
+		for _, r := range rows {
+			fmt.Printf("%-5s net=%5.1f%% poll=%5.1f%% notify=%4.1f%% free=%5.1f%% tput=%.0fpps p95=%.2fµs drops=%d\n",
+				r.Mode, r.NetPct, r.PollPct, r.NotifyPct, r.FreePct, r.ThroughputPPS, r.P95Us, r.Dropped)
+		}
+	case "dsa":
+		rows := experiments.Fig9([]float64{*noise}, 2000)
+		for _, r := range rows {
+			fmt.Printf("%-5s %-14s free=%5.1f%% notify=%7.3fµs request=%6.2fµs\n",
+				r.Class, r.Method, r.FreePct, r.NotifyUs, r.RequestUs)
+		}
+	case "timer":
+		rows := experiments.Fig6([]float64{*period}, []int{*cores}, horizon)
+		for _, r := range rows {
+			fmt.Printf("%-12s util=%5.1f%% late=%d\n", r.Method, 100*r.TimerUtil, r.TicksLate)
+		}
+		fmt.Printf("rdtsc-spin capacity at %gµs: %d cores\n", *period, experiments.Fig6SpinCapacity(*period))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,114 @@
+// Command xuitrace runs a single workload trace through the cycle-level
+// out-of-order pipeline model, optionally delivering interrupts, and
+// prints per-run statistics and the per-interrupt delivery timeline —
+// the tool behind the paper's §3 reverse-engineering-style studies.
+//
+// Examples:
+//
+//	xuitrace -workload linpack -uops 200000
+//	xuitrace -workload fib -strategy tracked -period 10000
+//	xuitrace -timeline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xui/internal/cpu"
+	"xui/internal/experiments"
+	"xui/internal/isa"
+	"xui/internal/trace"
+)
+
+func main() {
+	workload := flag.String("workload", "linpack", "fib | linpack | memops | matmul | base64 | pointerchase | rdtsc")
+	strategy := flag.String("strategy", "flush", "flush | drain | tracked")
+	uops := flag.Uint64("uops", 200000, "program micro-ops to commit")
+	period := flag.Uint64("period", 0, "interrupt period in cycles (0 = none)")
+	skipNotif := flag.Bool("kbtimer", false, "deliver as KB_Timer/device interrupts (skip UPID routing)")
+	safepoints := flag.Int("safepoints", 0, "annotate a safepoint every N ops and gate delivery on them")
+	timeline := flag.Bool("timeline", false, "print the Figure 2 UIPI timeline and exit")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	if *timeline {
+		r := experiments.Fig2()
+		p := experiments.PaperFig2()
+		fmt.Println("UIPI latency timeline (cycles from senduipi start):")
+		fmt.Printf("  arrive            %6.0f   (paper %4.0f)\n", r.Arrive, p.Arrive)
+		fmt.Printf("  first notif event %6.0f   (paper %4.0f)\n", r.FirstNotif, p.FirstNotif)
+		fmt.Printf("  delivery done     %6.0f   (paper %4.0f)\n", r.DeliveryDone, p.DeliveryDone)
+		fmt.Printf("  handler starts    %6.0f\n", r.HandlerStart)
+		fmt.Printf("  uiret             %6.0f   (paper %4.0f)\n", r.UiretCost, p.UiretCost)
+		return
+	}
+
+	var prog isa.Stream
+	switch *workload {
+	case "pointerchase":
+		prog = trace.NewPointerChase(*seed, 256<<20, 0)
+	case "rdtsc":
+		prog = trace.NewRdtscLoop()
+	default:
+		prog = trace.ByName(*workload, *seed)
+	}
+	if prog == nil {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	if *safepoints > 0 {
+		prog = trace.NewSafepointAnnotated(prog, *safepoints)
+	}
+
+	var strat cpu.Strategy
+	switch *strategy {
+	case "flush":
+		strat = cpu.Flush
+	case "drain":
+		strat = cpu.Drain
+	case "tracked":
+		strat = cpu.Tracked
+	default:
+		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+
+	cfg := cpu.DefaultConfig()
+	cfg.Strategy = strat
+	cfg.SafepointMode = *safepoints > 0
+	cfg.Ucode = experiments.Ucode()
+	c, port := experiments.NewReceiver(strat, prog)
+	_ = port
+	if *safepoints > 0 {
+		// Rebuild with safepoint mode enabled.
+		c = cpu.New(cfg, prog, port)
+	}
+	if *period > 0 {
+		c.PeriodicInterrupts(*period, *period, func() cpu.Interrupt {
+			if !*skipNotif {
+				port.MarkRemoteWrite(experiments.UPIDAddr)
+			}
+			return cpu.Interrupt{Vector: 1, SkipNotification: *skipNotif, Handler: experiments.TinyHandler()}
+		})
+	}
+	res := c.Run(*uops, *uops*500)
+
+	fmt.Printf("workload=%s strategy=%s uops=%d\n", prog.Name(), strat, res.CommittedProgram)
+	fmt.Printf("cycles=%d IPC=%.2f squashed(program)=%d squashed(intr)=%d\n",
+		res.Cycles, res.IPC, res.SquashedProgram, res.SquashedOther)
+	if len(res.Interrupts) > 0 {
+		var lat, reinj float64
+		delivered := 0
+		for _, r := range res.Interrupts {
+			if r.UiretDone == 0 {
+				continue
+			}
+			lat += float64(r.UiretDone - r.Arrive)
+			reinj += float64(r.Reinjections)
+			delivered++
+		}
+		fmt.Printf("interrupts: %d delivered of %d; mean delivery latency %.0f cycles; %.2f reinjections/intr\n",
+			delivered, len(res.Interrupts), lat/float64(delivered), reinj/float64(delivered))
+	}
+}

@@ -1,0 +1,102 @@
+// Accelerator offload: use the simulated DSA-like streaming accelerator
+// with xUI completion interrupts (§6.2.3).
+//
+// The client offloads real memmove descriptors (the device actually
+// copies the bytes), and receives each completion through interrupt
+// forwarding instead of burning the core on the completion queue. The
+// example verifies the copied data and reports the latency and free
+// cycles of both waiting strategies.
+//
+//	go run ./examples/accel
+package main
+
+import (
+	"bytes"
+	"fmt"
+
+	"xui/internal/apic"
+	"xui/internal/core"
+	"xui/internal/dsa"
+	"xui/internal/sim"
+	"xui/internal/stats"
+	"xui/internal/uintr"
+)
+
+const nOffloads = 200
+
+func run(useXUI bool) {
+	s := sim.New(5)
+	m, err := core.NewMachine(s, 1, core.TrackedIPI)
+	if err != nil {
+		panic(err)
+	}
+	v := m.Cores[0]
+	dev := dsa.New(s, dsa.Config{BaseLatency: dsa.ShortClassMean, Noise: 0.2}, 11)
+
+	src := make([]byte, 16<<10) // the paper's 2 µs class: one 16 KB buffer
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	dst := make([]byte, len(src))
+
+	lat := stats.NewHistogram()
+	done := 0
+	var submitAt sim.Time
+	var issue func(now sim.Time)
+
+	finish := func(now sim.Time) {
+		if !bytes.Equal(dst, src) {
+			panic("accelerator copy corrupted data")
+		}
+		lat.Record(uint64(now - submitAt))
+		done++
+		if done < nOffloads {
+			for i := range dst {
+				dst[i] = 0
+			}
+			issue(now)
+		}
+	}
+
+	if useXUI {
+		m.IOAPIC.Program(0, apic.Redirection{Dest: 0, Vector: 0x38})
+		v.APIC.EnableForwarding(0x38)
+		v.APIC.ActivateVector(0x38)
+		dev.OnComplete = func(sim.Time, *dsa.Descriptor) { _ = m.IOAPIC.Assert(0) }
+		v.Handler = func(now sim.Time, _ uintr.Vector, _ core.Mechanism) { finish(now) }
+	} else {
+		dev.OnComplete = func(now sim.Time, _ *dsa.Descriptor) {
+			// Busy spin: every waiting cycle burns on the completion queue.
+			v.Account.Charge(core.CatPoll, uint64(now-submitAt))
+			s.After(sim.Time(core.PollingNotifyCost), finish)
+		}
+	}
+
+	issue = func(now sim.Time) {
+		v.Account.Charge(core.CatWork, uint64(dsa.SubmitCost))
+		s.After(dsa.SubmitCost, func(t sim.Time) {
+			submitAt = t
+			if err := dev.Submit(&dsa.Descriptor{Op: dsa.Memmove, Src: src, Dst: dst}); err != nil {
+				panic(err)
+			}
+		})
+	}
+	issue(0)
+	for done < nOffloads && s.Step() {
+	}
+
+	busy := float64(v.Account.Total())
+	free := 100 * (1 - busy/float64(s.Now()))
+	name := "busy-spin"
+	if useXUI {
+		name = "xui"
+	}
+	fmt.Printf("%-9s: %d offloads verified | mean latency %.2f µs | free cycles %5.1f%%\n",
+		name, done, sim.Time(lat.Mean()).Micros(), free)
+}
+
+func main() {
+	fmt.Printf("offloading %d × 16 KB memmoves to the simulated DSA (2 µs class, 20%% noise):\n", nOffloads)
+	run(false)
+	run(true)
+}

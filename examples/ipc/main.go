@@ -1,0 +1,90 @@
+// IPC notification: one of the §1 use cases beyond preemption and device
+// IO — a producer thread updates a shared data structure and must tell a
+// consumer thread on another core about it.
+//
+// Three ways to learn about the update are compared for 1000 messages with
+// bursty inter-arrival times: the consumer busy-polls a shared flag, the
+// producer sends a signal, or the producer sends a user IPI (stock UIPI
+// and xUI tracked delivery). The table shows the notification latency each
+// consumer observes and the CPU the mechanism costs both sides.
+//
+//	go run ./examples/ipc
+package main
+
+import (
+	"fmt"
+
+	"xui/internal/core"
+	"xui/internal/kernel"
+	"xui/internal/sim"
+	"xui/internal/stats"
+	"xui/internal/uintr"
+)
+
+const (
+	messages = 1000
+	meanGap  = 10_000 // 5 µs between updates
+)
+
+func run(mech core.Mechanism) {
+	s := sim.New(7)
+	m, _ := core.NewMachine(s, 2, ipiKind(mech))
+	k := kernel.New(m)
+
+	consumer := k.NewThread()
+	lat := &stats.Welford{}
+	var sentAt sim.Time
+	k.RegisterHandler(consumer, func(now sim.Time, _ uintr.Vector, _ core.Mechanism) {
+		lat.Add(float64(now - sentAt))
+	})
+	k.ScheduleOn(consumer, 1)
+	idx, _ := k.RegisterSender(consumer, 4)
+
+	rng := sim.NewRNG(3)
+	sent := 0
+	var produce func(now sim.Time)
+	produce = func(now sim.Time) {
+		if sent >= messages {
+			return
+		}
+		sent++
+		sentAt = now
+		switch mech {
+		case core.BusyPoll:
+			// The consumer spins on the flag: it burns its core the whole
+			// gap and sees the line transfer + mispredict cost later.
+			m.Cores[1].Account.Charge(core.CatPoll, uint64(rng.ExpTime(meanGap)))
+			s.After(sim.Time(core.PollingNotifyCost), func(t sim.Time) { lat.Add(float64(t - now)) })
+		case core.Signal:
+			th := consumer
+			_ = k.SignalThread(0, th, func(t sim.Time) { lat.Add(float64(t - now)) })
+		default:
+			_ = m.SendUIPI(0, k.UITT(), idx)
+		}
+		s.After(rng.ExpTime(meanGap), produce)
+	}
+	produce(0)
+	s.Run()
+
+	prodBusy := m.Cores[0].Account.Total()
+	consBusy := m.Cores[1].Account.Total()
+	fmt.Printf("%-12v latency %6.0f cy (%.2f µs)   producer %5.0f cy/msg   consumer %5.0f cy/msg\n",
+		mech, lat.Mean(), lat.Mean()/2000,
+		float64(prodBusy)/messages, float64(consBusy)/messages)
+}
+
+func ipiKind(m core.Mechanism) core.Mechanism {
+	if m == core.TrackedIPI {
+		return core.TrackedIPI
+	}
+	return core.UIPI
+}
+
+func main() {
+	fmt.Printf("producer on core 0 notifies consumer on core 1, %d messages, ~5 µs apart:\n\n", messages)
+	for _, mech := range []core.Mechanism{core.BusyPoll, core.Signal, core.UIPI, core.TrackedIPI} {
+		run(mech)
+	}
+	fmt.Println("\npolling is fast but burns the consumer's core; signals are cheap to idle but slow;")
+	fmt.Println("user IPIs give asynchronous notification at near-polling latency — xUI cheapest of all.")
+}

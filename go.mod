@@ -1,0 +1,3 @@
+module xui
+
+go 1.22

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+
+	"xui/internal/sim"
+	"xui/internal/uintr"
+)
+
+// TimerMode selects one-shot or periodic operation (§4.3: the mode flag of
+// set_timer).
+type TimerMode uint8
+
+const (
+	// OneShot interprets the cycles argument as an absolute deadline.
+	OneShot TimerMode = iota
+	// Periodic interprets the cycles argument as a period.
+	Periodic
+)
+
+func (m TimerMode) String() string {
+	if m == Periodic {
+		return "periodic"
+	}
+	return "one-shot"
+}
+
+// KBTimerState is the architectural state the kernel saves and restores
+// when multiplexing the per-core timer across kernel threads (§4.3: the
+// kb_timer_state_MSR read plus the assigned vector, period and mode).
+type KBTimerState struct {
+	Armed    bool
+	Deadline sim.Time // absolute
+	Period   sim.Time // valid when Mode == Periodic
+	Mode     TimerMode
+	Vector   uintr.Vector
+}
+
+// KBTimer is the kernel-bypass timer: one per physical core, programmed
+// directly from user space with set_timer/clear_timer, delivering through
+// the user-interrupt delivery microcode (no UPID access — 105 cycles,
+// §4.3).
+type KBTimer struct {
+	sim *sim.Simulator
+
+	enabled bool // kb_config_MSR enable bit, kernel controlled
+	vector  uintr.Vector
+	mode    TimerMode
+	period  sim.Time
+	ev      *sim.Event
+
+	// Fire is invoked at expiry while the timer is enabled. The machine
+	// wires it to the owning core's user-interrupt delivery path; if the
+	// core is in kernel mode the kernel traps instead (§4.3: "If the
+	// timer reaches its target in kernel mode, it will trap").
+	Fire func(now sim.Time, vector uintr.Vector)
+
+	// Fired counts expiries.
+	Fired uint64
+}
+
+// NewKBTimer creates a disabled timer on the simulator.
+func NewKBTimer(s *sim.Simulator) *KBTimer {
+	return &KBTimer{sim: s}
+}
+
+// Enable is the kernel-side enable_kb_timer() syscall: it writes the
+// kb_config_MSR with the assigned user vector.
+func (t *KBTimer) Enable(vector uintr.Vector) {
+	t.enabled = true
+	t.vector = vector
+}
+
+// Disable is disable_kb_timer(): it stops the timer and blocks further
+// user programming.
+func (t *KBTimer) Disable() {
+	t.enabled = false
+	t.cancel()
+}
+
+// Enabled reports the kb_config_MSR enable bit.
+func (t *KBTimer) Enabled() bool { return t.enabled }
+
+// Set is the user-level set_timer(cycles, mode) instruction. For Periodic,
+// cycles is a period; for OneShot, an absolute deadline (matching the APIC
+// tradition of specifying the next deadline directly, §4.3). Setting a
+// one-shot deadline in the past fires immediately (next cycle).
+func (t *KBTimer) Set(cycles uint64, mode TimerMode) error {
+	if !t.enabled {
+		return fmt.Errorf("core: KB_Timer not enabled by kernel")
+	}
+	t.cancel()
+	t.mode = mode
+	switch mode {
+	case Periodic:
+		if cycles == 0 {
+			return fmt.Errorf("core: zero period")
+		}
+		t.period = sim.Time(cycles)
+		t.ev = t.sim.Every(t.period, t.expire)
+	case OneShot:
+		t.period = 0
+		deadline := sim.Time(cycles)
+		delay := sim.Time(1)
+		if deadline > t.sim.Now() {
+			delay = deadline - t.sim.Now()
+		}
+		t.ev = t.sim.After(delay, t.expire)
+	default:
+		return fmt.Errorf("core: unknown timer mode %d", mode)
+	}
+	return nil
+}
+
+// Clear is the user-level clear_timer() instruction.
+func (t *KBTimer) Clear() { t.cancel() }
+
+func (t *KBTimer) cancel() {
+	if t.ev != nil {
+		t.sim.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+func (t *KBTimer) expire(now sim.Time) {
+	if !t.enabled {
+		return
+	}
+	if t.mode == OneShot {
+		t.ev = nil
+	}
+	t.Fired++
+	if t.Fire != nil {
+		t.Fire(now, t.vector)
+	}
+}
+
+// Save reads the timer state for a context switch (kb_timer_state_MSR).
+func (t *KBTimer) Save() KBTimerState {
+	st := KBTimerState{
+		Mode:   t.mode,
+		Period: t.period,
+		Vector: t.vector,
+	}
+	if t.ev != nil && t.ev.Pending() {
+		st.Armed = true
+		st.Deadline = t.ev.When()
+	}
+	return st
+}
+
+// Restore re-arms the timer from saved state when a thread is rescheduled.
+// If a one-shot deadline was exceeded while the thread was off-core, the
+// expiry fires immediately — the paper's chosen slow-path policy ("check
+// if the deadline has been exceeded on context restore and deliver").
+// It reports whether a missed expiry was delivered this way.
+func (t *KBTimer) Restore(st KBTimerState) (missed bool) {
+	t.cancel()
+	t.vector = st.Vector
+	t.mode = st.Mode
+	t.period = st.Period
+	if !st.Armed {
+		return false
+	}
+	now := t.sim.Now()
+	switch st.Mode {
+	case Periodic:
+		// Late periodic expiries coalesce into one immediate firing, then
+		// the period continues.
+		if st.Deadline <= now {
+			t.ev = t.sim.After(1, t.expire)
+			return true
+		}
+		first := st.Deadline - now
+		t.ev = t.sim.After(first, func(fireAt sim.Time) {
+			t.expire(fireAt)
+			if t.enabled && t.mode == Periodic && t.period > 0 {
+				t.ev = t.sim.Every(t.period, t.expire)
+			}
+		})
+	case OneShot:
+		if st.Deadline <= now {
+			t.ev = t.sim.After(1, t.expire)
+			return true
+		}
+		t.ev = t.sim.After(st.Deadline-now, t.expire)
+	}
+	return false
+}

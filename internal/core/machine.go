@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+
+	"xui/internal/apic"
+	"xui/internal/sim"
+	"xui/internal/stats"
+	"xui/internal/uintr"
+)
+
+// Accounting category names used by VCore. Experiments read these out of
+// the per-core CycleAccount.
+const (
+	CatNotify = "notify" // receiver-side interrupt delivery cost
+	CatSend   = "send"   // sender-side senduipi cost
+	CatWork   = "work"   // workload cycles (charged by experiments)
+	CatPoll   = "poll"   // polling cycles (charged by experiments)
+)
+
+// UINV is the conventional notification vector reserved for UIPIs in the
+// machine model (matching the kernel's choice of a single system-wide
+// notification vector).
+const UINV uint8 = 0xEC
+
+// VCore is the Tier-2 (event-level) model of one hardware thread: it routes
+// interrupts arriving at its local APIC to the running user context,
+// charges calibrated per-event costs, and exposes the xUI devices (KB_Timer,
+// forwarding) to the software models above it.
+type VCore struct {
+	ID    int
+	Sim   *sim.Simulator
+	APIC  *apic.LocalAPIC
+	KBT   *KBTimer
+	Costs Costs
+
+	// IPIMech selects how user IPIs are delivered on this machine: UIPI
+	// (flush-based) or TrackedIPI (xUI).
+	IPIMech Mechanism
+
+	// UPID of the thread currently running in user mode, nil when the
+	// core is in the kernel or idle.
+	UPID *uintr.UPID
+	// UIF is the running context's user-interrupt flag. Clearing it (clui,
+	// or an in-progress delivery) holds recognised interrupts in UIRR
+	// until it is set again.
+	UIF bool
+	// uirr is the user interrupt request register: vectors recognised but
+	// not yet delivered. Both UIPI notification processing and interrupt
+	// forwarding post here (§3.3, §4.5).
+	uirr uint64
+	// uirrMech remembers which mechanism posted each vector, so the
+	// delivery charge matches the path taken.
+	uirrMech [64]Mechanism
+	// delivering is true while the delivery microcode + handler run.
+	delivering bool
+
+	// Handler is the registered user-level interrupt handler; it runs
+	// after the delivery cost has elapsed.
+	Handler func(now sim.Time, vector uintr.Vector, mech Mechanism)
+	// OnKernelInterrupt receives conventional interrupts (not UIPI
+	// notifications) and UIPI notifications that miss the running thread
+	// — the kernel slow path.
+	OnKernelInterrupt func(now sim.Time, vector uint8)
+
+	// Account accumulates per-category cycles; Busy tracks utilization.
+	Account *stats.CycleAccount
+	Busy    stats.Busy
+
+	// Delivered counts user-level deliveries by mechanism.
+	Delivered map[Mechanism]uint64
+}
+
+// RaiseInterrupt implements apic.Sink for conventional vectors.
+func (v *VCore) RaiseInterrupt(now sim.Time, vector uint8) {
+	if vector == UINV && v.UPID != nil && v.UPID.Pending() {
+		// Notification processing against the running thread's UPID:
+		// recognition copies PIR into UIRR regardless of UIF; delivery
+		// happens when UIF allows (§3.3).
+		pir := v.UPID.Acknowledge()
+		for pir != 0 {
+			vec := highestVector(pir)
+			pir &^= 1 << vec
+			v.post(now, vec, v.IPIMech)
+		}
+		return
+	}
+	// Slow path / ordinary kernel interrupt.
+	if v.OnKernelInterrupt != nil {
+		v.OnKernelInterrupt(now, vector)
+	}
+}
+
+// RaiseForwarded implements apic.Sink: the forwarding fast path goes
+// straight to user level with the delivery-only cost. The APIC sets the
+// UIRR bit; if UIF is clear the vector is held until it is set again
+// (§4.5 — the UPID is never touched, no kernel involvement).
+func (v *VCore) RaiseForwarded(now sim.Time, vector uint8) {
+	v.post(now, uintr.Vector(vector&63), ForwardedIntr)
+}
+
+// RaiseForwardedSlow implements apic.Sink: the target thread is off-core;
+// the kernel captures the vector into the DUPID.
+func (v *VCore) RaiseForwardedSlow(now sim.Time, vector uint8) {
+	if v.OnKernelInterrupt != nil {
+		v.OnKernelInterrupt(now, vector)
+	}
+}
+
+// kbFire handles a KB_Timer expiry: user mode → user delivery at the
+// delivery-only cost; kernel mode (no user context installed) → trap
+// (§4.3).
+func (v *VCore) kbFire(now sim.Time, vector uintr.Vector) {
+	if v.UPID == nil {
+		if v.OnKernelInterrupt != nil {
+			v.OnKernelInterrupt(now, uint8(vector))
+		}
+		return
+	}
+	v.post(now, vector, KBTimerIntr)
+}
+
+// post recognises a user vector into UIRR and attempts delivery.
+func (v *VCore) post(now sim.Time, vector uintr.Vector, mech Mechanism) {
+	v.uirr |= 1 << vector
+	v.uirrMech[vector] = mech
+	v.tryDeliver(now)
+}
+
+// tryDeliver starts delivery of the highest-priority recognised vector if
+// the core can take a user interrupt now.
+func (v *VCore) tryDeliver(now sim.Time) {
+	if v.uirr == 0 || !v.UIF || v.delivering {
+		return
+	}
+	vec := highestVector(v.uirr)
+	v.uirr &^= 1 << vec
+	mech := v.uirrMech[vec]
+	cost := v.Costs.Receiver(mech)
+	v.Account.Charge(CatNotify, uint64(cost))
+	v.Delivered[mech]++
+	v.UIF = false // delivery clears the flag until uiret
+	v.delivering = true
+	v.Sim.After(cost, func(t sim.Time) {
+		v.delivering = false
+		v.UIF = true // uiret
+		if v.Handler != nil {
+			v.Handler(t, vec, mech)
+		}
+		v.tryDeliver(t)
+	})
+}
+
+// Clui executes the clui instruction: clear UIF, blocking user-interrupt
+// delivery (2 cycles, Table 2).
+func (v *VCore) Clui() {
+	v.Account.Charge(CatWork, CluiCost)
+	v.UIF = false
+}
+
+// Stui executes the stui instruction: set UIF and deliver anything held in
+// UIRR (32 cycles, Table 2 — setting the flag re-scans pending vectors).
+func (v *VCore) Stui(now sim.Time) {
+	v.Account.Charge(CatWork, StuiCost)
+	v.UIF = true
+	v.tryDeliver(now)
+}
+
+// Testui reads UIF.
+func (v *VCore) Testui() bool { return v.UIF }
+
+// UIRRPending returns the vectors recognised but not yet delivered.
+func (v *VCore) UIRRPending() uint64 { return v.uirr }
+
+func highestVector(pir uint64) uintr.Vector {
+	for i := 63; i >= 0; i-- {
+		if pir&(1<<uint(i)) != 0 {
+			return uintr.Vector(i)
+		}
+	}
+	return 0
+}
+
+// Machine assembles the Tier-2 hardware: cores with local APICs and
+// KB_Timers on a shared interrupt bus, plus an IOAPIC for devices.
+type Machine struct {
+	Sim    *sim.Simulator
+	Bus    *apic.Bus
+	IOAPIC *apic.IOAPIC
+	Cores  []*VCore
+	Costs  Costs
+}
+
+// IcrOffset is when, within a senduipi execution, the ICR write completes
+// and the IPI message departs (calibrated from the Tier-1 sender model:
+// ≈367 cycles into the ≈383-cycle instruction, so arrival lands at the
+// paper's ≈380 cycles including the bus hop).
+const IcrOffset sim.Time = 367
+
+// NewMachine builds an n-core machine delivering user IPIs with ipiMech
+// (UIPI or TrackedIPI).
+func NewMachine(s *sim.Simulator, n int, ipiMech Mechanism) (*Machine, error) {
+	if ipiMech != UIPI && ipiMech != TrackedIPI {
+		return nil, fmt.Errorf("core: IPI mechanism must be UIPI or TrackedIPI, got %v", ipiMech)
+	}
+	m := &Machine{
+		Sim:   s,
+		Bus:   apic.NewBus(s),
+		Costs: DefaultCosts(),
+	}
+	m.IOAPIC = apic.NewIOAPIC(m.Bus)
+	for i := 0; i < n; i++ {
+		v := &VCore{
+			ID:        i,
+			Sim:       s,
+			Costs:     m.Costs,
+			IPIMech:   ipiMech,
+			UIF:       true,
+			Account:   stats.NewCycleAccount(),
+			Delivered: make(map[Mechanism]uint64),
+		}
+		l, err := m.Bus.NewLocalAPIC(uint32(i), v)
+		if err != nil {
+			return nil, err
+		}
+		v.APIC = l
+		v.KBT = NewKBTimer(s)
+		v.KBT.Fire = v.kbFire
+		m.Cores = append(m.Cores, v)
+	}
+	return m, nil
+}
+
+// SendUIPI models a senduipi executed on the sending core against a UITT
+// entry: the sender is busy for the senduipi cost, and if the protocol
+// calls for a notification the IPI departs at the ICR-write point.
+func (m *Machine) SendUIPI(sender int, uitt *uintr.UITT, idx int) error {
+	src := m.Cores[sender]
+	src.Account.Charge(CatSend, uint64(m.Costs.Sender(UIPI)))
+	notify, ndst, nv, err := uitt.Senduipi(idx)
+	if err != nil {
+		return err
+	}
+	if !notify {
+		return nil
+	}
+	m.Sim.After(IcrOffset, func(sim.Time) {
+		// ICR written: the message is on the bus.
+		if err := src.APIC.SendIPI(ndst, nv); err != nil {
+			panic(fmt.Sprintf("core: UIPI to unknown APIC %d", ndst))
+		}
+	})
+	return nil
+}

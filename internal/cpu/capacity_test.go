@@ -1,0 +1,129 @@
+package cpu
+
+import (
+	"testing"
+
+	"xui/internal/isa"
+)
+
+// coldLoads builds n independent loads that all miss to DRAM.
+func coldLoads(n int) []isa.MicroOp {
+	ops := make([]isa.MicroOp, n)
+	for i := range ops {
+		ops[i] = isa.MicroOp{Class: isa.Load, Addr: 0x10000000 + uint64(i)*4096, BoundaryStart: true}
+	}
+	return ops
+}
+
+func TestLQCapacityBoundsMLP(t *testing.T) {
+	// Independent DRAM misses: memory-level parallelism is bounded by the
+	// load-queue size, so n loads take ≈ ceil(n/LQ) * DRAM latency.
+	cfg := DefaultConfig()
+	cfg.Ucode = testUcode()
+	small := cfg
+	small.LQSize = 8
+	const n = 256
+	runWith := func(c Config) uint64 {
+		core := New(c, isa.NewSliceStream("loads", coldLoads(n)), newPort())
+		return core.Run(n, 10_000_000).Cycles
+	}
+	big := runWith(cfg)    // LQ 128: two DRAM waves
+	tiny := runWith(small) // LQ 8: thirty-two waves
+	if tiny < 3*big {
+		t.Errorf("LQ=8 run (%d cy) not ≫ LQ=128 run (%d cy); LQ pressure unmodelled", tiny, big)
+	}
+}
+
+func TestSQCapacityStallsStores(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ucode = testUcode()
+	small := cfg
+	small.SQSize = 2
+	ops := make([]isa.MicroOp, 400)
+	for i := range ops {
+		// Stores whose completion is delayed behind a slow producer.
+		if i%2 == 0 {
+			ops[i] = isa.MicroOp{Class: isa.IntAlu, Lat: 40, BoundaryStart: true}
+		} else {
+			ops[i] = isa.MicroOp{Class: isa.Store, Addr: 0x9000, Dep1: 1, BoundaryStart: true}
+		}
+	}
+	runWith := func(c Config) uint64 {
+		core := New(c, isa.NewSliceStream("stores", ops), newPort())
+		return core.Run(uint64(len(ops)), 10_000_000).Cycles
+	}
+	if tiny, big := runWith(small), runWith(cfg); tiny <= big {
+		t.Errorf("SQ=2 (%d cy) not slower than SQ=72 (%d cy)", tiny, big)
+	}
+}
+
+func TestIQCapacityBoundsWindow(t *testing.T) {
+	// A long stall at the head with a tiny IQ prevents independent work
+	// behind it from even entering the scheduler.
+	cfg := DefaultConfig()
+	cfg.Ucode = testUcode()
+	small := cfg
+	small.IQSize = 4
+	var ops []isa.MicroOp
+	for b := 0; b < 60; b++ {
+		ops = append(ops, isa.MicroOp{Class: isa.Load, Addr: 0x20000000 + uint64(b)*8192, BoundaryStart: true})
+		for i := 0; i < 20; i++ {
+			ops = append(ops, isa.MicroOp{Class: isa.IntAlu, BoundaryStart: true})
+		}
+	}
+	runWith := func(c Config) uint64 {
+		core := New(c, isa.NewSliceStream("iq", ops), newPort())
+		return core.Run(uint64(len(ops)), 10_000_000).Cycles
+	}
+	if tiny, big := runWith(small), runWith(cfg); tiny <= big {
+		t.Errorf("IQ=4 (%d cy) not slower than IQ=168 (%d cy)", tiny, big)
+	}
+}
+
+func TestFetchBarrierStallsFetch(t *testing.T) {
+	// A barrier op with a long latency must gate everything behind it:
+	// 100 independent ALU ops normally take ~17 cycles; behind a 500-cycle
+	// barrier they take 500+.
+	ops := []isa.MicroOp{{Class: isa.IntAlu, Lat: 500, FetchBarrier: true, BoundaryStart: true}}
+	for i := 0; i < 100; i++ {
+		ops = append(ops, isa.MicroOp{Class: isa.IntAlu, BoundaryStart: true})
+	}
+	inFlightAfter := func(barrier bool, steps int) int {
+		cp := make([]isa.MicroOp, len(ops))
+		copy(cp, ops)
+		cp[0].FetchBarrier = barrier
+		core, _ := newTestCore(Flush, isa.NewSliceStream("barrier", cp))
+		for i := 0; i < steps; i++ {
+			core.step()
+		}
+		return core.InFlight()
+	}
+	// Mid-execution of the slow op: with the barrier only it is in flight;
+	// without, the window fills with the independent ALU work.
+	if got := inFlightAfter(true, 100); got != 1 {
+		t.Errorf("fetch crossed an unresolved barrier: %d in flight", got)
+	}
+	if got := inFlightAfter(false, 100); got < 50 {
+		t.Errorf("without the barrier the window should fill: %d in flight", got)
+	}
+}
+
+func TestROBCapacityLimitsInFlight(t *testing.T) {
+	// The window can never hold more than ROBSize micro-ops.
+	cfg := DefaultConfig()
+	cfg.Ucode = testUcode()
+	core := New(cfg, isa.NewSliceStream("rob", coldLoads(64)), newPort())
+	max := 0
+	for i := 0; i < 2000; i++ {
+		core.step()
+		if f := core.InFlight(); f > max {
+			max = f
+		}
+	}
+	if max > cfg.ROBSize {
+		t.Errorf("in-flight %d exceeded ROB size %d", max, cfg.ROBSize)
+	}
+	if max == 0 {
+		t.Errorf("nothing entered the window")
+	}
+}

@@ -1,0 +1,59 @@
+package cpu
+
+// compHeap is a binary min-heap of pending execution completions, ordered
+// by doneAt. Entries are validated against the ROB on pop (a squashed op's
+// stale heap entry is simply discarded).
+type compHeap struct {
+	items []compItem
+}
+
+type compItem struct {
+	doneAt uint64
+	seq    uint64
+}
+
+func (h *compHeap) push(doneAt, seq uint64) {
+	h.items = append(h.items, compItem{doneAt, seq})
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.items[p].doneAt <= h.items[i].doneAt {
+			break
+		}
+		h.items[p], h.items[i] = h.items[i], h.items[p]
+		i = p
+	}
+}
+
+func (h *compHeap) peek() (compItem, bool) {
+	if len(h.items) == 0 {
+		return compItem{}, false
+	}
+	return h.items[0], true
+}
+
+func (h *compHeap) pop() compItem {
+	top := h.items[0]
+	n := len(h.items) - 1
+	h.items[0] = h.items[n]
+	h.items = h.items[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.items[l].doneAt < h.items[small].doneAt {
+			small = l
+		}
+		if r < n && h.items[r].doneAt < h.items[small].doneAt {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+	return top
+}
+
+func (h *compHeap) len() int { return len(h.items) }

@@ -1,0 +1,155 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"xui/internal/isa"
+	"xui/internal/sim"
+	"xui/internal/trace"
+)
+
+// mixedStream builds a randomized but reproducible workload with branches,
+// loads, stores and occasional mispredicts — hostile enough to exercise
+// squash/replay paths.
+func mixedStream(seed uint64, n int) isa.Stream {
+	rng := sim.NewRNG(seed)
+	ops := make([]isa.MicroOp, n)
+	for i := range ops {
+		op := isa.MicroOp{BoundaryStart: true}
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			op.Class = isa.IntAlu
+			if rng.Bool(0.5) {
+				op.Dep1 = uint32(1 + rng.Intn(4))
+			}
+		case 4, 5:
+			op.Class = isa.Load
+			op.Addr = 0x100000 + rng.Uint64n(1<<22)&^7
+			op.Dep1 = uint32(rng.Intn(3))
+		case 6:
+			op.Class = isa.Store
+			op.Addr = 0x100000 + rng.Uint64n(1<<22)&^7
+		case 7:
+			op.Class = isa.FPMult
+			op.Dep1 = 1
+		case 8:
+			op.Class = isa.Branch
+			op.Dep1 = 1
+			op.Taken = rng.Bool(0.5)
+			op.Mispredict = rng.Bool(0.1)
+		case 9:
+			op.Class = isa.IntAlu
+			op.WritesSP = rng.Bool(0.3)
+			op.ReadsSP = op.WritesSP
+		}
+		ops[i] = op
+	}
+	return isa.NewSliceStream("mixed", ops)
+}
+
+// TestNoInterruptEverLostProperty: for arbitrary workloads, strategies and
+// arrival schedules, every interrupt is delivered exactly once with a
+// monotone timeline, and committed micro-op accounting conserves.
+func TestNoInterruptEverLostProperty(t *testing.T) {
+	f := func(seed uint64, stratPick uint8, gaps []uint16) bool {
+		strategies := []Strategy{Flush, Drain, Tracked, LegacyGem5}
+		strat := strategies[int(stratPick)%len(strategies)]
+		const nProg = 30000
+		core, port := newTestCore(strat, mixedStream(seed, nProg))
+
+		nIntr := 0
+		at := uint64(500)
+		for _, g := range gaps {
+			if nIntr >= 12 {
+				break
+			}
+			at += 300 + uint64(g)%2500
+			skip := g%2 == 0
+			if !skip {
+				port.MarkRemoteWrite(testUPIDAddr)
+			}
+			core.ScheduleInterrupt(at, Interrupt{
+				Vector:           uint8(nIntr % 64),
+				SkipNotification: skip,
+				Handler:          smallHandler(),
+			})
+			nIntr++
+		}
+		res := core.Run(nProg, 50_000_000)
+		if res.CommittedProgram != nProg {
+			return false
+		}
+		delivered := 0
+		var seqLenSum uint64
+		for _, r := range res.Interrupts {
+			if r.Lost || r.UiretDone == 0 {
+				return false
+			}
+			if !(r.Arrive <= r.InjectStart && r.InjectStart <= r.FirstUcodeCommit &&
+				r.FirstUcodeCommit <= r.DeliveryDone && r.DeliveryDone <= r.HandlerStart &&
+				r.HandlerStart <= r.HandlerDone && r.HandlerDone <= r.UiretDone) {
+				return false
+			}
+			delivered++
+			// notif (7 when used) + delivery (10) + handler (2) + uiret (3)
+			seqLen := uint64(10 + 2 + 3)
+			if r.NotifDone != 0 {
+				seqLen += 7
+			}
+			seqLenSum += seqLen
+		}
+		if delivered != nIntr {
+			return false
+		}
+		// Committed interrupt-path ops = sum of delivered sequences.
+		return res.CommittedOther == seqLenSum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSafepointProperty: with safepoint gating on hostile streams, delivery
+// still always happens and only at safepoint density.
+func TestSafepointProperty(t *testing.T) {
+	f := func(seed uint64, every8 uint8) bool {
+		every := 1 + int(every8)%64
+		cfg := DefaultConfig()
+		cfg.Strategy = Tracked
+		cfg.SafepointMode = true
+		cfg.Ucode = testUcode()
+		prog := trace.NewSafepointAnnotated(mixedStream(seed, 20000), every)
+		core := New(cfg, prog, newPort())
+		for i := uint64(1); i <= 6; i++ {
+			core.ScheduleInterrupt(i*1500, Interrupt{Vector: 1, SkipNotification: true, Handler: smallHandler()})
+		}
+		res := core.Run(20000, 50_000_000)
+		for _, r := range res.Interrupts {
+			if r.UiretDone == 0 {
+				return false
+			}
+		}
+		return len(res.Interrupts) == 6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRunIsDeterministic: identical configurations give identical results.
+func TestRunIsDeterministic(t *testing.T) {
+	run := func() Result {
+		core, port := newTestCore(Tracked, mixedStream(99, 30000))
+		port.MarkRemoteWrite(testUPIDAddr)
+		core.PeriodicInterrupts(2000, 2000, func() Interrupt {
+			return Interrupt{Vector: 2, Handler: smallHandler()}
+		})
+		return core.Run(30000, 10_000_000)
+	}
+	a, b := run(), run()
+	if a.Cycles != b.Cycles || a.CommittedOther != b.CommittedOther ||
+		a.SquashedProgram != b.SquashedProgram || len(a.Interrupts) != len(b.Interrupts) {
+		t.Errorf("nondeterministic runs: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,161 @@
+package dsa
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"xui/internal/sim"
+)
+
+func TestMemmoveExecutes(t *testing.T) {
+	s := sim.New(1)
+	dev := New(s, Config{BaseLatency: ShortClassMean}, 1)
+	src := []byte("hello accelerator")
+	dst := make([]byte, len(src))
+	d := &Descriptor{Op: Memmove, Src: src, Dst: dst}
+	var doneAt sim.Time
+	dev.OnComplete = func(now sim.Time, _ *Descriptor) { doneAt = now }
+	if err := dev.Submit(d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Completion.Done {
+		t.Fatalf("completion visible before device latency")
+	}
+	s.Run()
+	if !d.Completion.Done || !bytes.Equal(dst, src) {
+		t.Fatalf("memmove failed: %+v %q", d.Completion, dst)
+	}
+	want := PCIeLatency + ShortClassMean + PCIeLatency
+	if doneAt != want {
+		t.Errorf("completed at %d, want %d (no noise)", doneAt, want)
+	}
+}
+
+func TestFillAndCompare(t *testing.T) {
+	s := sim.New(1)
+	dev := New(s, Config{}, 1)
+	buf := make([]byte, 64)
+	if err := dev.Submit(&Descriptor{Op: Fill, Dst: buf, FillByte: 0xAB}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	for _, b := range buf {
+		if b != 0xAB {
+			t.Fatalf("fill byte %x", b)
+		}
+	}
+	other := make([]byte, 64)
+	cmp := &Descriptor{Op: Compare, Dst: buf, Src: other}
+	if err := dev.Submit(cmp); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if cmp.Completion.Equal {
+		t.Errorf("unequal buffers compared equal")
+	}
+	copy(other, buf)
+	cmp2 := &Descriptor{Op: Compare, Dst: buf, Src: other}
+	_ = dev.Submit(cmp2)
+	s.Run()
+	if !cmp2.Completion.Equal {
+		t.Errorf("equal buffers compared unequal")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s := sim.New(1)
+	dev := New(s, Config{}, 1)
+	if err := dev.Submit(&Descriptor{Op: Memmove, Src: make([]byte, 4), Dst: make([]byte, 8)}); err == nil {
+		t.Errorf("length mismatch accepted")
+	}
+	if err := dev.Submit(&Descriptor{Op: OpCode(99)}); err == nil {
+		t.Errorf("bad opcode accepted")
+	}
+	if dev.Rejected != 2 {
+		t.Errorf("rejected = %d", dev.Rejected)
+	}
+}
+
+func TestQueueDepthLimit(t *testing.T) {
+	s := sim.New(1)
+	dev := New(s, Config{QueueDepth: 2}, 1)
+	buf := make([]byte, 8)
+	ok := 0
+	for i := 0; i < 3; i++ {
+		if err := dev.Submit(&Descriptor{Op: Fill, Dst: buf}); err == nil {
+			ok++
+		}
+	}
+	if ok != 2 {
+		t.Errorf("accepted %d, want 2", ok)
+	}
+	s.Run()
+	if dev.InFlight() != 0 {
+		t.Errorf("in flight after drain: %d", dev.InFlight())
+	}
+	// Queue frees up after completion.
+	if err := dev.Submit(&Descriptor{Op: Fill, Dst: buf}); err != nil {
+		t.Errorf("submit after drain failed: %v", err)
+	}
+}
+
+func TestNoiseBounds(t *testing.T) {
+	s := sim.New(1)
+	dev := New(s, Config{BaseLatency: 10000, Noise: 0.5}, 42)
+	buf := make([]byte, 1)
+	var times []sim.Time
+	dev.OnComplete = func(now sim.Time, d *Descriptor) {
+		times = append(times, now-d.submitted)
+	}
+	for i := 0; i < 500; i++ {
+		if err := dev.Submit(&Descriptor{Op: Fill, Dst: buf}); err != nil {
+			t.Fatal(err)
+		}
+		s.Run()
+	}
+	lo := PCIeLatency*2 + 5000
+	hi := PCIeLatency*2 + 15000
+	var min, max sim.Time = 1 << 62, 0
+	for _, d := range times {
+		if d < lo || d > hi {
+			t.Fatalf("latency %d outside [%d,%d]", d, lo, hi)
+		}
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if max-min < 5000 {
+		t.Errorf("noise range too narrow: [%d,%d]", min, max)
+	}
+}
+
+// Property: Memmove always leaves Dst == Src regardless of content/length.
+func TestMemmoveProperty(t *testing.T) {
+	f := func(src []byte) bool {
+		s := sim.New(1)
+		dev := New(s, Config{}, 1)
+		dst := make([]byte, len(src))
+		d := &Descriptor{Op: Memmove, Src: src, Dst: dst}
+		if err := dev.Submit(d); err != nil {
+			return false
+		}
+		s.Run()
+		return d.Completion.Done && bytes.Equal(dst, src)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLatencyClasses(t *testing.T) {
+	if ShortClassMean.Micros() != 2 {
+		t.Errorf("short class = %g µs, want 2", ShortClassMean.Micros())
+	}
+	if LongClassMean.Micros() != 20 {
+		t.Errorf("long class = %g µs, want 20", LongClassMean.Micros())
+	}
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xui/internal/core"
+	"xui/internal/cpu"
+	"xui/internal/kernel"
+	"xui/internal/kvstore"
+	"xui/internal/loadgen"
+	"xui/internal/mem"
+	"xui/internal/sim"
+	"xui/internal/trace"
+	"xui/internal/urt"
+)
+
+// CluiStuiResult quantifies §4.1's alternative to hardware safepoints:
+// bracketing every allocator critical section with clui/stui. The paper
+// measured a 7 % RocksDB throughput penalty from protecting malloc() this
+// way.
+type CluiStuiResult struct {
+	MallocsPerGet   int
+	PairCost        float64 // clui+stui cycles per protected section
+	AnalyticPenalty float64 // added cycles / GET service time
+	MeasuredPenalty float64 // achieved-throughput drop in the runtime model
+}
+
+// CluiStuiCriticalSection runs the RocksDB workload at overload twice —
+// once with GET service times inflated by mallocsPerGet clui/stui pairs —
+// and reports the throughput penalty.
+func CluiStuiCriticalSection(mallocsPerGet int, horizon sim.Time) CluiStuiResult {
+	pair := float64(core.CluiCost + core.StuiCost)
+	costs := kvstore.DefaultCostModel()
+	res := CluiStuiResult{
+		MallocsPerGet:   mallocsPerGet,
+		PairCost:        pair,
+		AnalyticPenalty: 100 * pair * float64(mallocsPerGet) / float64(costs.GetMean),
+	}
+	base := cluiStuiThroughput(0, horizon)
+	prot := cluiStuiThroughput(mallocsPerGet, horizon)
+	if base > 0 {
+		res.MeasuredPenalty = 100 * (base - prot) / base
+	}
+	return res
+}
+
+// cluiStuiThroughput measures GET throughput at saturation with the given
+// per-GET clui/stui tax. The workload is GET-only: under preemptive
+// scheduling at overload, completed-request throughput is dominated by
+// GETs anyway (short requests bypass queued SCANs), so the clean capacity
+// measurement uses the homogeneous stream.
+func cluiStuiThroughput(mallocsPerGet int, horizon sim.Time) float64 {
+	s := sim.New(4321)
+	m, err := core.NewMachine(s, 1, core.TrackedIPI)
+	if err != nil {
+		panic(err)
+	}
+	k := kernel.New(m)
+	rt, err := urt.New(m, k, urt.Config{Workers: 1, Preempt: urt.KBTimer, Quantum: fig7Quantum})
+	if err != nil {
+		panic(err)
+	}
+	costs := kvstore.DefaultCostModel()
+	rng := sim.NewRNG(9)
+	tax := sim.Time(mallocsPerGet) * sim.Time(core.CluiCost+core.StuiCost)
+	gen, err := loadgen.StartOpenLoop(s, 5, 1_200_000, func(now sim.Time, _ uint64) {
+		rt.Spawn(0, "GET", costs.SampleGet(rng)+tax, nil)
+	})
+	if err != nil {
+		panic(err)
+	}
+	s.RunUntil(horizon)
+	gen.Stop()
+	return float64(rt.Completed) / horizon.Seconds()
+}
+
+// SafepointDensityRow is one point of the safepoint-density ablation: how
+// instrumentation density trades steady-state overhead against delivery
+// delay (the compiler's knob in §4.4).
+type SafepointDensityRow struct {
+	Every        int     // one safepoint per N instructions
+	OverheadPct  float64 // slowdown with 5 µs preemption
+	MeanDelayCyc float64 // arrival → injection wait
+}
+
+// SafepointDensity sweeps safepoint spacing on matmul at a 5 µs quantum.
+// Hardware safepoints are free when idle, so overhead stays flat while
+// delivery delay grows linearly with spacing — the "near zero cost"
+// claim, quantified.
+func SafepointDensity(spacings []int, uops uint64) []SafepointDensityRow {
+	const period = 10000
+	baseCore, _ := NewReceiver(cpu.Tracked, trace.ByName("matmul", 1))
+	base := baseCore.Run(uops, uops*400)
+
+	var rows []SafepointDensityRow
+	for _, every := range spacings {
+		cfg := cpu.DefaultConfig()
+		cfg.Strategy = cpu.Tracked
+		cfg.SafepointMode = true
+		cfg.Ucode = Ucode()
+		prog := trace.NewSafepointAnnotated(trace.ByName("matmul", 1), every)
+		port := &cpu.PrivatePort{H: mem.NewHierarchy(mem.Config{}), SharedCost: mem.LatCrossCore}
+		c := cpu.New(cfg, prog, port)
+		c.PeriodicInterrupts(period, period, func() cpu.Interrupt {
+			return cpu.Interrupt{Vector: 1, SkipNotification: true, Handler: CtxSwitchHandler()}
+		})
+		res := c.Run(uops, uops*400)
+		var delay float64
+		n := 0
+		for _, r := range res.Interrupts {
+			if r.InjectStart == 0 {
+				continue
+			}
+			delay += float64(r.InjectStart - r.Arrive)
+			n++
+		}
+		if n > 0 {
+			delay /= float64(n)
+		}
+		rows = append(rows, SafepointDensityRow{
+			Every:        every,
+			OverheadPct:  100 * (float64(res.Cycles) - float64(base.Cycles)) / float64(base.Cycles),
+			MeanDelayCyc: delay,
+		})
+	}
+	return rows
+}
+
+// PollDensityRow is one point of the polling-density ablation — the Go
+// team's dilemma (§2): denser checks mean faster preemption but a larger
+// steady-state tax.
+type PollDensityRow struct {
+	Every       int
+	OverheadPct float64
+}
+
+// PollDensity sweeps Concord-style check spacing on matmul with no
+// preemptions at all: the overhead is pure instrumentation tax.
+func PollDensity(spacings []int, uops uint64) []PollDensityRow {
+	baseCore, _ := NewReceiver(cpu.Flush, trace.ByName("matmul", 1))
+	base := baseCore.Run(uops, uops*400)
+	var rows []PollDensityRow
+	for _, every := range spacings {
+		prog := trace.NewPollInstrumented(trace.ByName("matmul", 1), every, FlagAddr)
+		c, _ := NewReceiver(cpu.Flush, prog)
+		total := uops + uops/uint64(every)*2
+		res := c.Run(total, total*400)
+		rows = append(rows, PollDensityRow{
+			Every:       every,
+			OverheadPct: 100 * (float64(res.Cycles) - float64(base.Cycles)) / float64(base.Cycles),
+		})
+	}
+	return rows
+}
+
+// FormatAblations renders the three ablations for cmd/xuibench.
+func FormatAblations(horizon sim.Time) string {
+	out := ""
+	cs := CluiStuiCriticalSection(5, horizon)
+	out += fmt.Sprintf("clui/stui critical sections (5 per GET, %g cy/pair):\n", cs.PairCost)
+	out += fmt.Sprintf("  analytic penalty %.1f%%, measured %.1f%% (paper: 7%% for malloc in RocksDB)\n",
+		cs.AnalyticPenalty, cs.MeasuredPenalty)
+	out += "\nsafepoint density (matmul, 5 µs quantum):\n"
+	for _, r := range SafepointDensity([]int{5, 25, 100, 400}, 150000) {
+		out += fmt.Sprintf("  every %4d ops: overhead %5.2f%%  delivery delay %6.0f cy\n",
+			r.Every, r.OverheadPct, r.MeanDelayCyc)
+	}
+	out += "\npolling-check density (matmul, no preemptions — pure tax):\n"
+	for _, r := range PollDensity([]int{4, 10, 25, 50, 100}, 150000) {
+		out += fmt.Sprintf("  every %4d ops: overhead %5.2f%%\n", r.Every, r.OverheadPct)
+	}
+	return out
+}

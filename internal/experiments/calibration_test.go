@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"xui/internal/core"
+	"xui/internal/cpu"
+)
+
+// within asserts got is within tol (fractional) of want.
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if want == 0 {
+		t.Fatalf("%s: zero reference", name)
+	}
+	if rel := math.Abs(got-want) / math.Abs(want); rel > tol {
+		t.Errorf("%s = %.1f, want %.1f ±%.0f%% (off by %.0f%%)", name, got, want, tol*100, rel*100)
+	}
+}
+
+// TestTable2Calibration is the Tier-1 ↔ paper cross-check: the pipeline
+// model must reproduce Table 2 within tolerance.
+func TestTable2Calibration(t *testing.T) {
+	r := Table2()
+	p := PaperTable2()
+	within(t, "senduipi", r.Senduipi, p.Senduipi, 0.10)
+	within(t, "receiver cost", r.ReceiverCost, p.ReceiverCost, 0.20)
+	within(t, "end-to-end", r.EndToEnd, p.EndToEnd, 0.20)
+	if r.Clui != 2 || r.Stui != 32 {
+		t.Errorf("clui/stui = %g/%g", r.Clui, r.Stui)
+	}
+}
+
+// TestTier1Tier2Agreement asserts the discrete-event cost model (charged
+// by every end-to-end experiment) agrees with what the pipeline model
+// actually produces.
+func TestTier1Tier2Agreement(t *testing.T) {
+	const period = 10000
+	costs := core.DefaultCosts()
+
+	kb := (ReceiverEventCost(cpu.Tracked, "fib", true, period, 300000) +
+		ReceiverEventCost(cpu.Tracked, "linpack", true, period, 300000) +
+		ReceiverEventCost(cpu.Tracked, "memops", true, period, 300000)) / 3
+	within(t, "delivery-only (Tier1 vs Tier2 constant)", kb, float64(costs.Receiver(core.KBTimerIntr)), 0.25)
+
+	tracked := (ReceiverEventCost(cpu.Tracked, "fib", false, period, 300000) +
+		ReceiverEventCost(cpu.Tracked, "linpack", false, period, 300000) +
+		ReceiverEventCost(cpu.Tracked, "memops", false, period, 300000)) / 3
+	within(t, "tracked IPI (Tier1 vs Tier2 constant)", tracked, float64(costs.Receiver(core.TrackedIPI)), 0.25)
+
+	send, _ := SenduipiLoopCost(60)
+	within(t, "senduipi (Tier1 vs Tier2 constant)", send, float64(costs.Sender(core.UIPI)), 0.10)
+}
+
+func TestFig2Calibration(t *testing.T) {
+	r := Fig2()
+	p := PaperFig2()
+	within(t, "arrival", r.Arrive, p.Arrive, 0.10)
+	within(t, "first notif event", r.FirstNotif, p.FirstNotif, 0.20)
+	within(t, "notif+delivery done", r.DeliveryDone, p.DeliveryDone, 0.15)
+	within(t, "uiret", r.UiretCost, p.UiretCost, 0.30)
+	if !(r.Arrive < r.FirstNotif && r.FirstNotif < r.DeliveryDone && r.DeliveryDone <= r.HandlerStart) {
+		t.Errorf("timeline not monotone: %+v", r)
+	}
+}
+
+// TestFig4Calibration asserts the per-event ordering and magnitudes the
+// paper reports: UIPI ≈645 ≫ tracked ≈231 ≫ delivery-only ≈105, with the
+// overall overhead at a 5 µs quantum dropping from ≈6.9 % to ≈1.1 %.
+func TestFig4Calibration(t *testing.T) {
+	rows := Fig4(300000)
+	avg := Fig4Summary(rows)
+	uipi := avg["UIPI SW Timer"]
+	tracked := avg["xUI (SW Timer + Tracking)"]
+	kb := avg["xUI (KB_Timer + Tracking)"]
+	within(t, "UIPI per-event", uipi, 645, 0.25)
+	within(t, "tracked per-event", tracked, 231, 0.25)
+	within(t, "delivery-only per-event", kb, 105, 0.25)
+	if !(kb < tracked && tracked < uipi) {
+		t.Fatalf("ordering violated: %.0f / %.0f / %.0f", uipi, tracked, kb)
+	}
+	if ratio := uipi / kb; ratio < 3 || ratio > 9 {
+		t.Errorf("UIPI/KB ratio %.1f outside the paper's 3x-9x claim", ratio)
+	}
+	// Overhead at 5 µs: ≈6.86 % → ≈1.06 %.
+	within(t, "UIPI overhead %", 100*uipi/10000, 6.86, 0.30)
+	within(t, "xUI overhead %", 100*kb/10000, 1.06, 0.30)
+}
+
+// TestFig5Calibration asserts the 5 µs anchor points: safepoints
+// 1.2–1.5 %, polling 8.5–11 %, UIPI in between.
+func TestFig5Calibration(t *testing.T) {
+	rows := Fig5([]float64{5}, 150000)
+	get := func(w, m string) float64 {
+		for _, r := range rows {
+			if r.Workload == w && r.Method == m {
+				return r.OverheadPct
+			}
+		}
+		t.Fatalf("missing row %s/%s", w, m)
+		return 0
+	}
+	for _, w := range Fig5Workloads {
+		sp := get(w, "xui-safepoint")
+		poll := get(w, "polling")
+		uipi := get(w, "uipi")
+		if sp < 0.5 || sp > 2.5 {
+			t.Errorf("%s: safepoint overhead %.2f%%, paper 1.2-1.5%%", w, sp)
+		}
+		if poll < 6 || poll > 14 {
+			t.Errorf("%s: polling overhead %.2f%%, paper 8.5-11%%", w, poll)
+		}
+		if !(sp < uipi && uipi < poll) {
+			t.Errorf("%s: ordering violated: sp=%.2f uipi=%.2f poll=%.2f", w, sp, uipi, poll)
+		}
+		if poll < 5*sp {
+			t.Errorf("%s: polling (%.2f%%) not ≫ safepoints (%.2f%%); paper says up to 10x", w, poll, sp)
+		}
+	}
+}
+
+func TestWorstCaseCalibration(t *testing.T) {
+	rows := WorstCase([]int{10, 50})
+	short, long := rows[0], rows[1]
+	if long.TrackedCycles < 2000 {
+		t.Errorf("50-load SP chain: tracked max latency %d, paper ≈7000 (thousands expected)", long.TrackedCycles)
+	}
+	if long.TrackedCycles < 5*long.FlushCycles {
+		t.Errorf("tracked (%d) not ≫ flush (%d) in the pathological case (paper: ~10x)",
+			long.TrackedCycles, long.FlushCycles)
+	}
+	if long.TrackedCycles <= short.TrackedCycles {
+		t.Errorf("worst case does not grow with chain length: %d (10) vs %d (50)",
+			short.TrackedCycles, long.TrackedCycles)
+	}
+}
+
+func TestSection2Calibration(t *testing.T) {
+	r := Section2()
+	if r.SignalCycles != 4800 {
+		t.Errorf("signal = %g", r.SignalCycles)
+	}
+	// UIPI receiver is 3x-5x cheaper than signals (§2).
+	if ratio := r.SignalCycles / r.UIPIReceiverCycles; ratio < 3 || ratio > 9 {
+		t.Errorf("signal/UIPI ratio %.1f, paper ≈5-8x at these costs", ratio)
+	}
+	// ...but 6x-9x dearer than polling notification (§2: ≈100 cycles).
+	within(t, "positive poll", r.PollPositiveCycles, 100, 0.25)
+	if ratio := r.UIPIReceiverCycles / r.PollPositiveCycles; ratio < 5 || ratio > 10 {
+		t.Errorf("UIPI/polling ratio %.1f, paper ≈6-9x", ratio)
+	}
+	if r.PollNegativeCycles > 3 {
+		t.Errorf("negative poll = %.2f cycles, should be ≈free", r.PollNegativeCycles)
+	}
+	// The Wasmtime observation: up to ≈50 % slowdown on tight loops.
+	if r.TightLoopPollPct < 30 || r.TightLoopPollPct > 70 {
+		t.Errorf("tight-loop polling tax %.1f%%, paper reports up to ≈50%%", r.TightLoopPollPct)
+	}
+	// The Go proposal's geomean ≈7 %: ours lands in the low single digits
+	// with the same order of magnitude.
+	if r.LoopPollGeomeanPct < 0.5 || r.LoopPollGeomeanPct > 12 {
+		t.Errorf("loop-check geomean %.1f%% implausible vs Go's ≈7%%", r.LoopPollGeomeanPct)
+	}
+}
+
+// TestDuetCoSimulation cross-checks the end-to-end UIPI path with the
+// lockstep two-core Tier-1 co-simulation, which shares no shortcut
+// constants with Table2() (real coherence transfers, real wire timing).
+func TestDuetCoSimulation(t *testing.T) {
+	r := Duet(40)
+	if r.Sends < 35 || r.Delivered < r.Sends-1 {
+		t.Fatalf("duet: %d sends, %d delivered", r.Sends, r.Delivered)
+	}
+	t.Logf("duet: e2e=%.0f arrival=%.0f recvWindow=%.0f", r.MeanEndToEnd, r.MeanArrival, r.MeanRecvWindow)
+	// A paced round trip is cheaper than the paper's tight-loop numbers
+	// (the sender's window has drained, so senduipi's serializing writes
+	// stall less; the receiver's caches are warm between events). The
+	// co-simulation must land in the same regime — hundreds of cycles to
+	// arrival, ≈a thousand end-to-end — without reusing any Table2()
+	// machinery.
+	if r.MeanArrival < 150 || r.MeanArrival > 430 {
+		t.Errorf("duet arrival %.0f outside [150,430] (paper tight-loop: 380)", r.MeanArrival)
+	}
+	if r.MeanEndToEnd < 600 || r.MeanEndToEnd > 1500 {
+		t.Errorf("duet end-to-end %.0f outside [600,1500] (paper tight-loop: 1360)", r.MeanEndToEnd)
+	}
+	if r.MeanRecvWindow < 350 || r.MeanRecvWindow > 900 {
+		t.Errorf("duet receiver window %.0f outside [350,900] (paper: ≈700)", r.MeanRecvWindow)
+	}
+}
+
+// TestSection35Detectors validates the paper's reverse-engineering
+// methodology against cores whose strategy we control: the pointer-chase
+// detector must find drain latency growing with the chain while flush
+// stays flat, and squashed work must scale linearly with interrupt count
+// under flush.
+func TestSection35Detectors(t *testing.T) {
+	rows := S35PointerChase([]int{8, 1024, 131072})
+	small, large := rows[0], rows[len(rows)-1]
+	// Drain latency grows strongly with the working set.
+	if large.DrainCycles < 2*small.DrainCycles {
+		t.Errorf("drain detector flat: %0.f → %.0f cycles", small.DrainCycles, large.DrainCycles)
+	}
+	// Flush latency stays comparatively flat (within 2x across a 2000x
+	// working-set change) and is far below drain at the large end.
+	if large.FlushCycles > 2*small.FlushCycles {
+		t.Errorf("flush latency not flat: %.0f → %.0f cycles", small.FlushCycles, large.FlushCycles)
+	}
+	if large.FlushCycles*3 > large.DrainCycles {
+		t.Errorf("detectors cannot separate strategies: flush %.0f vs drain %.0f",
+			large.FlushCycles, large.DrainCycles)
+	}
+
+	lin := S35Linearity([]int{5, 10, 20, 40})
+	if lin.PerIntr <= 0 {
+		t.Fatalf("no squashed work under flush: %+v", lin)
+	}
+	if lin.Correlation < 0.98 {
+		t.Errorf("squashed uops not linear in interrupt count: r=%.3f %+v", lin.Correlation, lin)
+	}
+}

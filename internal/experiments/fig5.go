@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"xui/internal/core"
+	"xui/internal/cpu"
+	"xui/internal/isa"
+	"xui/internal/mem"
+	"xui/internal/trace"
+)
+
+// Fig5Row is one point of Figure 5: preemption overhead for a workload at
+// a given quantum under one mechanism.
+type Fig5Row struct {
+	Workload    string
+	Method      string
+	QuantumUs   float64
+	OverheadPct float64
+}
+
+// Fig5Workloads are the paper's two programs.
+var Fig5Workloads = []string{"matmul", "base64"}
+
+// Fig5Methods are the three preemption mechanisms compared.
+var Fig5Methods = []string{"polling", "uipi", "xui-safepoint"}
+
+// Concord-style instrumentation density: a check at every loop back-edge /
+// function entry, roughly one per 25 instructions in loop-heavy code.
+const pollCheckEvery = 25
+
+// Safepoint density matches the instrumentation points (safepoints replace
+// checks 1:1 in the modified Concord pass, §6.1).
+const safepointEvery = 25
+
+// CtxSwitchHandler models the user-level scheduler's preemption handler:
+// save callee state, switch stacks, pick next thread — ≈ the 200-cycle
+// user context switch.
+func CtxSwitchHandler() []isa.MicroOp {
+	var ops []isa.MicroOp
+	for i := 0; i < 8; i++ {
+		ops = append(ops,
+			isa.MicroOp{Class: isa.Store, Addr: 0xA000 + uint64(i)*8, BoundaryStart: true},
+			isa.MicroOp{Class: isa.IntAlu, Lat: 8, Dep1: 1, BoundaryStart: true},
+		)
+	}
+	ops = append(ops, isa.MicroOp{Class: isa.IntAlu, Lat: 30, Dep1: 1, WritesSP: true, ReadsSP: true, BoundaryStart: true})
+	return ops
+}
+
+// Fig5 sweeps preemption quantum for each workload and method, returning
+// the slowdown relative to an unpreempted, uninstrumented run. Paper
+// anchors at a 5 µs quantum: safepoints 1.2–1.5 %, UIPI in between,
+// polling 8.5–11 %.
+func Fig5(quantaUs []float64, uopsPerRun uint64) []Fig5Row {
+	var rows []Fig5Row
+	for _, w := range Fig5Workloads {
+		baseCore, _ := NewReceiver(cpu.Flush, trace.ByName(w, 1))
+		base := baseCore.Run(uopsPerRun, uopsPerRun*400)
+		for _, q := range quantaUs {
+			period := uint64(q * 2000)
+			for _, method := range Fig5Methods {
+				cycles := fig5Run(w, method, period, uopsPerRun)
+				over := 100 * (cycles - float64(base.Cycles)) / float64(base.Cycles)
+				rows = append(rows, Fig5Row{Workload: w, Method: method, QuantumUs: q, OverheadPct: over})
+			}
+		}
+	}
+	return rows
+}
+
+func fig5Run(workload, method string, period, uops uint64) float64 {
+	switch method {
+	case "polling":
+		// Concord instrumentation: the poll checks execute regardless of
+		// preemption rate; each positive check (one per quantum) costs a
+		// cross-core line transfer, a mispredicted branch, and the user
+		// context switch.
+		prog := trace.NewPollInstrumented(trace.ByName(workload, 1), pollCheckEvery, FlagAddr)
+		c, _ := NewReceiver(cpu.Flush, prog)
+		total := uops + uops/pollCheckEvery*2
+		res := c.Run(total, total*400)
+		positives := float64(res.Cycles) / float64(period)
+		posCost := float64(core.PollingNotifyCost+core.UserContextSwitch) + float64(cpu.DefaultConfig().FrontEndDepth)
+		return float64(res.Cycles) + positives*posCost
+	case "uipi":
+		c, port := NewReceiver(cpu.Flush, trace.ByName(workload, 1))
+		c.PeriodicInterrupts(period, period, func() cpu.Interrupt {
+			port.MarkRemoteWrite(UPIDAddr)
+			return cpu.Interrupt{Vector: 1, Handler: CtxSwitchHandler()}
+		})
+		res := c.Run(uops, uops*400)
+		return float64(res.Cycles)
+	case "xui-safepoint":
+		cfg := cpu.DefaultConfig()
+		cfg.Strategy = cpu.Tracked
+		cfg.SafepointMode = true
+		cfg.Ucode = Ucode()
+		prog := trace.NewSafepointAnnotated(trace.ByName(workload, 1), safepointEvery)
+		port := &cpu.PrivatePort{H: mem.NewHierarchy(mem.Config{}), SharedCost: mem.LatCrossCore}
+		c := cpu.New(cfg, prog, port)
+		c.PeriodicInterrupts(period, period, func() cpu.Interrupt {
+			return cpu.Interrupt{Vector: 1, SkipNotification: true, Handler: CtxSwitchHandler()}
+		})
+		res := c.Run(uops, uops*400)
+		return float64(res.Cycles)
+	}
+	panic("experiments: unknown fig5 method " + method)
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xui/internal/core"
+	"xui/internal/kernel"
+	"xui/internal/kvstore"
+	"xui/internal/loadgen"
+	"xui/internal/sim"
+	"xui/internal/urt"
+)
+
+// Fig7Config selects one of the three RocksDB/Aspen configurations.
+type Fig7Config struct {
+	Name    string
+	Preempt urt.PreemptMode
+	IPIMech core.Mechanism
+}
+
+// Fig7Configs returns the paper's three lines.
+func Fig7Configs() []Fig7Config {
+	return []Fig7Config{
+		{Name: "no-preempt", Preempt: urt.NoPreempt, IPIMech: core.TrackedIPI},
+		{Name: "uipi-sw-timer", Preempt: urt.UIPITimerCore, IPIMech: core.UIPI},
+		{Name: "xui-kbtimer", Preempt: urt.KBTimer, IPIMech: core.TrackedIPI},
+	}
+}
+
+// Fig7Row is one measured point: tail latency per class at one offered
+// load under one configuration.
+type Fig7Row struct {
+	Config      string
+	OfferedRPS  float64
+	AchievedRPS float64
+	GetP99Us    float64
+	GetP999Us   float64
+	ScanP99Us   float64
+	Completed   uint64
+}
+
+// Fig7 sweeps offered load for each configuration. The workload is the
+// paper's bimodal mix — 99.5 % GET (1.2 µs) / 0.5 % SCAN (580 µs) with
+// Poisson arrivals into an Aspen-like runtime on one server core, 5 µs
+// preemption quantum. The key-value store really executes each request;
+// the simulated service time comes from the calibrated cost model.
+func Fig7(loads []float64, horizon sim.Time) []Fig7Row {
+	var rows []Fig7Row
+	for _, cfg := range Fig7Configs() {
+		for _, load := range loads {
+			rows = append(rows, fig7Point(cfg, load, horizon))
+		}
+	}
+	return rows
+}
+
+const fig7Quantum = 5 * 2000 // 5 µs
+
+func fig7Point(cfg Fig7Config, rps float64, horizon sim.Time) Fig7Row {
+	s := sim.New(1234)
+	nCores := 1
+	if cfg.Preempt == urt.UIPITimerCore {
+		nCores = 2
+	}
+	m, err := core.NewMachine(s, nCores, cfg.IPIMech)
+	if err != nil {
+		panic(err)
+	}
+	k := kernel.New(m)
+	rt, err := urt.New(m, k, urt.Config{
+		Workers: 1,
+		Preempt: cfg.Preempt,
+		Quantum: fig7Quantum,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// A real store pre-populated with ordered keys; each completed request
+	// actually executes against it.
+	store := kvstore.Open(5)
+	for i := 0; i < 20000; i++ {
+		store.Put([]byte(fmt.Sprintf("user%08d", i)), []byte(fmt.Sprintf("profile-%d", i)))
+	}
+	costs := kvstore.DefaultCostModel()
+	rng := sim.NewRNG(77)
+	rec := loadgen.NewRecorder()
+
+	gen, err := loadgen.StartOpenLoop(s, 99, rps, func(now sim.Time, id uint64) {
+		isScan := rng.Bool(0.005)
+		class := "GET"
+		service := costs.SampleGet(rng)
+		if isScan {
+			class = "SCAN"
+			service = costs.SampleScan(rng)
+		}
+		key := []byte(fmt.Sprintf("user%08d", rng.Intn(20000)))
+		rt.Spawn(0, class, service, func(done sim.Time, th *urt.UThread) {
+			// Execute the real operation at completion.
+			if th.Class == "SCAN" {
+				store.Scan(key, 100, func(_, _ []byte) {})
+			} else {
+				store.Get(key)
+			}
+			rec.Record(th.Class, uint64(done-th.Arrived))
+		})
+	})
+	if err != nil {
+		panic(err)
+	}
+	s.RunUntil(horizon)
+	gen.Stop()
+
+	row := Fig7Row{Config: cfg.Name, OfferedRPS: rps}
+	row.Completed = rt.Completed
+	row.AchievedRPS = float64(rt.Completed) / horizon.Seconds()
+	if h := rec.Class("GET"); h != nil {
+		row.GetP99Us = sim.Time(h.Percentile(99)).Micros()
+		row.GetP999Us = sim.Time(h.Percentile(99.9)).Micros()
+	}
+	if h := rec.Class("SCAN"); h != nil {
+		row.ScanP99Us = sim.Time(h.Percentile(99)).Micros()
+	}
+	return row
+}
+
+// Fig7Capacity finds, for each configuration, the highest offered load in
+// loads whose GET p99 stays under sloUs — the "useful throughput" the
+// paper compares (xUI ≈ +10 % over UIPI).
+func Fig7Capacity(rows []Fig7Row, sloUs float64) map[string]float64 {
+	out := map[string]float64{}
+	for _, r := range rows {
+		if r.GetP99Us > 0 && r.GetP99Us <= sloUs && r.OfferedRPS > out[r.Config] {
+			out[r.Config] = r.OfferedRPS
+		}
+	}
+	return out
+}

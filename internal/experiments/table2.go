@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"xui/internal/apic"
+	"xui/internal/cpu"
+	"xui/internal/trace"
+	"xui/internal/uintr"
+)
+
+// Table2Result reproduces Table 2: key performance metrics of UIPIs, in
+// cycles. Paper values: end-to-end 1360, receiver 720, senduipi 383,
+// clui 2, stui 32.
+type Table2Result struct {
+	EndToEnd     float64
+	ReceiverCost float64
+	Senduipi     float64
+	Clui         float64
+	Stui         float64
+}
+
+// PaperTable2 is the paper's measured row, for side-by-side reporting.
+func PaperTable2() Table2Result {
+	return Table2Result{EndToEnd: 1360, ReceiverCost: 720, Senduipi: 383, Clui: 2, Stui: 32}
+}
+
+// Table2 measures the same quantities on the Tier-1 pipeline model, using
+// the paper's methodology: a sender core running a senduipi loop, a
+// receiver core running the rdtsc measurement loop, stock UIPI delivery
+// (flush strategy, full notification path).
+func Table2() Table2Result {
+	send, icr := SenduipiLoopCost(60)
+
+	// Receiver cost: added receiver cycles per UIPI on the rdtsc loop.
+	const period = 20000
+	const uops = 300000
+	base, _ := NewReceiver(cpu.Flush, trace.NewRdtscLoop())
+	rBase := base.Run(uops, uops*400)
+	intr, port := NewReceiver(cpu.Flush, trace.NewRdtscLoop())
+	intr.PeriodicInterrupts(period, period, func() cpu.Interrupt {
+		port.MarkRemoteWrite(UPIDAddr)
+		return cpu.Interrupt{Vector: 1, Handler: MeasurementHandler()}
+	})
+	rIntr := intr.Run(uops, uops*400)
+	n := len(rIntr.Interrupts)
+	recv := 0.0
+	if n > 0 {
+		recv = float64(int64(rIntr.Cycles)-int64(rBase.Cycles)) / float64(n)
+	}
+
+	// End-to-end: senduipi start → measurement handler completes on the
+	// receiver. Arrival = ICR-write completion + bus hop; the receiver
+	// side is the mean Arrive→HandlerDone from the instrumented run.
+	var recvPath float64
+	cnt := 0
+	for _, r := range rIntr.Interrupts {
+		if r.HandlerDone == 0 {
+			continue
+		}
+		recvPath += float64(r.HandlerDone - r.Arrive)
+		cnt++
+	}
+	if cnt > 0 {
+		recvPath /= float64(cnt)
+	}
+	endToEnd := icr + float64(apic.BusLatency) + recvPath
+
+	return Table2Result{
+		EndToEnd:     endToEnd,
+		ReceiverCost: recv,
+		Senduipi:     send,
+		Clui:         uintr.CluiCost,
+		Stui:         uintr.StuiCost,
+	}
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"xui/internal/cpu"
+	"xui/internal/trace"
+)
+
+// WorstCaseRow is one point of the §6.1 maximum-interrupt-latency study:
+// the pipeline is filled with a chain of DRAM-missing loads that
+// ultimately produces the stack-pointer value the delivery microcode
+// needs.
+type WorstCaseRow struct {
+	ChainLen      int
+	TrackedCycles uint64 // arrival → delivery complete, tracked
+	FlushCycles   uint64 // same, flush (squashes the chain)
+}
+
+// WorstCase sweeps the load-chain length. The paper observes ≈7000 cycles
+// worst case for tracking with chains of 50+ loads, an order of magnitude
+// worse than flushing — and calls it "an extreme pathological case".
+func WorstCase(chainLens []int) []WorstCaseRow {
+	var rows []WorstCaseRow
+	for _, n := range chainLens {
+		rows = append(rows, WorstCaseRow{
+			ChainLen:      n,
+			TrackedCycles: worstCaseLatency(cpu.Tracked, n),
+			FlushCycles:   worstCaseLatency(cpu.Flush, n),
+		})
+	}
+	return rows
+}
+
+func worstCaseLatency(s cpu.Strategy, chainLen int) uint64 {
+	// An SP write every chainLen hops ties RSP to a chain of that length.
+	// It is a worst-*case* study: deliver several interrupts at different
+	// chain phases and report the maximum delivery latency observed.
+	prog := trace.NewPointerChase(17, 256<<20, chainLen)
+	c, _ := NewReceiver(s, prog)
+	for i := uint64(1); i <= 12; i++ {
+		// Prime-ish spacing decorrelates arrival phase from chain phase.
+		c.ScheduleInterrupt(10000+i*30013, cpu.Interrupt{
+			Vector: 1, SkipNotification: true, Handler: TinyHandler(),
+		})
+	}
+	res := c.Run(60000, 100_000_000)
+	var max uint64
+	for _, r := range res.Interrupts {
+		if r.DeliveryDone == 0 {
+			continue
+		}
+		if d := r.DeliveryDone - r.Arrive; d > max {
+			max = d
+		}
+	}
+	return max
+}

@@ -1,0 +1,170 @@
+// Package ipc builds the paper's remaining §1 use case — IPC notification
+// and syncing shared data structures — on top of the xui machine model: a
+// single-producer/single-consumer message queue in simulated shared
+// memory whose consumer learns about new messages through a pluggable
+// notification mechanism (busy polling, signals, UIPI, or xUI tracked
+// IPIs).
+//
+// The queue really carries payload bytes; the timing model charges the
+// producer's enqueue + notify costs and the consumer's wakeup + dequeue
+// costs to their cores' accounts, so experiments can weigh latency against
+// burned cycles exactly as §6 does for devices and timers.
+package ipc
+
+import (
+	"fmt"
+
+	"xui/internal/core"
+	"xui/internal/kernel"
+	"xui/internal/sim"
+	"xui/internal/uintr"
+)
+
+// Per-message costs of the ring itself (cache-line writes/reads; the
+// notification mechanism is charged separately).
+const (
+	EnqueueCost sim.Time = 60
+	DequeueCost sim.Time = 60
+)
+
+// Message is one queued item.
+type Message struct {
+	Payload  []byte
+	Enqueued sim.Time
+}
+
+// Queue is the SPSC ring. Create with New; Send from the producer side;
+// messages arrive at the consumer callback.
+type Queue struct {
+	sim      *sim.Simulator
+	m        *core.Machine
+	k        *kernel.Kernel
+	mech     core.Mechanism
+	prodCore int
+	consCore int
+	consumer *kernel.Thread
+	sendIdx  int
+
+	ring     []Message
+	capacity int
+
+	// OnMessage runs on the consumer when a message is dequeued.
+	OnMessage func(now sim.Time, msg Message)
+
+	draining bool
+
+	Sent, Delivered, Dropped, Wakeups uint64
+}
+
+// New builds a queue between producerCore and consumerCore using the given
+// wakeup mechanism. Supported mechanisms: BusyPoll, Signal, UIPI,
+// TrackedIPI (the machine's IPI kind decides which of the last two
+// applies — pass the one matching the machine).
+func New(m *core.Machine, k *kernel.Kernel, producerCore, consumerCore int, mech core.Mechanism, capacity int) (*Queue, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("ipc: capacity %d", capacity)
+	}
+	if producerCore == consumerCore {
+		return nil, fmt.Errorf("ipc: producer and consumer share core %d", producerCore)
+	}
+	q := &Queue{
+		sim:      m.Sim,
+		m:        m,
+		k:        k,
+		mech:     mech,
+		prodCore: producerCore,
+		consCore: consumerCore,
+		capacity: capacity,
+	}
+	switch mech {
+	case core.BusyPoll, core.Signal:
+		// No registration needed.
+	case core.UIPI, core.TrackedIPI:
+		q.consumer = k.NewThread()
+		k.RegisterHandler(q.consumer, func(now sim.Time, _ uintr.Vector, _ core.Mechanism) {
+			q.drain(now)
+		})
+		k.ScheduleOn(q.consumer, consumerCore)
+		idx, err := k.RegisterSender(q.consumer, 1)
+		if err != nil {
+			return nil, err
+		}
+		q.sendIdx = idx
+	default:
+		return nil, fmt.Errorf("ipc: unsupported wakeup mechanism %v", mech)
+	}
+	return q, nil
+}
+
+// Send enqueues payload (copied) and notifies the consumer. It reports
+// false when the ring is full and the message was dropped.
+func (q *Queue) Send(payload []byte) bool {
+	now := q.sim.Now()
+	q.m.Cores[q.prodCore].Account.Charge(core.CatWork, uint64(EnqueueCost))
+	if len(q.ring) >= q.capacity {
+		q.Dropped++
+		return false
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	wasEmpty := len(q.ring) == 0
+	q.ring = append(q.ring, Message{Payload: cp, Enqueued: now})
+	q.Sent++
+
+	switch q.mech {
+	case core.BusyPoll:
+		// The consumer is spinning on the ring's head line: it observes
+		// the write after the cache-to-cache transfer. Spinning cycles are
+		// charged continuously between messages.
+		if wasEmpty {
+			q.Wakeups++
+			q.sim.After(sim.Time(core.PollingNotifyCost), q.drain)
+		}
+	case core.Signal:
+		if wasEmpty && q.k != nil {
+			q.Wakeups++
+			q.m.Cores[q.prodCore].Account.Charge("signal-send", core.SyscallCost)
+			q.sim.After(core.SyscallCost, func(sim.Time) {
+				q.m.Cores[q.consCore].Account.Charge("signal", core.SignalCost)
+				q.sim.After(core.SignalCost, q.drain)
+			})
+		}
+	case core.UIPI, core.TrackedIPI:
+		// senduipi coalesces naturally: while ON is set in the consumer's
+		// UPID no further IPIs are sent.
+		q.Wakeups++
+		if err := q.m.SendUIPI(q.prodCore, q.k.UITT(), q.sendIdx); err != nil {
+			panic(err)
+		}
+	}
+	return true
+}
+
+// drain delivers everything queued, one dequeue cost per message.
+func (q *Queue) drain(now sim.Time) {
+	if q.draining {
+		return
+	}
+	q.draining = true
+	var step func(t sim.Time)
+	step = func(t sim.Time) {
+		if len(q.ring) == 0 {
+			q.draining = false
+			return
+		}
+		msg := q.ring[0]
+		q.ring = q.ring[1:]
+		q.m.Cores[q.consCore].Account.Charge(core.CatWork, uint64(DequeueCost))
+		q.sim.After(DequeueCost, func(done sim.Time) {
+			q.Delivered++
+			if q.OnMessage != nil {
+				q.OnMessage(done, msg)
+			}
+			step(done)
+		})
+	}
+	step(now)
+}
+
+// Len returns the number of queued messages.
+func (q *Queue) Len() int { return len(q.ring) }

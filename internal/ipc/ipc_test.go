@@ -1,0 +1,199 @@
+package ipc
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"xui/internal/core"
+	"xui/internal/kernel"
+	"xui/internal/sim"
+)
+
+func newQ(t *testing.T, mech core.Mechanism, capacity int) (*sim.Simulator, *core.Machine, *Queue) {
+	t.Helper()
+	ipiKind := core.TrackedIPI
+	if mech == core.UIPI {
+		ipiKind = core.UIPI
+	}
+	s := sim.New(1)
+	m, err := core.NewMachine(s, 2, ipiKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(m)
+	q, err := New(m, k, 0, 1, mech, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, m, q
+}
+
+func TestValidation(t *testing.T) {
+	s := sim.New(1)
+	m, _ := core.NewMachine(s, 2, core.TrackedIPI)
+	k := kernel.New(m)
+	if _, err := New(m, k, 0, 0, core.BusyPoll, 8); err == nil {
+		t.Errorf("same-core queue accepted")
+	}
+	if _, err := New(m, k, 0, 1, core.BusyPoll, 0); err == nil {
+		t.Errorf("zero capacity accepted")
+	}
+	if _, err := New(m, k, 0, 1, core.KBTimerIntr, 8); err == nil {
+		t.Errorf("nonsensical wakeup mechanism accepted")
+	}
+}
+
+func TestFIFOAndPayloadIntegrity(t *testing.T) {
+	for _, mech := range []core.Mechanism{core.BusyPoll, core.Signal, core.TrackedIPI} {
+		s, _, q := newQ(t, mech, 64)
+		var got [][]byte
+		q.OnMessage = func(_ sim.Time, m Message) { got = append(got, m.Payload) }
+		var want [][]byte
+		for i := 0; i < 10; i++ {
+			p := []byte(fmt.Sprintf("msg-%02d", i))
+			want = append(want, append([]byte(nil), p...))
+			if !q.Send(p) {
+				t.Fatalf("%v: send %d failed", mech, i)
+			}
+			p[0] = 'X' // caller reuse must not corrupt the queued copy
+		}
+		s.Run()
+		if len(got) != 10 {
+			t.Fatalf("%v: delivered %d", mech, len(got))
+		}
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Errorf("%v: msg %d = %q, want %q", mech, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCapacityAndDrops(t *testing.T) {
+	_, _, q := newQ(t, core.TrackedIPI, 4)
+	okCount := 0
+	for i := 0; i < 6; i++ {
+		if q.Send([]byte{byte(i)}) {
+			okCount++
+		}
+	}
+	if okCount != 4 || q.Dropped != 2 {
+		t.Errorf("sent ok %d dropped %d", okCount, q.Dropped)
+	}
+}
+
+func TestWakeupCoalescing(t *testing.T) {
+	// A burst enqueued back-to-back produces one polling wakeup (and, for
+	// UIPI, one notification IPI thanks to the ON bit).
+	s, m, q := newQ(t, core.BusyPoll, 64)
+	delivered := 0
+	q.OnMessage = func(sim.Time, Message) { delivered++ }
+	for i := 0; i < 8; i++ {
+		q.Send([]byte{byte(i)})
+	}
+	s.Run()
+	if delivered != 8 {
+		t.Fatalf("delivered %d", delivered)
+	}
+	if q.Wakeups != 1 {
+		t.Errorf("wakeups = %d, want 1 (coalesced burst)", q.Wakeups)
+	}
+	_ = m
+}
+
+func TestUIPICoalescesViaONBit(t *testing.T) {
+	s, m, q := newQ(t, core.TrackedIPI, 64)
+	delivered := 0
+	q.OnMessage = func(sim.Time, Message) { delivered++ }
+	for i := 0; i < 8; i++ {
+		q.Send([]byte{byte(i)})
+	}
+	s.Run()
+	if delivered != 8 {
+		t.Fatalf("delivered %d", delivered)
+	}
+	// One IPI crossed the bus for the burst (ON suppressed the rest).
+	if got := m.Bus.Sent; got != 1 {
+		t.Errorf("bus carried %d messages, want 1", got)
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	// Notification latency: polling < tracked < uipi < signal.
+	lat := func(mech core.Mechanism) sim.Time {
+		s, _, q := newQ(t, mech, 8)
+		var at sim.Time
+		q.OnMessage = func(now sim.Time, m Message) { at = now - m.Enqueued }
+		q.Send([]byte("x"))
+		s.Run()
+		return at
+	}
+	poll := lat(core.BusyPoll)
+	tracked := lat(core.TrackedIPI)
+	uipi := lat(core.UIPI)
+	signal := lat(core.Signal)
+	if !(poll < tracked && tracked < uipi && uipi < signal) {
+		t.Errorf("latency ordering violated: poll=%d tracked=%d uipi=%d signal=%d",
+			poll, tracked, uipi, signal)
+	}
+}
+
+func TestCostAccounting(t *testing.T) {
+	s, m, q := newQ(t, core.TrackedIPI, 8)
+	q.Send([]byte("x"))
+	s.Run()
+	if got := m.Cores[0].Account.Get(core.CatWork); got != uint64(EnqueueCost) {
+		t.Errorf("producer work = %d", got)
+	}
+	if got := m.Cores[0].Account.Get(core.CatSend); got == 0 {
+		t.Errorf("producer senduipi not charged")
+	}
+	if got := m.Cores[1].Account.Get(core.CatWork); got != uint64(DequeueCost) {
+		t.Errorf("consumer work = %d", got)
+	}
+	if got := m.Cores[1].Account.Get(core.CatNotify); got == 0 {
+		t.Errorf("consumer delivery not charged")
+	}
+}
+
+// Property: no message is ever lost or reordered below capacity, for any
+// payload set and any supported mechanism.
+func TestNoLossProperty(t *testing.T) {
+	f := func(payloads [][]byte, mechPick uint8) bool {
+		mechs := []core.Mechanism{core.BusyPoll, core.Signal, core.TrackedIPI}
+		mech := mechs[int(mechPick)%len(mechs)]
+		if len(payloads) > 32 {
+			payloads = payloads[:32]
+		}
+		ipiKind := core.TrackedIPI
+		s := sim.New(1)
+		m, _ := core.NewMachine(s, 2, ipiKind)
+		k := kernel.New(m)
+		q, err := New(m, k, 0, 1, mech, 64)
+		if err != nil {
+			return false
+		}
+		var got [][]byte
+		q.OnMessage = func(_ sim.Time, msg Message) { got = append(got, msg.Payload) }
+		for _, p := range payloads {
+			if !q.Send(p) {
+				return false
+			}
+		}
+		s.Run()
+		if len(got) != len(payloads) {
+			return false
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], payloads[i]) {
+				return false
+			}
+		}
+		return q.Delivered == uint64(len(payloads)) && q.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

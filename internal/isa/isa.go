@@ -1,0 +1,210 @@
+// Package isa defines the micro-op level instruction model consumed by the
+// out-of-order pipeline in internal/cpu.
+//
+// The model is trace-driven: workload generators (internal/trace) and the
+// user-interrupt microcode (internal/uintr) produce streams of MicroOps.
+// Dependences are expressed positionally — each micro-op names its producers
+// as "N micro-ops back in the stream" — which lets generators emit unbounded
+// streams without managing architectural register state, while still giving
+// the pipeline real dataflow to schedule around.
+//
+// Two pieces of architectural state get special treatment because the paper
+// depends on them: the stack pointer (the worst-case tracked-interrupt
+// latency in §6.1 arises from interrupt-delivery micro-ops that *read* RSP
+// while the program keeps RSP behind a long load chain), and the safepoint
+// prefix (§4.4).
+package isa
+
+import "fmt"
+
+// OpClass categorises a micro-op for functional-unit selection and latency.
+type OpClass uint8
+
+const (
+	// Nop occupies ROB/decode slots but no functional unit.
+	Nop OpClass = iota
+	// IntAlu is a 1-cycle integer operation.
+	IntAlu
+	// IntMult is a multi-cycle integer multiply.
+	IntMult
+	// FPAlu is a floating-point add-class operation.
+	FPAlu
+	// FPMult is a floating-point multiply/divide-class operation.
+	FPMult
+	// Load reads memory; latency comes from the cache model.
+	Load
+	// Store writes memory; retires through the store queue.
+	Store
+	// Branch is a conditional or indirect branch.
+	Branch
+	// Serialize models a serializing micro-op (e.g. a WRMSR): it may not
+	// issue until all older micro-ops have committed, and nothing younger
+	// issues until it completes. senduipi's ICR write is the paper's
+	// example — its 279 stall cycles come from exactly this.
+	Serialize
+	// nOpClasses bounds iteration over classes.
+	nOpClasses
+)
+
+// NumClasses is the number of distinct op classes.
+const NumClasses = int(nOpClasses)
+
+func (c OpClass) String() string {
+	switch c {
+	case Nop:
+		return "nop"
+	case IntAlu:
+		return "alu"
+	case IntMult:
+		return "mul"
+	case FPAlu:
+		return "fpalu"
+	case FPMult:
+		return "fpmul"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Branch:
+		return "branch"
+	case Serialize:
+		return "serialize"
+	}
+	return fmt.Sprintf("opclass(%d)", uint8(c))
+}
+
+// Source tags where in the machine a micro-op originated. The tracked-
+// interrupt hardware adds exactly this bit per ROB entry (paper §4.2, "bill
+// of materials") to know when the interrupt path has committed.
+type Source uint8
+
+const (
+	// SrcProgram is normal program execution.
+	SrcProgram Source = iota
+	// SrcIntrUcode is the interrupt notification-processing or delivery
+	// microcode injected from the MSROM.
+	SrcIntrUcode
+	// SrcHandler is the body of the user-level interrupt handler.
+	SrcHandler
+)
+
+func (s Source) String() string {
+	switch s {
+	case SrcProgram:
+		return "program"
+	case SrcIntrUcode:
+		return "ucode"
+	case SrcHandler:
+		return "handler"
+	}
+	return fmt.Sprintf("source(%d)", uint8(s))
+}
+
+// MicroOp is one scheduling unit. The zero value is a harmless Nop.
+type MicroOp struct {
+	// Class selects the functional unit and base latency.
+	Class OpClass
+	// Lat overrides the class's default execution latency when nonzero.
+	// Microcode routines use it to carry calibrated per-op costs.
+	Lat uint16
+	// Dep1 and Dep2 are backwards distances (in micro-ops, within the same
+	// stream) to producer micro-ops; 0 means no dependence. A distance
+	// pointing beyond the window of in-flight micro-ops is treated as
+	// already-satisfied.
+	Dep1, Dep2 uint32
+	// Addr is the byte address touched by Load/Store micro-ops.
+	Addr uint64
+	// Shared marks Load/Store micro-ops that touch a cross-core shared
+	// notification line (UPID, poll flag); timing then comes from the
+	// coherence model rather than the private hierarchy.
+	Shared bool
+	// Taken and Mispredict describe Branch micro-ops. Mispredict means the
+	// front-end followed the wrong path and the branch triggers a squash
+	// when it resolves.
+	Taken, Mispredict bool
+	// BoundaryStart marks the first micro-op of a macro-instruction.
+	// Interrupts are delivered only at such boundaries (§4.2).
+	BoundaryStart bool
+	// Safepoint marks micro-ops of a macro-instruction carrying the
+	// safepoint prefix (§4.4); with safepoint mode enabled, interrupts are
+	// delivered only at a BoundaryStart that is also a Safepoint.
+	Safepoint bool
+	// FetchBarrier marks an op past which the front-end cannot fetch until
+	// the op executes — microcoded indirect jumps (the delivery routine's
+	// jump through UINT_HANDLER, uiret's return through the popped frame)
+	// have no predictor coverage, so fetch stalls until they resolve.
+	FetchBarrier bool
+	// WritesSP / ReadsSP track the stack-pointer register explicitly; the
+	// interrupt delivery microcode pushes to the stack and therefore
+	// ReadsSP (§6.1 worst-case experiment).
+	WritesSP, ReadsSP bool
+	// Source is program / interrupt-ucode / handler.
+	Source Source
+}
+
+// Stream produces micro-ops. Next returns ok=false when the stream ends;
+// workload generators usually never end and the pipeline stops on an
+// instruction budget instead.
+type Stream interface {
+	// Name identifies the workload for reports.
+	Name() string
+	// Next returns the next micro-op.
+	Next() (MicroOp, bool)
+}
+
+// SliceStream adapts a fixed []MicroOp into a Stream.
+type SliceStream struct {
+	name string
+	ops  []MicroOp
+	pos  int
+}
+
+// NewSliceStream wraps ops.
+func NewSliceStream(name string, ops []MicroOp) *SliceStream {
+	return &SliceStream{name: name, ops: ops}
+}
+
+// Name implements Stream.
+func (s *SliceStream) Name() string { return s.name }
+
+// Next implements Stream.
+func (s *SliceStream) Next() (MicroOp, bool) {
+	if s.pos >= len(s.ops) {
+		return MicroOp{}, false
+	}
+	op := s.ops[s.pos]
+	s.pos++
+	return op, true
+}
+
+// Reset rewinds the stream.
+func (s *SliceStream) Reset() { s.pos = 0 }
+
+// Routine is an MSROM microcode routine: a fixed micro-op sequence injected
+// into the pipeline (interrupt notification processing, interrupt delivery,
+// senduipi, uiret, ...). Ops are templates; the pipeline stamps Source when
+// injecting.
+type Routine struct {
+	// Name identifies the routine in timelines.
+	Name string
+	// Ops is the template sequence.
+	Ops []MicroOp
+}
+
+// Len returns the number of micro-ops in the routine.
+func (r *Routine) Len() int { return len(r.Ops) }
+
+// Validate checks internal consistency of a routine (dependences must point
+// within the routine; the first op must be a boundary start so the pipeline
+// can treat the routine as one macro operation).
+func (r *Routine) Validate() error {
+	if len(r.Ops) == 0 {
+		return fmt.Errorf("isa: routine %q is empty", r.Name)
+	}
+	for i, op := range r.Ops {
+		if op.Dep1 > uint32(i) || op.Dep2 > uint32(i) {
+			return fmt.Errorf("isa: routine %q op %d dependence reaches before routine start", r.Name, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpClassStrings(t *testing.T) {
+	seen := map[string]OpClass{}
+	for c := OpClass(0); int(c) < NumClasses; c++ {
+		s := c.String()
+		if s == "" || strings.HasPrefix(s, "opclass(") {
+			t.Errorf("class %d has no name", c)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("classes %d and %d share name %q", prev, c, s)
+		}
+		seen[s] = c
+	}
+	if got := OpClass(200).String(); !strings.HasPrefix(got, "opclass(") {
+		t.Errorf("unknown class string = %q", got)
+	}
+}
+
+func TestSourceStrings(t *testing.T) {
+	for _, s := range []Source{SrcProgram, SrcIntrUcode, SrcHandler} {
+		if str := s.String(); strings.HasPrefix(str, "source(") {
+			t.Errorf("source %d has no name", s)
+		}
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	ops := []MicroOp{{Class: IntAlu}, {Class: Load, Addr: 64}, {Class: Branch, Taken: true}}
+	s := NewSliceStream("demo", ops)
+	if s.Name() != "demo" {
+		t.Errorf("name = %q", s.Name())
+	}
+	var got []MicroOp
+	for {
+		op, ok := s.Next()
+		if !ok {
+			break
+		}
+		got = append(got, op)
+	}
+	if len(got) != 3 {
+		t.Fatalf("streamed %d ops, want 3", len(got))
+	}
+	if got[1].Addr != 64 || got[2].Class != Branch {
+		t.Errorf("stream corrupted ops: %+v", got)
+	}
+	if _, ok := s.Next(); ok {
+		t.Errorf("exhausted stream returned ok")
+	}
+	s.Reset()
+	if op, ok := s.Next(); !ok || op.Class != IntAlu {
+		t.Errorf("reset did not rewind")
+	}
+}
+
+func TestRoutineValidate(t *testing.T) {
+	good := &Routine{Name: "ok", Ops: []MicroOp{
+		{Class: Load, BoundaryStart: true},
+		{Class: IntAlu, Dep1: 1},
+		{Class: Store, Dep1: 1, Dep2: 2},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid routine rejected: %v", err)
+	}
+	if good.Len() != 3 {
+		t.Errorf("len = %d, want 3", good.Len())
+	}
+
+	empty := &Routine{Name: "empty"}
+	if err := empty.Validate(); err == nil {
+		t.Errorf("empty routine accepted")
+	}
+
+	escape := &Routine{Name: "escape", Ops: []MicroOp{
+		{Class: IntAlu, Dep1: 1}, // points before routine start
+	}}
+	if err := escape.Validate(); err == nil {
+		t.Errorf("routine with escaping dependence accepted")
+	}
+}
+
+func TestZeroMicroOpIsNop(t *testing.T) {
+	var op MicroOp
+	if op.Class != Nop || op.Dep1 != 0 || op.Mispredict || op.Source != SrcProgram {
+		t.Errorf("zero MicroOp is not a plain program nop: %+v", op)
+	}
+}

@@ -1,0 +1,294 @@
+// Package kernel models the operating-system half of the UIPI/xUI contract
+// at event level: the registration syscalls that set up UPIDs and UITT
+// entries, SN-bit management and slow-path reposting across context
+// switches, KB_Timer multiplexing, interrupt-forwarding registration with
+// DUPID capture, and the conventional timer/signal services (setitimer,
+// nanosleep) whose costs Figure 6 and Figure 9 measure.
+package kernel
+
+import (
+	"fmt"
+
+	"xui/internal/core"
+	"xui/internal/sim"
+	"xui/internal/uintr"
+)
+
+// SlowPathCost is the kernel-side cost of capturing a user interrupt that
+// missed its target thread (conventional interrupt entry, bookkeeping,
+// IRET) — charged per slow-path event.
+const SlowPathCost sim.Time = 2400
+
+// Handler is a user-level interrupt handler as seen by the kernel API.
+type Handler func(now sim.Time, vector uintr.Vector, mech core.Mechanism)
+
+// Thread is a kernel thread (the unit UIPI addresses).
+type Thread struct {
+	ID      int
+	kern    *Kernel
+	upid    *uintr.UPID
+	handler Handler
+
+	coreID  int // core the thread is running on, -1 when descheduled
+	kbState core.KBTimerState
+	kbSaved bool
+
+	// Forwarded device vectors owned by this thread, and the DUPID that
+	// captures them while it is descheduled (§4.5).
+	fwdMask [4]uint64
+	dupid   [4]uint64
+
+	// pendingRepost records that UIPIs were captured by the slow path and
+	// must be reposted (as a self-IPI) when the thread next runs.
+	pendingRepost bool
+
+	// SlowDeliveries counts events that took the kernel slow path.
+	SlowDeliveries uint64
+}
+
+// UPID returns the thread's descriptor (nil before RegisterHandler).
+func (t *Thread) UPID() *uintr.UPID { return t.upid }
+
+// Running reports whether the thread is on a core.
+func (t *Thread) Running() bool { return t.coreID >= 0 }
+
+// Kernel is the machine-wide OS model. It assumes a single process (one
+// UITT), which is all the paper's experiments need; the structures
+// generalise by instantiating one Kernel per process.
+type Kernel struct {
+	M    *core.Machine
+	Sim  *sim.Simulator
+	uitt uintr.UITT
+
+	threads []*Thread
+	// running[coreID] is the thread currently installed on that core.
+	running []*Thread
+	// skyloft, when non-nil, is the active §7 timer hack; it disables
+	// ordinary UIPI sends and OS interval timers.
+	skyloft *SkyloftTimer
+	// fwdOwner maps each forwarded vector to its owning thread (§4.5).
+	fwdOwner map[uint8]*Thread
+
+	nextUPIDAddr uint64
+}
+
+// New builds a kernel over the machine, installing its interrupt hooks on
+// every core.
+func New(m *core.Machine) *Kernel {
+	k := &Kernel{
+		M:            m,
+		Sim:          m.Sim,
+		running:      make([]*Thread, len(m.Cores)),
+		nextUPIDAddr: 0xF000_0000,
+	}
+	for _, v := range m.Cores {
+		v := v
+		v.OnKernelInterrupt = func(now sim.Time, vector uint8) {
+			k.kernelInterrupt(v, now, vector)
+		}
+	}
+	return k
+}
+
+// UITT returns the process's sender table.
+func (k *Kernel) UITT() *uintr.UITT { return &k.uitt }
+
+// NewThread creates a descheduled kernel thread.
+func (k *Kernel) NewThread() *Thread {
+	t := &Thread{ID: len(k.threads), kern: k, coreID: -1}
+	k.threads = append(k.threads, t)
+	return t
+}
+
+// RegisterHandler is the register_handler(...) syscall: it allocates the
+// thread's UPID and records the user handler to invoke on delivery.
+func (k *Kernel) RegisterHandler(t *Thread, h Handler) *uintr.UPID {
+	if t.upid == nil {
+		t.upid = &uintr.UPID{NV: core.UINV, Addr: k.nextUPIDAddr}
+		k.nextUPIDAddr += 64
+		t.upid.Suppress() // descheduled until ScheduleOn
+	}
+	t.handler = h
+	return t.upid
+}
+
+// RegisterSender is the register_sender(...) syscall: it allocates a UITT
+// entry targeting t with the given user vector and returns the senduipi
+// operand.
+func (k *Kernel) RegisterSender(t *Thread, v uintr.Vector) (int, error) {
+	if t.upid == nil {
+		return 0, fmt.Errorf("kernel: thread %d has no registered handler", t.ID)
+	}
+	if k.skyloft != nil {
+		return 0, fmt.Errorf("kernel: skyloft timer hack active; UINV is overloaded and ordinary UIPIs cannot be disambiguated (§7)")
+	}
+	return k.uitt.Register(t.upid, v), nil
+}
+
+// Vector-space bounds for interrupt forwarding (§4.5): forwarded vectors
+// share the core's conventional 256-entry space with exceptions (0–31) and
+// kernel-reserved vectors, which is exactly the limitation the paper notes
+// ("restricts the number of device/user pairs that can be supported").
+const (
+	// FirstForwardableVector is the lowest vector available to devices.
+	FirstForwardableVector = 0x20
+	// LastForwardableVector is the highest.
+	LastForwardableVector = 0xFF
+)
+
+// RegisterForward maps a device vector to the thread (§4.5): the kernel
+// enables forwarding for the vector on every core and adds it to the
+// thread's active mask, applied whenever the thread runs. It enforces the
+// shared vector space: exception vectors, the UIPI notification vector and
+// vectors already owned by another thread are rejected.
+func (k *Kernel) RegisterForward(t *Thread, vector uint8) error {
+	if vector < FirstForwardableVector {
+		return fmt.Errorf("kernel: vector %#x is in the exception range", vector)
+	}
+	if vector == core.UINV {
+		return fmt.Errorf("kernel: vector %#x is the UIPI notification vector", vector)
+	}
+	if owner, taken := k.fwdOwner[vector]; taken && owner != t {
+		return fmt.Errorf("kernel: vector %#x already forwarded to thread %d (§4.5: the vector space is shared)", vector, owner.ID)
+	}
+	if k.fwdOwner == nil {
+		k.fwdOwner = make(map[uint8]*Thread)
+	}
+	k.fwdOwner[vector] = t
+	t.fwdMask[vector>>6] |= 1 << (vector & 63)
+	for _, v := range k.M.Cores {
+		v.APIC.EnableForwarding(vector)
+	}
+	if t.coreID >= 0 {
+		k.M.Cores[t.coreID].APIC.ActivateVector(vector)
+	}
+	return nil
+}
+
+// AllocForwardVector picks a free forwardable vector for the thread, or
+// fails when the space is exhausted — the §4.5 scalability ceiling.
+func (k *Kernel) AllocForwardVector(t *Thread) (uint8, error) {
+	for v := FirstForwardableVector; v <= LastForwardableVector; v++ {
+		vec := uint8(v)
+		if vec == core.UINV {
+			continue
+		}
+		if _, taken := k.fwdOwner[vec]; taken {
+			continue
+		}
+		if err := k.RegisterForward(t, vec); err != nil {
+			return 0, err
+		}
+		return vec, nil
+	}
+	return 0, fmt.Errorf("kernel: forwardable vector space exhausted (%d device/user pairs max, §4.5)",
+		LastForwardableVector-FirstForwardableVector) // one slot is UINV
+}
+
+// ScheduleOn installs t on the core: UPID NDST updated, SN cleared,
+// captured interrupts reposted, KB_Timer state restored, forwarding mask
+// activated. Any thread already on the core is descheduled first.
+func (k *Kernel) ScheduleOn(t *Thread, coreID int) {
+	if prev := k.running[coreID]; prev != nil && prev != t {
+		k.Deschedule(prev)
+	}
+	v := k.M.Cores[coreID]
+	t.coreID = coreID
+	k.running[coreID] = t
+
+	if t.upid != nil {
+		t.upid.NDST = uint32(coreID)
+		t.upid.Unsuppress()
+		v.UPID = t.upid
+		v.Handler = func(now sim.Time, vec uintr.Vector, mech core.Mechanism) {
+			if t.handler != nil {
+				t.handler(now, vec, mech)
+			}
+		}
+		if t.pendingRepost || t.upid.Pending() {
+			t.pendingRepost = false
+			// Repost as a self-UIPI through the local APIC (§3.2).
+			v.APIC.SelfIPI(core.UINV)
+		}
+	}
+	// Deliver device vectors captured in the DUPID, then activate the mask.
+	for w := 0; w < 4; w++ {
+		bits := t.dupid[w]
+		t.dupid[w] = 0
+		for bits != 0 {
+			b := bits & (-bits)
+			vec := uint8(w*64 + trailingZeros(b))
+			bits &^= b
+			v.APIC.SelfIPI(vec)
+		}
+	}
+	v.APIC.SetActiveMask(t.fwdMask)
+	if t.kbSaved {
+		v.KBT.Restore(t.kbState)
+		t.kbSaved = false
+	}
+}
+
+// Deschedule removes t from its core: SN set (halting sender IPIs),
+// KB_Timer state saved, forwarding mask cleared.
+func (k *Kernel) Deschedule(t *Thread) {
+	if t.coreID < 0 {
+		return
+	}
+	v := k.M.Cores[t.coreID]
+	if t.upid != nil {
+		t.upid.Suppress()
+	}
+	t.kbState = v.KBT.Save()
+	t.kbSaved = true
+	v.KBT.Clear()
+	v.UPID = nil
+	v.Handler = nil
+	v.APIC.SetActiveMask([4]uint64{})
+	k.running[t.coreID] = nil
+	t.coreID = -1
+}
+
+// kernelInterrupt is the trap path: UIPI notifications and forwarded
+// vectors that missed their thread are captured for later repost.
+func (k *Kernel) kernelInterrupt(v *core.VCore, now sim.Time, vector uint8) {
+	v.Account.Charge("kernel", uint64(SlowPathCost))
+	if vector == core.UINV {
+		// A notification for a thread that is not (or no longer) current:
+		// find the owner by posted state and mark for repost.
+		for _, t := range k.threads {
+			if t.upid != nil && t.upid.Pending() && !t.Running() {
+				t.pendingRepost = true
+				t.SlowDeliveries++
+			}
+		}
+		return
+	}
+	// A forwarded device vector whose owner is off-core: capture in the
+	// owner's DUPID.
+	for _, t := range k.threads {
+		if t.fwdMask[vector>>6]&(1<<(vector&63)) != 0 {
+			if t.Running() {
+				// Owner is running but UIF was clear; redeliver shortly.
+				vec := vector
+				tv := k.M.Cores[t.coreID]
+				k.Sim.After(core.DeliveryOnlyCost, func(sim.Time) {
+					tv.APIC.SelfIPI(vec)
+				})
+			} else {
+				t.dupid[vector>>6] |= 1 << (vector & 63)
+				t.SlowDeliveries++
+			}
+			return
+		}
+	}
+}
+
+func trailingZeros(b uint64) int {
+	n := 0
+	for b&1 == 0 {
+		b >>= 1
+		n++
+	}
+	return n
+}

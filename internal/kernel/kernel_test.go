@@ -1,0 +1,458 @@
+package kernel
+
+import (
+	"testing"
+
+	"xui/internal/apic"
+	"xui/internal/core"
+	"xui/internal/sim"
+	"xui/internal/uintr"
+)
+
+func newKM(t *testing.T, n int) (*sim.Simulator, *core.Machine, *Kernel) {
+	t.Helper()
+	s := sim.New(1)
+	m, err := core.NewMachine(s, n, core.TrackedIPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, m, New(m)
+}
+
+func TestRegisterAndDeliver(t *testing.T) {
+	s, m, k := newKM(t, 2)
+	recv := k.NewThread()
+	delivered := 0
+	k.RegisterHandler(recv, func(now sim.Time, v uintr.Vector, mech core.Mechanism) {
+		if v != 7 {
+			t.Errorf("vector %d", v)
+		}
+		delivered++
+	})
+	idx, err := k.RegisterSender(recv, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.ScheduleOn(recv, 1)
+	if err := m.SendUIPI(0, k.UITT(), idx); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered %d", delivered)
+	}
+}
+
+func TestRegisterSenderRequiresHandler(t *testing.T) {
+	_, _, k := newKM(t, 1)
+	th := k.NewThread()
+	if _, err := k.RegisterSender(th, 1); err == nil {
+		t.Errorf("RegisterSender succeeded without a handler")
+	}
+}
+
+func TestSlowPathRepostOnReschedule(t *testing.T) {
+	s, m, k := newKM(t, 2)
+	recv := k.NewThread()
+	delivered := 0
+	k.RegisterHandler(recv, func(sim.Time, uintr.Vector, core.Mechanism) { delivered++ })
+	idx, _ := k.RegisterSender(recv, 3)
+
+	// Thread starts descheduled (SN set at registration): posting is
+	// suppressed, nothing delivered.
+	if err := m.SendUIPI(0, k.UITT(), idx); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if delivered != 0 {
+		t.Fatalf("delivered while descheduled")
+	}
+	if !recv.UPID().Pending() {
+		t.Fatalf("posted vector lost while suppressed")
+	}
+
+	// Reschedule: the kernel must repost and the handler runs.
+	k.ScheduleOn(recv, 1)
+	s.Run()
+	if delivered != 1 {
+		t.Errorf("repost on reschedule delivered %d", delivered)
+	}
+}
+
+func TestDeschedulePreservesKBTimer(t *testing.T) {
+	s, m, k := newKM(t, 1)
+	th := k.NewThread()
+	fires := 0
+	k.RegisterHandler(th, func(sim.Time, uintr.Vector, core.Mechanism) { fires++ })
+	k.ScheduleOn(th, 0)
+	m.Cores[0].KBT.Enable(2)
+	if err := m.Cores[0].KBT.Set(10000, OneShotMode); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(2000)
+	k.Deschedule(th)
+	s.RunUntil(20000) // deadline passes off-core; timer must not fire
+	if fires != 0 {
+		t.Fatalf("timer fired while descheduled")
+	}
+	k.ScheduleOn(th, 0) // restore delivers the missed deadline
+	s.RunUntil(25000)
+	if fires != 1 {
+		t.Errorf("missed deadline delivered %d times", fires)
+	}
+}
+
+// OneShotMode aliases for readability in tests.
+const OneShotMode = core.OneShot
+
+func TestForwardingThroughKernel(t *testing.T) {
+	s, m, k := newKM(t, 1)
+	th := k.NewThread()
+	var mechs []core.Mechanism
+	k.RegisterHandler(th, func(_ sim.Time, _ uintr.Vector, mech core.Mechanism) {
+		mechs = append(mechs, mech)
+	})
+	if err := k.RegisterForward(th, 0x30); err != nil {
+		t.Fatal(err)
+	}
+
+	// Device fires while the thread is descheduled → DUPID capture.
+	m.IOAPIC.Program(1, apic.Redirection{Dest: 0, Vector: 0x30})
+	_ = m.IOAPIC.Assert(1)
+	s.Run()
+	if len(mechs) != 0 {
+		t.Fatalf("delivered while descheduled: %v", mechs)
+	}
+	if th.SlowDeliveries != 1 {
+		t.Fatalf("slow deliveries = %d", th.SlowDeliveries)
+	}
+
+	// Reschedule → captured vector delivered via the fast path.
+	k.ScheduleOn(th, 0)
+	s.Run()
+	if len(mechs) != 1 || mechs[0] != core.ForwardedIntr {
+		t.Fatalf("DUPID redelivery: %v", mechs)
+	}
+
+	// Running → direct fast path.
+	_ = m.IOAPIC.Assert(1)
+	s.Run()
+	if len(mechs) != 2 {
+		t.Errorf("running-thread forwarded delivery missing: %v", mechs)
+	}
+}
+
+func TestScheduleOnDeschedulesPrevious(t *testing.T) {
+	_, _, k := newKM(t, 1)
+	a, b := k.NewThread(), k.NewThread()
+	k.RegisterHandler(a, func(sim.Time, uintr.Vector, core.Mechanism) {})
+	k.RegisterHandler(b, func(sim.Time, uintr.Vector, core.Mechanism) {})
+	k.ScheduleOn(a, 0)
+	k.ScheduleOn(b, 0)
+	if a.Running() {
+		t.Errorf("previous thread still running")
+	}
+	if !b.Running() || b.coreID != 0 {
+		t.Errorf("new thread not installed")
+	}
+	if !a.UPID().SN {
+		t.Errorf("descheduled thread's SN not set")
+	}
+	if b.UPID().SN {
+		t.Errorf("running thread's SN still set")
+	}
+}
+
+func TestSetitimerChargesSignalCost(t *testing.T) {
+	s, m, k := newKM(t, 1)
+	calls := 0
+	it, err := k.Setitimer(0, 10000, func(sim.Time) { calls++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(50000 + core.SignalCost)
+	it.Stop()
+	if calls != 5 {
+		t.Fatalf("itimer fired %d, want 5", calls)
+	}
+	if got := m.Cores[0].Account.Get("os-timer"); got != 5*core.SignalCost {
+		t.Errorf("charged %d, want %d", got, 5*core.SignalCost)
+	}
+	before := it.Expiries
+	s.RunUntil(100000)
+	if it.Expiries != before {
+		t.Errorf("stopped itimer kept firing")
+	}
+}
+
+func TestSetitimerClampsPeriod(t *testing.T) {
+	s, _, k := newKM(t, 1)
+	calls := 0
+	if _, err := k.Setitimer(0, 1, func(sim.Time) { calls++ }); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(MinItimerPeriod * 3)
+	if calls > 3 {
+		t.Errorf("itimer finer than the OS limit: %d calls", calls)
+	}
+	if _, err := k.Setitimer(0, 0, nil); err == nil {
+		t.Errorf("zero interval accepted")
+	}
+}
+
+func TestNanosleep(t *testing.T) {
+	s, m, k := newKM(t, 1)
+	var woke sim.Time
+	wake := k.Nanosleep(0, 10000, func(now sim.Time) { woke = now })
+	s.Run()
+	if woke != wake || woke != 10000+core.OSContextSwitch {
+		t.Errorf("woke at %d, want %d", woke, 10000+core.OSContextSwitch)
+	}
+	if m.Cores[0].Account.Get("os-timer") != core.OSContextSwitch {
+		t.Errorf("nanosleep charge wrong")
+	}
+}
+
+func TestSignalThread(t *testing.T) {
+	s, m, k := newKM(t, 2)
+	th := k.NewThread()
+	k.RegisterHandler(th, func(sim.Time, uintr.Vector, core.Mechanism) {})
+	if err := k.SignalThread(0, th, func(sim.Time) {}); err == nil {
+		t.Errorf("signal to descheduled thread accepted")
+	}
+	k.ScheduleOn(th, 1)
+	ran := false
+	var at sim.Time
+	if err := k.SignalThread(0, th, func(now sim.Time) { ran = true; at = now }); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if !ran {
+		t.Fatal("signal handler never ran")
+	}
+	if at != core.SyscallCost+core.SignalCost {
+		t.Errorf("signal delivered at %d, want %d", at, core.SyscallCost+core.SignalCost)
+	}
+	if m.Cores[1].Account.Get("signal") != core.SignalCost {
+		t.Errorf("receiver charge wrong")
+	}
+}
+
+func TestSkyloftTimerHack(t *testing.T) {
+	s, m, k := newKM(t, 1)
+	th := k.NewThread()
+	ticks := 0
+	k.RegisterHandler(th, func(_ sim.Time, v uintr.Vector, mech core.Mechanism) {
+		if v != 5 || mech != core.UIPI {
+			t.Errorf("tick vector %d mech %v", v, mech)
+		}
+		ticks++
+	})
+
+	// Requires a running registered thread.
+	if _, err := k.EnableSkyloftTimer(0, 10000, 5); err == nil {
+		t.Fatalf("hack enabled without a running thread")
+	}
+	k.ScheduleOn(th, 0)
+	st, err := k.EnableSkyloftTimer(0, 10000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.SkyloftActive() {
+		t.Fatalf("hack not active")
+	}
+	// Casualty 1: the kernel lost the APIC timer.
+	if _, err := k.Setitimer(0, 10000, func(sim.Time) {}); err == nil {
+		t.Errorf("setitimer succeeded while skyloft owns the timer")
+	}
+	// Casualty 2: ordinary UIPIs can no longer be set up.
+	if _, err := k.RegisterSender(th, 1); err == nil {
+		t.Errorf("register_sender succeeded with UINV overloaded")
+	}
+	// Double-enable rejected.
+	if _, err := k.EnableSkyloftTimer(0, 10000, 5); err == nil {
+		t.Errorf("second skyloft timer accepted")
+	}
+
+	s.RunUntil(52000)
+	if ticks != 5 {
+		t.Errorf("ticks = %d, want 5", ticks)
+	}
+	// Each tick cost a full UIPI delivery + a senduipi re-arm — the
+	// baseline the KB_Timer's 105 cycles replaces.
+	wantNotify := uint64(5 * core.UIPIReceiverCost)
+	if got := m.Cores[0].Account.Get(core.CatNotify); got != wantNotify {
+		t.Errorf("notify charge %d, want %d", got, wantNotify)
+	}
+	if got := m.Cores[0].Account.Get(core.CatSend); got != 5*core.SenduipiCost {
+		t.Errorf("re-arm charge %d", got)
+	}
+
+	st.Stop()
+	if k.SkyloftActive() {
+		t.Errorf("still active after Stop")
+	}
+	if _, err := k.Setitimer(0, 10000, func(sim.Time) {}); err != nil {
+		t.Errorf("setitimer still blocked after Stop: %v", err)
+	}
+	before := ticks
+	s.RunUntil(200000)
+	if ticks != before {
+		t.Errorf("stopped skyloft timer kept ticking")
+	}
+}
+
+func TestForwardVectorSpace(t *testing.T) {
+	_, _, k := newKM(t, 1)
+	a, b := k.NewThread(), k.NewThread()
+	k.RegisterHandler(a, func(sim.Time, uintr.Vector, core.Mechanism) {})
+	k.RegisterHandler(b, func(sim.Time, uintr.Vector, core.Mechanism) {})
+
+	// Reserved ranges rejected.
+	if err := k.RegisterForward(a, 0x08); err == nil {
+		t.Errorf("exception vector accepted")
+	}
+	if err := k.RegisterForward(a, core.UINV); err == nil {
+		t.Errorf("UINV accepted for forwarding")
+	}
+	// Cross-thread double assignment rejected; same-thread re-register ok.
+	if err := k.RegisterForward(a, 0x40); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RegisterForward(a, 0x40); err != nil {
+		t.Errorf("idempotent re-register failed: %v", err)
+	}
+	if err := k.RegisterForward(b, 0x40); err == nil {
+		t.Errorf("vector handed to two threads")
+	}
+
+	// Exhaust the space: 0x20..0xFF minus UINV minus the one taken = 222.
+	got := 0
+	for {
+		if _, err := k.AllocForwardVector(b); err != nil {
+			break
+		}
+		got++
+	}
+	want := int(LastForwardableVector) - FirstForwardableVector + 1 - 2 // UINV + 0x40
+	if got != want {
+		t.Errorf("allocated %d vectors before exhaustion, want %d", got, want)
+	}
+}
+
+func TestThreadMigrationUpdatesNDST(t *testing.T) {
+	// §3.2: "to migrate a thread to a different core, the OS simply
+	// updates [NDST]". A send after migration must land on the new core.
+	s, m, k := newKM(t, 3)
+	th := k.NewThread()
+	delivered := 0
+	k.RegisterHandler(th, func(sim.Time, uintr.Vector, core.Mechanism) { delivered++ })
+	idx, _ := k.RegisterSender(th, 2)
+
+	k.ScheduleOn(th, 1)
+	if th.UPID().NDST != 1 {
+		t.Fatalf("NDST = %d after schedule on core 1", th.UPID().NDST)
+	}
+	_ = m.SendUIPI(0, k.UITT(), idx)
+	s.Run()
+	if delivered != 1 || m.Cores[1].Delivered[core.TrackedIPI] != 1 {
+		t.Fatalf("pre-migration delivery: handler=%d core1=%v", delivered, m.Cores[1].Delivered)
+	}
+
+	// Migrate to core 2 and send again.
+	k.ScheduleOn(th, 2)
+	if th.UPID().NDST != 2 {
+		t.Fatalf("NDST = %d after migration", th.UPID().NDST)
+	}
+	_ = m.SendUIPI(0, k.UITT(), idx)
+	s.Run()
+	if delivered != 2 {
+		t.Fatalf("post-migration delivery count %d", delivered)
+	}
+	if m.Cores[2].Delivered[core.TrackedIPI] != 1 {
+		t.Errorf("migrated delivery did not land on core 2: %v", m.Cores[2].Delivered)
+	}
+	if m.Cores[1].Delivered[core.TrackedIPI] != 1 {
+		t.Errorf("stale delivery on old core: %v", m.Cores[1].Delivered)
+	}
+}
+
+// TestSchedulingChurnNeverLosesInterrupts randomly migrates, deschedules
+// and reschedules threads while senders keep firing; every posted vector
+// must eventually be delivered exactly once (fast path or repost).
+func TestSchedulingChurnNeverLosesInterrupts(t *testing.T) {
+	s := sim.New(123)
+	m, err := core.NewMachine(s, 4, core.TrackedIPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := New(m)
+	rng := sim.NewRNG(55)
+
+	const nThreads = 3
+	delivered := make([]int, nThreads)
+	threads := make([]*Thread, nThreads)
+	idx := make([]int, nThreads)
+	for i := 0; i < nThreads; i++ {
+		i := i
+		threads[i] = k.NewThread()
+		k.RegisterHandler(threads[i], func(sim.Time, uintr.Vector, core.Mechanism) {
+			delivered[i]++
+		})
+		var err error
+		idx[i], err = k.RegisterSender(threads[i], uintr.Vector(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.ScheduleOn(threads[i], i+1)
+	}
+
+	sent := make([]int, nThreads)
+	// Churn: every 3000 cycles move a random thread to a random state.
+	s.Every(3000, func(now sim.Time) {
+		th := threads[rng.Intn(nThreads)]
+		if rng.Bool(0.3) {
+			k.Deschedule(th)
+		} else {
+			k.ScheduleOn(th, 1+rng.Intn(3))
+		}
+	})
+	// Sends: every 1100 cycles core 0 fires at a random thread.
+	s.Every(1100, func(now sim.Time) {
+		if now > 300_000 {
+			return // stop sending near the end so reposts can drain
+		}
+		i := rng.Intn(nThreads)
+		if err := m.SendUIPI(0, k.UITT(), idx[i]); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+		sent[i]++
+	})
+	s.RunUntil(320_000)
+	// Park every thread on a core so all captured state drains.
+	for i, th := range threads {
+		k.ScheduleOn(th, 1+i%3)
+	}
+	s.RunUntil(400_000)
+
+	for i := range threads {
+		if sent[i] == 0 {
+			continue
+		}
+		// Posted-interrupt coalescing means delivered ≤ sent, but nothing
+		// pending may remain and at least one delivery per posted batch
+		// must have occurred.
+		if delivered[i] == 0 {
+			t.Errorf("thread %d: %d sent, none delivered", i, sent[i])
+		}
+		if delivered[i] > sent[i] {
+			t.Errorf("thread %d: delivered %d > sent %d", i, delivered[i], sent[i])
+		}
+		if threads[i].UPID().Pending() {
+			t.Errorf("thread %d: vectors still pending after drain", i)
+		}
+		if m.Cores[1+i%3].UIRRPending() != 0 {
+			t.Errorf("core %d: UIRR not drained", 1+i%3)
+		}
+	}
+}

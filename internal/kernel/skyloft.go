@@ -1,0 +1,92 @@
+package kernel
+
+import (
+	"fmt"
+
+	"xui/internal/core"
+	"xui/internal/sim"
+	"xui/internal/uintr"
+)
+
+// SkyloftTimer reproduces the §7 "hacking around UIPI limitations" trick:
+// Skyloft points the core's UINV at the local APIC timer vector, so timer
+// interrupts masquerade as UIPI notifications. Because the APIC never sets
+// PIR for timer interrupts, each handler must re-execute a self-senduipi
+// (with SN set on every UPID so the self-send posts without notifying) to
+// pre-arm PIR for the next expiry.
+//
+// The model charges the real costs of the hack — full flush-based UIPI
+// receiver cost per tick plus a senduipi re-arm in every handler — and
+// enforces its two architectural casualties:
+//
+//  1. the kernel loses the local APIC timer (Setitimer fails while the
+//     hack is active), and
+//  2. ordinary UIPIs can no longer be disambiguated from timer interrupts
+//     (SendUIPI to a hacked machine fails).
+//
+// It exists as a faithful baseline for what the KB_Timer replaces; compare
+// CostPerTick with core.DeliveryOnlyCost.
+type SkyloftTimer struct {
+	kern   *Kernel
+	coreID int
+	ev     *sim.Event
+	// Ticks counts delivered timer interrupts.
+	Ticks uint64
+}
+
+// CostPerTick is the per-expiry receiver cost of the hack: a flush-based
+// UIPI delivery plus the self-senduipi re-arm executed in the handler.
+const CostPerTick = core.UIPIReceiverCost + core.SenduipiCost
+
+// EnableSkyloftTimer activates the hack on coreID with the given period,
+// delivering through the registered user handler of the thread running
+// there. It fails if the machine still needs ordinary UIPIs or OS timers.
+func (k *Kernel) EnableSkyloftTimer(coreID int, period sim.Time, vector uintr.Vector) (*SkyloftTimer, error) {
+	if k.skyloft != nil {
+		return nil, fmt.Errorf("kernel: skyloft timer already active")
+	}
+	if period == 0 {
+		return nil, fmt.Errorf("kernel: zero period")
+	}
+	t := k.running[coreID]
+	if t == nil || t.upid == nil {
+		return nil, fmt.Errorf("kernel: no registered thread running on core %d", coreID)
+	}
+	// The trick requires SN set on every UPID so self-senduipi only posts.
+	for _, th := range k.threads {
+		if th.upid != nil && th != t {
+			th.upid.Suppress()
+		}
+	}
+	st := &SkyloftTimer{kern: k, coreID: coreID}
+	v := k.M.Cores[coreID]
+	st.ev = k.Sim.Every(period, func(now sim.Time) {
+		st.Ticks++
+		// Timer interrupt enters as a UIPI (full flush-based delivery);
+		// the handler's mandatory self-senduipi re-arm is charged to the
+		// same core before the user callback runs.
+		v.Account.Charge(core.CatNotify, core.UIPIReceiverCost)
+		v.Account.Charge(core.CatSend, core.SenduipiCost)
+		k.Sim.After(CostPerTick, func(at sim.Time) {
+			if t.handler != nil {
+				t.handler(at, vector, core.UIPI)
+			}
+		})
+	})
+	k.skyloft = st
+	return st, nil
+}
+
+// Stop deactivates the hack, restoring normal UIPI and OS timer use.
+func (st *SkyloftTimer) Stop() {
+	if st.ev != nil {
+		st.kern.Sim.Cancel(st.ev)
+		st.ev = nil
+	}
+	if st.kern.skyloft == st {
+		st.kern.skyloft = nil
+	}
+}
+
+// SkyloftActive reports whether the hack currently owns the timer path.
+func (k *Kernel) SkyloftActive() bool { return k.skyloft != nil }

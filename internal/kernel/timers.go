@@ -1,0 +1,85 @@
+package kernel
+
+import (
+	"fmt"
+
+	"xui/internal/core"
+	"xui/internal/sim"
+)
+
+// OS timing services, with the per-event costs measured in §2: these are
+// what user-level runtimes are stuck with when they cannot have a
+// KB_Timer, and what Figure 6 and Figure 9's periodic polling pay.
+
+// IntervalTimer is a setitimer()-style interval timer: each expiry
+// delivers a SIGALRM to the owning core — a full signal delivery
+// (≈2.4 µs) per event.
+type IntervalTimer struct {
+	kern *Kernel
+	ev   *sim.Event
+	// Expiries counts delivered expiries.
+	Expiries uint64
+}
+
+// Setitimer arms an interval timer on coreID with the given period. fn
+// runs after each signal delivery completes. The signal cost is charged to
+// the core's account under "os-timer".
+func (k *Kernel) Setitimer(coreID int, period sim.Time, fn func(now sim.Time)) (*IntervalTimer, error) {
+	if period == 0 {
+		return nil, fmt.Errorf("kernel: zero interval")
+	}
+	if k.skyloft != nil {
+		return nil, fmt.Errorf("kernel: local APIC timer unavailable while the skyloft hack owns it (§7)")
+	}
+	if period < MinItimerPeriod {
+		// Linux clamps very fine interval timers; the paper notes 2 µs is
+		// "almost at the limit of the OS interval timer".
+		period = MinItimerPeriod
+	}
+	v := k.M.Cores[coreID]
+	it := &IntervalTimer{kern: k}
+	it.ev = k.Sim.Every(period, func(now sim.Time) {
+		it.Expiries++
+		v.Account.Charge("os-timer", core.SignalCost)
+		k.Sim.After(core.SignalCost, fn)
+	})
+	return it, nil
+}
+
+// MinItimerPeriod is the finest interval the OS timer supports (≈2 µs).
+const MinItimerPeriod = 2 * sim.Time(core.CyclesPerMicrosecond)
+
+// Stop disarms the timer.
+func (it *IntervalTimer) Stop() {
+	if it.ev != nil {
+		it.kern.Sim.Cancel(it.ev)
+		it.ev = nil
+	}
+}
+
+// Nanosleep models a sleeping wait: the caller's core pays a context
+// switch out and back in around the sleep, and wakes fn after
+// duration + wakeup cost. Returns the time fn will run.
+func (k *Kernel) Nanosleep(coreID int, duration sim.Time, fn func(now sim.Time)) sim.Time {
+	v := k.M.Cores[coreID]
+	v.Account.Charge("os-timer", core.OSContextSwitch)
+	wake := k.Sim.Now() + duration + core.OSContextSwitch
+	k.Sim.Schedule(wake, fn)
+	return wake
+}
+
+// SignalThread delivers a POSIX signal to the thread's core: the sender
+// pays a syscall, the receiver pays signal delivery. fn runs in the
+// receiver's signal handler context.
+func (k *Kernel) SignalThread(senderCore int, t *Thread, fn func(now sim.Time)) error {
+	if !t.Running() {
+		return fmt.Errorf("kernel: signalling a descheduled thread is not modelled")
+	}
+	k.M.Cores[senderCore].Account.Charge("signal-send", core.SyscallCost)
+	recv := k.M.Cores[t.coreID]
+	k.Sim.After(core.SyscallCost, func(sim.Time) {
+		recv.Account.Charge("signal", core.SignalCost)
+		k.Sim.After(core.SignalCost, fn)
+	})
+	return nil
+}

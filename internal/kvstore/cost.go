@@ -1,0 +1,39 @@
+package kvstore
+
+import "xui/internal/sim"
+
+// CostModel maps store operations to simulated service times, calibrated
+// to the paper's RocksDB workload (§5.3): GET ≈ 1.2 µs, SCAN ≈ 580 µs,
+// with small multiplicative jitter. The Tier-2 runtime charges these when
+// scheduling request uthreads.
+type CostModel struct {
+	GetMean  sim.Time
+	GetJit   float64 // ± fraction
+	ScanMean sim.Time
+	ScanJit  float64
+}
+
+// DefaultCostModel returns the paper's bimodal parameters.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		GetMean:  sim.FromMicros(1.2),
+		GetJit:   0.10,
+		ScanMean: sim.FromMicros(580),
+		ScanJit:  0.05,
+	}
+}
+
+// SampleGet draws one GET service time.
+func (c CostModel) SampleGet(rng *sim.RNG) sim.Time { return jitter(rng, c.GetMean, c.GetJit) }
+
+// SampleScan draws one SCAN service time.
+func (c CostModel) SampleScan(rng *sim.RNG) sim.Time { return jitter(rng, c.ScanMean, c.ScanJit) }
+
+func jitter(rng *sim.RNG, mean sim.Time, j float64) sim.Time {
+	if j <= 0 {
+		return mean
+	}
+	lo := float64(mean) * (1 - j)
+	hi := float64(mean) * (1 + j)
+	return rng.UniformTime(sim.Time(lo), sim.Time(hi))
+}

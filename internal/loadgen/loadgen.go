@@ -1,0 +1,97 @@
+// Package loadgen provides the request generators and latency recorders
+// used by the end-to-end experiments: an open-loop Poisson generator (the
+// Caladan-style load generator of §5.3) and a per-class latency recorder.
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+
+	"xui/internal/sim"
+	"xui/internal/stats"
+)
+
+// OpenLoop issues requests with exponential inter-arrival gaps (a Poisson
+// process), independent of completion — overload makes queues grow, which
+// is the point.
+type OpenLoop struct {
+	sim     *sim.Simulator
+	rng     *sim.RNG
+	meanGap sim.Time
+	submit  func(now sim.Time, id uint64)
+	ev      *sim.Event
+	stopped bool
+
+	Issued uint64
+}
+
+// StartOpenLoop begins generating. rate is in requests per second of
+// simulated time.
+func StartOpenLoop(s *sim.Simulator, seed uint64, rate float64, submit func(now sim.Time, id uint64)) (*OpenLoop, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("loadgen: non-positive rate %g", rate)
+	}
+	gap := sim.Time(float64(sim.CyclesPerSecond) / rate)
+	if gap == 0 {
+		gap = 1
+	}
+	g := &OpenLoop{sim: s, rng: sim.NewRNG(seed), meanGap: gap, submit: submit}
+	g.arm()
+	return g, nil
+}
+
+func (g *OpenLoop) arm() {
+	gap := g.rng.ExpTime(g.meanGap)
+	if gap == 0 {
+		gap = 1
+	}
+	g.ev = g.sim.After(gap, func(now sim.Time) {
+		if g.stopped {
+			return
+		}
+		g.Issued++
+		g.submit(now, g.Issued)
+		g.arm()
+	})
+}
+
+// Stop halts generation.
+func (g *OpenLoop) Stop() {
+	g.stopped = true
+	if g.ev != nil {
+		g.sim.Cancel(g.ev)
+	}
+}
+
+// Recorder accumulates end-to-end latencies per request class.
+type Recorder struct {
+	byClass map[string]*stats.Histogram
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{byClass: make(map[string]*stats.Histogram)}
+}
+
+// Record notes one completed request.
+func (r *Recorder) Record(class string, latencyCycles uint64) {
+	h, ok := r.byClass[class]
+	if !ok {
+		h = stats.NewHistogram()
+		r.byClass[class] = h
+	}
+	h.Record(latencyCycles)
+}
+
+// Class returns the histogram for a class (nil if nothing recorded).
+func (r *Recorder) Class(class string) *stats.Histogram { return r.byClass[class] }
+
+// Classes returns recorded class names, sorted.
+func (r *Recorder) Classes() []string {
+	out := make([]string, 0, len(r.byClass))
+	for c := range r.byClass {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,95 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+
+	"xui/internal/sim"
+)
+
+func TestOpenLoopRate(t *testing.T) {
+	s := sim.New(1)
+	n := 0
+	g, err := StartOpenLoop(s, 7, 1_000_000, func(sim.Time, uint64) { n++ }) // 1M rps
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(sim.CyclesPerSecond / 100) // 10 ms
+	g.Stop()
+	want := 10000.0
+	if math.Abs(float64(n)-want)/want > 0.05 {
+		t.Errorf("issued %d, want ≈%v", n, want)
+	}
+	if g.Issued != uint64(n) {
+		t.Errorf("Issued=%d, callbacks=%d", g.Issued, n)
+	}
+}
+
+func TestOpenLoopStops(t *testing.T) {
+	s := sim.New(1)
+	n := 0
+	g, _ := StartOpenLoop(s, 7, 1_000_000, func(sim.Time, uint64) { n++ })
+	s.RunUntil(20000)
+	g.Stop()
+	before := n
+	s.RunUntil(2_000_000)
+	if n != before {
+		t.Errorf("generator kept running after Stop: %d → %d", before, n)
+	}
+}
+
+func TestOpenLoopValidation(t *testing.T) {
+	if _, err := StartOpenLoop(sim.New(1), 1, 0, nil); err == nil {
+		t.Errorf("zero rate accepted")
+	}
+	if _, err := StartOpenLoop(sim.New(1), 1, -5, nil); err == nil {
+		t.Errorf("negative rate accepted")
+	}
+}
+
+func TestOpenLoopIsPoisson(t *testing.T) {
+	// Coefficient of variation of exponential gaps ≈ 1.
+	s := sim.New(1)
+	var last sim.Time
+	var gaps []float64
+	g, _ := StartOpenLoop(s, 3, 2_000_000, func(now sim.Time, _ uint64) {
+		gaps = append(gaps, float64(now-last))
+		last = now
+	})
+	s.RunUntil(sim.CyclesPerSecond / 50)
+	g.Stop()
+	if len(gaps) < 1000 {
+		t.Fatalf("only %d gaps", len(gaps))
+	}
+	var sum, sumsq float64
+	for _, x := range gaps {
+		sum += x
+	}
+	mean := sum / float64(len(gaps))
+	for _, x := range gaps {
+		sumsq += (x - mean) * (x - mean)
+	}
+	cv := math.Sqrt(sumsq/float64(len(gaps))) / mean
+	if cv < 0.9 || cv > 1.1 {
+		t.Errorf("inter-arrival CV = %.2f, want ≈1 (exponential)", cv)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	if r.Class("GET") != nil {
+		t.Errorf("empty recorder returned a histogram")
+	}
+	r.Record("GET", 100)
+	r.Record("GET", 200)
+	r.Record("SCAN", 99999)
+	if got := r.Classes(); len(got) != 2 || got[0] != "GET" || got[1] != "SCAN" {
+		t.Errorf("classes = %v", got)
+	}
+	if r.Class("GET").Count() != 2 {
+		t.Errorf("GET count = %d", r.Class("GET").Count())
+	}
+	if r.Class("SCAN").Max() < 99000 {
+		t.Errorf("SCAN max = %d", r.Class("SCAN").Max())
+	}
+}

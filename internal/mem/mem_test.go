@@ -1,0 +1,181 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestL1HitAfterFill(t *testing.T) {
+	h := NewHierarchy(Config{})
+	if lat := h.Load(0x1000); lat != LatDRAM {
+		t.Errorf("cold load latency = %d, want %d", lat, LatDRAM)
+	}
+	if lat := h.Load(0x1000); lat != LatL1 {
+		t.Errorf("warm load latency = %d, want %d", lat, LatL1)
+	}
+	// Same line, different byte: still a hit.
+	if lat := h.Load(0x103f); lat != LatL1 {
+		t.Errorf("same-line load latency = %d, want %d", lat, LatL1)
+	}
+	// Next line: miss.
+	if lat := h.Load(0x1040); lat != LatDRAM {
+		t.Errorf("next-line load latency = %d, want %d", lat, LatDRAM)
+	}
+}
+
+func TestL1EvictionFallsToL2(t *testing.T) {
+	// Tiny L1: 2 lines, direct... use 1 set x 2 ways = 128 bytes.
+	h := NewHierarchy(Config{L1Bytes: 128, L1Ways: 2, L2Bytes: 1 << 20, L2Ways: 16})
+	h.Load(0 * LineSize)
+	h.Load(1 * LineSize)
+	h.Load(2 * LineSize) // evicts line 0 from L1 (LRU)
+	if lat := h.Load(0); lat != LatL2 {
+		t.Errorf("evicted line latency = %d, want L2 %d", lat, LatL2)
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	h := NewHierarchy(Config{L1Bytes: 128, L1Ways: 2, L2Bytes: 1 << 20, L2Ways: 16})
+	h.Load(0 * LineSize)
+	h.Load(1 * LineSize)
+	h.Load(0 * LineSize) // touch 0: now 1 is LRU
+	h.Load(2 * LineSize) // evicts 1
+	if lat := h.Load(0); lat != LatL1 {
+		t.Errorf("MRU line evicted: lat %d", lat)
+	}
+	if lat := h.Load(1 * LineSize); lat != LatL2 {
+		t.Errorf("LRU line not evicted: lat %d", lat)
+	}
+}
+
+func TestWorkingSetTiers(t *testing.T) {
+	h := NewHierarchy(Config{})
+	// Stream over 16 KB (fits L1 32KB): second pass all L1 hits.
+	for pass := 0; pass < 2; pass++ {
+		miss := 0
+		for a := uint64(0); a < 16<<10; a += LineSize {
+			if h.Load(a) != LatL1 {
+				miss++
+			}
+		}
+		if pass == 1 && miss != 0 {
+			t.Errorf("L1-resident working set: %d misses on pass 2", miss)
+		}
+	}
+	// Stream over 1 MB (fits L2 2MB, not L1): second pass mostly L2.
+	h2 := NewHierarchy(Config{})
+	for a := uint64(0); a < 1<<20; a += LineSize {
+		h2.Load(a)
+	}
+	l2hits := 0
+	n := 0
+	for a := uint64(0); a < 1<<20; a += LineSize {
+		if h2.Load(a) == LatL2 {
+			l2hits++
+		}
+		n++
+	}
+	if float64(l2hits) < 0.9*float64(n) {
+		t.Errorf("L2-resident working set: only %d/%d L2 hits", l2hits, n)
+	}
+}
+
+func TestHierarchyStats(t *testing.T) {
+	h := NewHierarchy(Config{})
+	h.Load(0)
+	h.Load(0)
+	h.Store(64)
+	if h.Accesses != 3 {
+		t.Errorf("accesses = %d, want 3", h.Accesses)
+	}
+	if h.L1Hits != 1 {
+		t.Errorf("l1 hits = %d, want 1", h.L1Hits)
+	}
+	if h.DRAMFills != 2 {
+		t.Errorf("dram fills = %d, want 2", h.DRAMFills)
+	}
+}
+
+func TestSharedReadAfterRemoteWrite(t *testing.T) {
+	s := NewSystem(2, Config{})
+	const upid = 0xF000
+	// Receiver (core 1) warms the line.
+	if lat := s.SharedRead(1, upid); lat == LatCrossCore {
+		t.Errorf("first read should not be cross-core")
+	}
+	if lat := s.SharedRead(1, upid); lat != LatL1 {
+		t.Errorf("warm shared read = %d, want L1", lat)
+	}
+	// Sender (core 0) writes it — RFO crosses cores.
+	if lat := s.SharedWrite(0, upid); lat != LatCrossCore {
+		t.Errorf("remote RFO = %d, want %d", lat, LatCrossCore)
+	}
+	// Receiver's next read pays the transfer.
+	if lat := s.SharedRead(1, upid); lat != LatCrossCore {
+		t.Errorf("post-write read = %d, want cross-core %d", lat, LatCrossCore)
+	}
+	// ...and is then local again.
+	if lat := s.SharedRead(1, upid); lat != LatL1 {
+		t.Errorf("second post-write read = %d, want L1", lat)
+	}
+}
+
+func TestSharedWriteLocalAfterOwnership(t *testing.T) {
+	s := NewSystem(2, Config{})
+	s.SharedWrite(0, 0x2000)
+	if lat := s.SharedWrite(0, 0x2000); lat != LatL1 {
+		t.Errorf("owner rewrite = %d, want L1", lat)
+	}
+	if s.Owner(0x2000) != 0 {
+		t.Errorf("owner = %d, want 0", s.Owner(0x2000))
+	}
+	if s.Owner(0x9999000) != -1 {
+		t.Errorf("untouched owner = %d, want -1", s.Owner(0x9999000))
+	}
+}
+
+func TestSystemCoresIndependentPrivateCaches(t *testing.T) {
+	s := NewSystem(2, Config{})
+	s.Core(0).Load(0x5000)
+	// Core 1 misses its private caches but hits the shared LLC.
+	if lat := s.Core(1).Load(0x5000); lat != LatLLC {
+		t.Errorf("cross-core private load = %d, want LLC %d", lat, LatLLC)
+	}
+}
+
+// Property: latency is always one of the defined tiers, and a repeated load
+// is never slower than its predecessor's tier would imply (monotone warmth).
+func TestLoadLatencyTiersProperty(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		h := NewHierarchy(Config{})
+		for _, a := range addrs {
+			lat := h.Load(uint64(a))
+			switch lat {
+			case LatL1, LatL2, LatLLC, LatDRAM:
+			default:
+				return false
+			}
+			if h.Load(uint64(a)) != LatL1 { // immediate re-load is an L1 hit
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := newCache(128, 2)
+	c.access(5)
+	if !c.invalidate(5) {
+		t.Errorf("invalidate of resident line returned false")
+	}
+	if c.invalidate(5) {
+		t.Errorf("invalidate of absent line returned true")
+	}
+	if c.access(5) {
+		t.Errorf("line still resident after invalidate")
+	}
+}

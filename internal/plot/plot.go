@@ -1,0 +1,104 @@
+// Package plot renders small ASCII line charts so cmd/xuibench can show
+// the paper's figure shapes directly in the terminal — crossovers and
+// orderings are the reproduction target, and they are easiest to check
+// visually.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	// Name appears in the legend.
+	Name string
+	// X and Y are the sample coordinates (equal length).
+	X []float64
+	// Y values.
+	Y []float64
+}
+
+// glyphs mark the points of successive series.
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Chart renders the series on a width×height grid with axis ranges fitted
+// to the data, returning a multi-line string. Invalid input (no points)
+// yields a short placeholder rather than an error: charts are decoration,
+// not data.
+func Chart(title, xLabel, yLabel string, series []Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		for i := 0; i < n; i++ {
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+			points++
+		}
+	}
+	if points == 0 {
+		return title + ": (no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		for i := 0; i < n; i++ {
+			c := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(width-1)))
+			r := height - 1 - int(math.Round((s.Y[i]-minY)/(maxY-minY)*float64(height-1)))
+			grid[r][c] = g
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	yHi := fmt.Sprintf("%.4g", maxY)
+	yLo := fmt.Sprintf("%.4g", minY)
+	pad := len(yHi)
+	if len(yLo) > pad {
+		pad = len(yLo)
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", pad)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, yHi)
+		case height - 1:
+			label = fmt.Sprintf("%*s", pad, yLo)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*.4g%*.4g  (%s)\n", strings.Repeat(" ", pad), width/2, minX, width-width/2, maxX, xLabel)
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", glyphs[si%len(glyphs)], s.Name))
+	}
+	fmt.Fprintf(&b, "%s  y: %s   %s\n", strings.Repeat(" ", pad), yLabel, strings.Join(legend, "   "))
+	return b.String()
+}

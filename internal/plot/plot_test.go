@@ -1,0 +1,81 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestChartBasics(t *testing.T) {
+	out := Chart("demo", "load %", "free %",
+		[]Series{
+			{Name: "poll", X: []float64{0, 50, 100}, Y: []float64{0, 0, 0}},
+			{Name: "xui", X: []float64{0, 50, 100}, Y: []float64{100, 50, 10}},
+		}, 40, 10)
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "load %") || !strings.Contains(out, "free %") {
+		t.Errorf("labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "* poll") || !strings.Contains(out, "o xui") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	// Both glyphs appear on the grid.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("points missing:\n%s", out)
+	}
+	// y-axis extremes labelled.
+	if !strings.Contains(out, "100") || !strings.Contains(out, "0") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart("empty", "x", "y", nil, 40, 10)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty chart output %q", out)
+	}
+	out = Chart("empty", "x", "y", []Series{{Name: "s"}}, 40, 10)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("zero-point chart output %q", out)
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	// A single point / constant series must not divide by zero.
+	out := Chart("dot", "x", "y", []Series{{Name: "s", X: []float64{5}, Y: []float64{7}}}, 20, 5)
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not plotted:\n%s", out)
+	}
+}
+
+// Property: for arbitrary finite inputs Chart never panics and the grid
+// has the requested dimensions.
+func TestChartProperty(t *testing.T) {
+	f := func(xs, ys []float64, w8, h8 uint8) bool {
+		if len(xs) > 64 {
+			xs = xs[:64]
+		}
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		// Keep values finite.
+		fx := make([]float64, n)
+		fy := make([]float64, n)
+		for i := 0; i < n; i++ {
+			fx[i] = float64(int64(xs[i])) / 1e6
+			fy[i] = float64(int64(ys[i])) / 1e6
+		}
+		width := 16 + int(w8)%60
+		height := 4 + int(h8)%20
+		out := Chart("p", "x", "y", []Series{{Name: "s", X: fx, Y: fy}}, width, height)
+		if n == 0 {
+			return strings.Contains(out, "no data")
+		}
+		lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+		// title + height rows + axis + x labels + legend
+		return len(lines) == height+4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

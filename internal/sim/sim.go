@@ -1,0 +1,222 @@
+// Package sim provides the discrete-event simulation kernel shared by all
+// xui system models.
+//
+// Time is measured in CPU cycles of the simulated 2 GHz machine (1 cycle =
+// 0.5 ns). The kernel is deliberately small: an event heap, a clock, and a
+// handful of conveniences (periodic events, cancellation, deterministic
+// randomness). Everything else — cores, NICs, timers, runtimes — is built on
+// top of it in sibling packages.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in simulated time, in cycles.
+type Time uint64
+
+// CyclesPerSecond is the simulated clock rate (2 GHz, matching the paper's
+// hardware platform and gem5 configuration).
+const CyclesPerSecond = 2_000_000_000
+
+// Microsecond is the number of cycles in one simulated microsecond.
+const Microsecond Time = CyclesPerSecond / 1_000_000
+
+// Millisecond is the number of cycles in one simulated millisecond.
+const Millisecond Time = CyclesPerSecond / 1_000
+
+// Never is a sentinel time that compares after every reachable simulation
+// instant.
+const Never Time = math.MaxUint64
+
+// Seconds converts a simulated duration to (floating point) seconds.
+func (t Time) Seconds() float64 { return float64(t) / CyclesPerSecond }
+
+// Micros converts a simulated duration to (floating point) microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// FromMicros converts microseconds into cycles, rounding to nearest.
+func FromMicros(us float64) Time {
+	return Time(math.Round(us * float64(Microsecond)))
+}
+
+// Handler is the callback type invoked when an event fires. The handler runs
+// with the simulation clock set to the event's time.
+type Handler func(now Time)
+
+// Event is a scheduled occurrence. A zero Event is invalid; events are
+// created through Simulator.Schedule and friends.
+type Event struct {
+	when    Time
+	seq     uint64 // tie-break: FIFO among same-cycle events
+	index   int    // heap index, -1 when not queued
+	fn      Handler
+	period  Time // 0 for one-shot
+	stopped bool
+}
+
+// When returns the time the event is scheduled to fire. For periodic events
+// this is the next firing.
+func (e *Event) When() Time { return e.when }
+
+// Pending reports whether the event is still queued to fire.
+func (e *Event) Pending() bool { return e != nil && e.index >= 0 && !e.stopped }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator is a single-threaded discrete-event simulator. It is not safe
+// for concurrent use; model concurrency with events, not goroutines.
+type Simulator struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	nFired uint64
+	rng    *RNG
+}
+
+// New returns a simulator whose clock starts at zero, with a deterministic
+// random stream derived from seed.
+func New(seed uint64) *Simulator {
+	return &Simulator{rng: NewRNG(seed)}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// RNG returns the simulator's deterministic random stream.
+func (s *Simulator) RNG() *RNG { return s.rng }
+
+// Fired returns the number of events dispatched so far (useful in tests and
+// for progress accounting).
+func (s *Simulator) Fired() uint64 { return s.nFired }
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule queues fn to run at absolute time when. Scheduling in the past
+// panics: that is always a model bug.
+func (s *Simulator) Schedule(when Time, fn Handler) *Event {
+	if when < s.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", when, s.now))
+	}
+	e := &Event{when: when, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After queues fn to run delay cycles from now.
+func (s *Simulator) After(delay Time, fn Handler) *Event {
+	return s.Schedule(s.now+delay, fn)
+}
+
+// Every queues fn to run every period cycles, first firing after period.
+// Use Cancel on the returned event to stop the series.
+func (s *Simulator) Every(period Time, fn Handler) *Event {
+	if period == 0 {
+		panic("sim: zero period")
+	}
+	e := s.Schedule(s.now+period, fn)
+	e.period = period
+	return e
+}
+
+// Cancel removes an event from the queue. Cancelling an already-fired or
+// already-cancelled event is a no-op. For periodic events, the series stops.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.stopped {
+		return
+	}
+	e.stopped = true
+	if e.index >= 0 {
+		heap.Remove(&s.queue, e.index)
+	}
+}
+
+// Step dispatches the single earliest event. It reports false when the queue
+// is empty.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.stopped {
+			continue
+		}
+		s.now = e.when
+		if e.period != 0 {
+			// Re-arm before dispatch so the handler can Cancel it.
+			e.when = s.now + e.period
+			e.seq = s.seq
+			s.seq++
+			heap.Push(&s.queue, e)
+		}
+		s.nFired++
+		e.fn(s.now)
+		return true
+	}
+	return false
+}
+
+// Run dispatches events until the queue empties.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil dispatches events with time ≤ deadline, then advances the clock
+// to the deadline. Events scheduled exactly at the deadline fire.
+func (s *Simulator) RunUntil(deadline Time) {
+	for len(s.queue) > 0 {
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.when > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+func (s *Simulator) peek() *Event {
+	for len(s.queue) > 0 {
+		e := s.queue[0]
+		if e.stopped {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return e
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CycleAccount attributes simulated CPU cycles to named categories — the
+// bookkeeping behind the paper's Figure 8 ("Networking Cycles" / "Polling
+// Cycles" / "Free Cycles") and Figure 9 free-cycle plots. Categories are
+// created on first use.
+type CycleAccount struct {
+	byCat map[string]uint64
+	total uint64
+}
+
+// NewCycleAccount returns an empty account.
+func NewCycleAccount() *CycleAccount {
+	return &CycleAccount{byCat: make(map[string]uint64)}
+}
+
+// Charge attributes n cycles to category cat.
+func (a *CycleAccount) Charge(cat string, n uint64) {
+	a.byCat[cat] += n
+	a.total += n
+}
+
+// Total returns the sum over all categories.
+func (a *CycleAccount) Total() uint64 { return a.total }
+
+// Get returns the cycles charged to cat.
+func (a *CycleAccount) Get(cat string) uint64 { return a.byCat[cat] }
+
+// Fraction returns cat's share of the total, 0 when the account is empty.
+func (a *CycleAccount) Fraction(cat string) float64 {
+	if a.total == 0 {
+		return 0
+	}
+	return float64(a.byCat[cat]) / float64(a.total)
+}
+
+// FractionOf returns cat's share of an externally supplied denominator
+// (e.g. wall-clock cycles of the run rather than charged cycles).
+func (a *CycleAccount) FractionOf(cat string, denom uint64) float64 {
+	if denom == 0 {
+		return 0
+	}
+	return float64(a.byCat[cat]) / float64(denom)
+}
+
+// Categories returns the category names in sorted order.
+func (a *CycleAccount) Categories() []string {
+	cats := make([]string, 0, len(a.byCat))
+	for c := range a.byCat {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	return cats
+}
+
+// Merge adds all of other's charges into a.
+func (a *CycleAccount) Merge(other *CycleAccount) {
+	for c, n := range other.byCat {
+		a.byCat[c] += n
+		a.total += n
+	}
+}
+
+func (a *CycleAccount) String() string {
+	var b strings.Builder
+	for i, c := range a.Categories() {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%.1f%%", c, 100*a.Fraction(c))
+	}
+	return b.String()
+}
+
+// Busy tracks busy/idle intervals on a simulated core, yielding utilization.
+// Callers mark transitions; overlapping Busy marks are counted once.
+type Busy struct {
+	busySince uint64 // valid when busy
+	busy      bool
+	accum     uint64
+	origin    uint64
+}
+
+// MarkBusy records that the core became busy at time now (cycles).
+func (b *Busy) MarkBusy(now uint64) {
+	if !b.busy {
+		b.busy = true
+		b.busySince = now
+	}
+}
+
+// MarkIdle records that the core became idle at time now.
+func (b *Busy) MarkIdle(now uint64) {
+	if b.busy {
+		b.busy = false
+		if now > b.busySince {
+			b.accum += now - b.busySince
+		}
+	}
+}
+
+// BusyCycles returns accumulated busy cycles as of time now.
+func (b *Busy) BusyCycles(now uint64) uint64 {
+	total := b.accum
+	if b.busy && now > b.busySince {
+		total += now - b.busySince
+	}
+	return total
+}
+
+// Utilization returns busy share of [origin, now].
+func (b *Busy) Utilization(now uint64) float64 {
+	span := now - b.origin
+	if span == 0 {
+		return 0
+	}
+	return float64(b.BusyCycles(now)) / float64(span)
+}
+
+// ResetAt clears accumulation and restarts the measurement window at now.
+func (b *Busy) ResetAt(now uint64) {
+	b.accum = 0
+	b.origin = now
+	if b.busy {
+		b.busySince = now
+	}
+}

@@ -1,0 +1,256 @@
+// Package stats provides the measurement primitives used by every xui
+// experiment: latency histograms with percentile extraction, running
+// mean/variance accumulators, and cycle-accounting buckets for CPU
+// utilization breakdowns (networking vs. notification vs. free cycles).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram records value counts with bounded relative error, in the style
+// of HdrHistogram: values are bucketed with sub-bucket resolution so that
+// percentile queries are accurate to a few percent across many orders of
+// magnitude. Values are unitless; experiments record cycles.
+type Histogram struct {
+	subBits uint // sub-buckets per power of two = 1<<subBits
+	buckets []uint64
+	count   uint64
+	sum     float64
+	min     uint64
+	max     uint64
+}
+
+// NewHistogram returns a histogram with 2^subBits sub-buckets per octave.
+// subBits = 5 gives ≤ ~3 % relative error, plenty for tail-latency plots.
+func NewHistogram() *Histogram {
+	return &Histogram{subBits: 5, min: math.MaxUint64}
+}
+
+func (h *Histogram) bucketIndex(v uint64) int {
+	if v < 1<<h.subBits {
+		return int(v)
+	}
+	// bits.Len-style exponent.
+	exp := 0
+	for x := v; x >= 1<<(h.subBits+1); x >>= 1 {
+		exp++
+	}
+	sub := v >> uint(exp) // in [1<<subBits, 1<<(subBits+1))
+	return (exp+1)<<h.subBits + int(sub) - (1 << h.subBits)
+}
+
+// bucketLow returns the smallest value mapping to bucket i (inverse of
+// bucketIndex, used for percentile reconstruction).
+func (h *Histogram) bucketLow(i int) uint64 {
+	if i < 1<<h.subBits {
+		return uint64(i)
+	}
+	exp := i>>h.subBits - 1
+	sub := uint64(i&(1<<h.subBits-1)) + 1<<h.subBits
+	return sub << uint(exp)
+}
+
+// Record adds a single observation.
+func (h *Histogram) Record(v uint64) { h.RecordN(v, 1) }
+
+// RecordN adds n observations of value v.
+func (h *Histogram) RecordN(v uint64, n uint64) {
+	if n == 0 {
+		return
+	}
+	i := h.bucketIndex(v)
+	if i >= len(h.buckets) {
+		nb := make([]uint64, i+1)
+		copy(nb, h.buckets)
+		h.buckets = nb
+	}
+	h.buckets[i] += n
+	h.count += n
+	h.sum += float64(v) * float64(n)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the arithmetic mean of recorded values, 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest recorded value, 0 when empty.
+func (h *Histogram) Min() uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded value, 0 when empty.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Percentile returns the value at quantile p in [0,100]. Like HdrHistogram
+// it returns the lower bound of the bucket containing the p-th observation,
+// so the result is exact for small values and within one sub-bucket above.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 100 {
+		return h.max
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(h.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= rank {
+			lo := h.bucketLow(i)
+			if lo < h.min {
+				lo = h.min
+			}
+			if lo > h.max {
+				lo = h.max
+			}
+			return lo
+		}
+	}
+	return h.max
+}
+
+// Merge adds all observations of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	if other.subBits != h.subBits {
+		panic("stats: merging histograms with different resolution")
+	}
+	if len(other.buckets) > len(h.buckets) {
+		nb := make([]uint64, len(other.buckets))
+		copy(nb, h.buckets)
+		h.buckets = nb
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Reset clears all recorded observations.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.count = 0
+	h.sum = 0
+	h.min = math.MaxUint64
+	h.max = 0
+}
+
+// Summary is a compact latency digest.
+type Summary struct {
+	Count         uint64
+	Mean          float64
+	P50, P95, P99 uint64
+	P999          uint64
+	Min, Max      uint64
+}
+
+// Summarize extracts the standard digest.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.count,
+		Mean:  h.Mean(),
+		P50:   h.Percentile(50),
+		P95:   h.Percentile(95),
+		P99:   h.Percentile(99),
+		P999:  h.Percentile(99.9),
+		Min:   h.Min(),
+		Max:   h.Max(),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.0f p50=%d p95=%d p99=%d p99.9=%d max=%d",
+		s.Count, s.Mean, s.P50, s.P95, s.P99, s.P999, s.Max)
+}
+
+// Welford is a running mean/variance accumulator (Welford's algorithm),
+// numerically stable for long runs.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Add records one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the observation count.
+func (w *Welford) N() uint64 { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the sample variance (n-1 denominator).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+
+// ExactPercentile computes a percentile from a raw sample slice (sorted copy,
+// nearest-rank). Used in tests to validate Histogram and in small-sample
+// experiments where exactness matters more than memory.
+func ExactPercentile(xs []uint64, p float64) uint64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := make([]uint64, len(xs))
+	copy(cp, xs)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(cp))))
+	if rank < 1 {
+		rank = 1
+	}
+	return cp[rank-1]
+}

@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"xui/internal/isa"
+	"xui/internal/sim"
+)
+
+// PointerChase produces a serial chain of dependent loads over a working
+// set of the given size. Each load's address depends on the previous load's
+// value — the program used in §3.5 to distinguish flush from drain, since
+// its drain time grows with the cache-miss ratio.
+//
+// If spChainEvery > 0, every spChainEvery ops the generator emits a
+// stack-pointer write that depends on the head of the load chain. That is
+// the §6.1 worst-case construction: the interrupt delivery microcode reads
+// SP, so with tracking its stack push cannot issue until the chain
+// resolves.
+type PointerChase struct {
+	rng          *sim.RNG
+	workingSet   uint64
+	spChainEvery int
+	count        uint64
+	newChain     bool
+}
+
+// NewPointerChase builds the generator. workingSetBytes beyond the LLC size
+// (30 MB) makes most hops DRAM misses.
+func NewPointerChase(seed uint64, workingSetBytes uint64, spChainEvery int) *PointerChase {
+	return &PointerChase{
+		rng:          sim.NewRNG(seed),
+		workingSet:   workingSetBytes,
+		spChainEvery: spChainEvery,
+	}
+}
+
+// Name implements isa.Stream.
+func (p *PointerChase) Name() string { return "pointerchase" }
+
+// Next implements isa.Stream.
+func (p *PointerChase) Next() (isa.MicroOp, bool) {
+	p.count++
+	if p.spChainEvery > 0 && p.count%uint64(p.spChainEvery) == 0 {
+		// rsp <- f(chain value): ties the stack pointer to the chain of
+		// loads since the previous SP write. The next load then starts an
+		// independent chain, so the SP dependence spans exactly
+		// spChainEvery loads — the paper's "chain of 50 long-latency
+		// loads" construction.
+		p.newChain = true
+		return isa.MicroOp{
+			Class:         isa.IntAlu,
+			Dep1:          1, // the previous (chain) load
+			WritesSP:      true,
+			BoundaryStart: true,
+		}, true
+	}
+	op := isa.MicroOp{
+		Class:         isa.Load,
+		Dep1:          1, // serial chain
+		Addr:          0x4000000 + p.rng.Uint64n(p.workingSet)&^7,
+		BoundaryStart: true,
+	}
+	if p.newChain {
+		p.newChain = false
+		op.Dep1 = 0 // fresh chain head
+	}
+	return op, true
+}
+
+// RdtscLoop models the receiver measurement loop from §3.4: a tight loop
+// that reads the TSC and stores it. Three ops per iteration, fully
+// predictable.
+type RdtscLoop struct{ n uint64 }
+
+// NewRdtscLoop builds the stream.
+func NewRdtscLoop() *RdtscLoop { return &RdtscLoop{} }
+
+// Name implements isa.Stream.
+func (r *RdtscLoop) Name() string { return "rdtscloop" }
+
+// Next implements isa.Stream.
+func (r *RdtscLoop) Next() (isa.MicroOp, bool) {
+	r.n++
+	switch r.n % 3 {
+	case 1: // rdtsc
+		return isa.MicroOp{Class: isa.IntAlu, Lat: 18, BoundaryStart: true}, true
+	case 2: // store the timestamp
+		return isa.MicroOp{Class: isa.Store, Addr: 0x8000, Dep1: 1, BoundaryStart: true}, true
+	default: // loop branch
+		return isa.MicroOp{Class: isa.Branch, Taken: true, BoundaryStart: true}, true
+	}
+}
+
+// PollInstrumented wraps a stream with Concord-style compiler
+// instrumentation: every checkEvery ops it inserts a load of a shared
+// preemption flag followed by a conditional branch — the polling-based
+// preemption mechanism Figure 5 compares against.
+type PollInstrumented struct {
+	inner      isa.Stream
+	checkEvery int
+	flagAddr   uint64
+	sinceCheck int
+	pendingBr  bool
+}
+
+// NewPollInstrumented wraps inner; flagAddr is the shared flag's address.
+func NewPollInstrumented(inner isa.Stream, checkEvery int, flagAddr uint64) *PollInstrumented {
+	if checkEvery < 1 {
+		checkEvery = 1
+	}
+	return &PollInstrumented{inner: inner, checkEvery: checkEvery, flagAddr: flagAddr}
+}
+
+// Name implements isa.Stream.
+func (p *PollInstrumented) Name() string { return p.inner.Name() + "+poll" }
+
+// Next implements isa.Stream.
+func (p *PollInstrumented) Next() (isa.MicroOp, bool) {
+	if p.pendingBr {
+		p.pendingBr = false
+		// Branch on the flag value; correctly predicted not-taken while no
+		// preemption is pending.
+		return isa.MicroOp{Class: isa.Branch, Dep1: 1, BoundaryStart: true}, true
+	}
+	if p.sinceCheck >= p.checkEvery {
+		p.sinceCheck = 0
+		p.pendingBr = true
+		return isa.MicroOp{Class: isa.Load, Addr: p.flagAddr, Shared: true, BoundaryStart: true}, true
+	}
+	op, ok := p.inner.Next()
+	if !ok {
+		return op, false
+	}
+	p.sinceCheck++
+	return op, true
+}
+
+// SafepointAnnotated wraps a stream, marking every markEvery-th op with the
+// hardware safepoint prefix (§4.4) — the compiler emitting safepoints at
+// loop back-edges and function entries. The prefix costs nothing when no
+// interrupt is pending.
+type SafepointAnnotated struct {
+	inner     isa.Stream
+	markEvery int
+	n         int
+}
+
+// NewSafepointAnnotated wraps inner.
+func NewSafepointAnnotated(inner isa.Stream, markEvery int) *SafepointAnnotated {
+	if markEvery < 1 {
+		markEvery = 1
+	}
+	return &SafepointAnnotated{inner: inner, markEvery: markEvery}
+}
+
+// Name implements isa.Stream.
+func (s *SafepointAnnotated) Name() string { return s.inner.Name() + "+sp" }
+
+// Next implements isa.Stream.
+func (s *SafepointAnnotated) Next() (isa.MicroOp, bool) {
+	op, ok := s.inner.Next()
+	if !ok {
+		return op, false
+	}
+	s.n++
+	if s.n%s.markEvery == 0 {
+		op.Safepoint = true
+	}
+	return op, true
+}

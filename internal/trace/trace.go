@@ -1,0 +1,174 @@
+// Package trace generates the synthetic instruction streams used by the
+// Tier-1 pipeline experiments: the paper's microbenchmarks (fib, linpack2,
+// memops, matmul, base64), the pointer-chasing programs used to reverse-
+// engineer the flush strategy (§3.5) and to construct the worst-case
+// tracked-interrupt latency (§6.1), and the compiler-instrumented variants
+// (Concord-style polling checks, safepoint annotation) used by Figure 5.
+//
+// Generators are deterministic given a seed and produce unbounded streams;
+// the pipeline stops on an instruction budget.
+package trace
+
+import (
+	"xui/internal/isa"
+	"xui/internal/sim"
+)
+
+// synth is a weighted-mix generator with workload-shaped dependences and
+// address patterns.
+type synth struct {
+	name string
+	rng  *sim.RNG
+
+	// cumulative weights over op kinds
+	wALU, wMul, wFPA, wFPM, wLoad, wStore, wBranch float64
+
+	mispredict float64 // probability a branch is mispredicted
+	depNear    float64 // probability an op depends on the previous op
+
+	addrBase uint64
+	addrSpan uint64 // streaming window in bytes; 0 = random within span
+	stream   bool   // sequential (streaming) addresses vs. uniform random
+	addrPos  uint64
+
+	spEvery int // emit an SP-writing stack op every N ops (0 = never)
+
+	count uint64
+}
+
+// Next implements isa.Stream.
+func (g *synth) Next() (isa.MicroOp, bool) {
+	g.count++
+	op := isa.MicroOp{BoundaryStart: true}
+	if g.spEvery > 0 && g.count%uint64(g.spEvery) == 0 {
+		// Stack push/pop: short-dependence SP update (call/ret traffic).
+		op.Class = isa.IntAlu
+		op.WritesSP = true
+		op.ReadsSP = true
+		return op, true
+	}
+	r := g.rng.Float64()
+	switch {
+	case r < g.wALU:
+		op.Class = isa.IntAlu
+		if g.rng.Float64() < g.depNear {
+			op.Dep1 = 1
+		}
+	case r < g.wMul:
+		op.Class = isa.IntMult
+		op.Dep1 = 1
+	case r < g.wFPA:
+		op.Class = isa.FPAlu
+		if g.rng.Float64() < g.depNear {
+			op.Dep1 = 1
+		}
+		op.Dep2 = uint32(2 + g.rng.Intn(4))
+	case r < g.wFPM:
+		op.Class = isa.FPMult
+		op.Dep1 = uint32(1 + g.rng.Intn(3))
+	case r < g.wLoad:
+		op.Class = isa.Load
+		op.Addr = g.nextAddr()
+	case r < g.wStore:
+		op.Class = isa.Store
+		op.Addr = g.nextAddr()
+		if g.rng.Float64() < g.depNear {
+			op.Dep1 = 1
+		}
+	default:
+		op.Class = isa.Branch
+		op.Dep1 = 1
+		op.Taken = g.rng.Bool(0.5)
+		op.Mispredict = g.rng.Bool(g.mispredict)
+	}
+	return op, true
+}
+
+func (g *synth) nextAddr() uint64 {
+	if g.addrSpan == 0 {
+		return g.addrBase
+	}
+	if g.stream {
+		a := g.addrBase + g.addrPos%g.addrSpan
+		g.addrPos += 64
+		return a
+	}
+	return g.addrBase + g.rng.Uint64n(g.addrSpan)&^7
+}
+
+// Name implements isa.Stream.
+func (g *synth) Name() string { return g.name }
+
+// Fib models the recursive fib microbenchmark: branch- and stack-heavy
+// integer code with a tiny data footprint.
+func Fib(seed uint64) isa.Stream {
+	return &synth{
+		name: "fib", rng: sim.NewRNG(seed),
+		wALU: 0.45, wMul: 0.45, wFPA: 0.45, wFPM: 0.45, wLoad: 0.62, wStore: 0.76, wBranch: 1,
+		mispredict: 0.008, depNear: 0.6,
+		addrBase: 0x10000, addrSpan: 8 << 10, stream: false,
+		spEvery: 9,
+	}
+}
+
+// Linpack models the linpack2 kernel: FP daxpy over an L2-resident matrix,
+// well-predicted loop branches.
+func Linpack(seed uint64) isa.Stream {
+	return &synth{
+		name: "linpack", rng: sim.NewRNG(seed),
+		wALU: 0.15, wMul: 0.15, wFPA: 0.38, wFPM: 0.55, wLoad: 0.75, wStore: 0.85, wBranch: 1,
+		mispredict: 0.004, depNear: 0.45,
+		addrBase: 0x100000, addrSpan: 1 << 20, stream: true,
+	}
+}
+
+// Memops models a memory-operations benchmark (large copies/fills):
+// load/store streams over an LLC-straddling buffer.
+func Memops(seed uint64) isa.Stream {
+	return &synth{
+		name: "memops", rng: sim.NewRNG(seed),
+		wALU: 0.20, wMul: 0.20, wFPA: 0.20, wFPM: 0.20, wLoad: 0.60, wStore: 0.92, wBranch: 1,
+		mispredict: 0.002, depNear: 0.25,
+		addrBase: 0x1000000, addrSpan: 48 << 20, stream: true,
+	}
+}
+
+// Matmul models a blocked matrix multiply: FP MAC chains over an L1/L2-
+// resident block with highly predictable branches.
+func Matmul(seed uint64) isa.Stream {
+	return &synth{
+		name: "matmul", rng: sim.NewRNG(seed),
+		wALU: 0.18, wMul: 0.18, wFPA: 0.40, wFPM: 0.62, wLoad: 0.88, wStore: 0.93, wBranch: 1,
+		mispredict: 0.002, depNear: 0.5,
+		addrBase: 0x200000, addrSpan: 192 << 10, stream: true,
+	}
+}
+
+// Base64 models base64 encoding: table-lookup loads, shift/mask ALU ops and
+// stores, moderately predictable branches.
+func Base64(seed uint64) isa.Stream {
+	return &synth{
+		name: "base64", rng: sim.NewRNG(seed),
+		wALU: 0.42, wMul: 0.42, wFPA: 0.42, wFPM: 0.42, wLoad: 0.70, wStore: 0.85, wBranch: 1,
+		mispredict: 0.01, depNear: 0.55,
+		addrBase: 0x300000, addrSpan: 16 << 10, stream: false,
+	}
+}
+
+// ByName returns the named microbenchmark stream. Recognised names: fib,
+// linpack, memops, matmul, base64. It returns nil for unknown names.
+func ByName(name string, seed uint64) isa.Stream {
+	switch name {
+	case "fib":
+		return Fib(seed)
+	case "linpack":
+		return Linpack(seed)
+	case "memops":
+		return Memops(seed)
+	case "matmul":
+		return Matmul(seed)
+	case "base64":
+		return Base64(seed)
+	}
+	return nil
+}

@@ -1,0 +1,266 @@
+package trace
+
+import (
+	"testing"
+
+	"xui/internal/isa"
+)
+
+// take pulls n ops from a stream.
+func take(t *testing.T, s isa.Stream, n int) []isa.MicroOp {
+	t.Helper()
+	out := make([]isa.MicroOp, 0, n)
+	for i := 0; i < n; i++ {
+		op, ok := s.Next()
+		if !ok {
+			t.Fatalf("%s ended after %d ops", s.Name(), i)
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// classShares computes the fraction of ops per class.
+func classShares(ops []isa.MicroOp) map[isa.OpClass]float64 {
+	counts := map[isa.OpClass]int{}
+	for _, op := range ops {
+		counts[op.Class]++
+	}
+	out := map[isa.OpClass]float64{}
+	for c, n := range counts {
+		out[c] = float64(n) / float64(len(ops))
+	}
+	return out
+}
+
+func TestWorkloadCharacters(t *testing.T) {
+	const n = 60000
+	cases := []struct {
+		name      string
+		minBranch float64 // minimum branch share
+		fpHeavy   bool
+		memHeavy  bool
+	}{
+		{"fib", 0.15, false, false},
+		{"linpack", 0.05, true, false},
+		{"memops", 0.03, false, true},
+		{"matmul", 0.03, true, false},
+		{"base64", 0.10, false, false},
+	}
+	for _, c := range cases {
+		ops := take(t, ByName(c.name, 42), n)
+		sh := classShares(ops)
+		if sh[isa.Branch] < c.minBranch {
+			t.Errorf("%s: branch share %.3f < %.3f", c.name, sh[isa.Branch], c.minBranch)
+		}
+		fp := sh[isa.FPAlu] + sh[isa.FPMult]
+		if c.fpHeavy && fp < 0.2 {
+			t.Errorf("%s: FP share %.3f, expected FP-heavy", c.name, fp)
+		}
+		if !c.fpHeavy && fp > 0.15 {
+			t.Errorf("%s: FP share %.3f, expected integer-dominated", c.name, fp)
+		}
+		memShare := sh[isa.Load] + sh[isa.Store]
+		if c.memHeavy && memShare < 0.5 {
+			t.Errorf("%s: memory share %.3f, expected memory-bound", c.name, memShare)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range []string{"fib", "linpack", "memops", "matmul", "base64"} {
+		a := take(t, ByName(name, 7), 5000)
+		b := take(t, ByName(name, 7), 5000)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: same-seed streams diverge at op %d", name, i)
+			}
+		}
+		c := take(t, ByName(name, 8), 5000)
+		same := 0
+		for i := range a {
+			if a[i] == c[i] {
+				same++
+			}
+		}
+		if same == len(a) {
+			t.Errorf("%s: different seeds produce identical streams", name)
+		}
+	}
+}
+
+func TestAllOpsAreBoundaries(t *testing.T) {
+	// The pipeline delivers interrupts only at instruction boundaries;
+	// generators model one-uop macro-instructions, so every op must be a
+	// boundary start.
+	for _, name := range []string{"fib", "linpack", "memops", "matmul", "base64"} {
+		for i, op := range take(t, ByName(name, 3), 2000) {
+			if !op.BoundaryStart {
+				t.Fatalf("%s: op %d not a boundary start", name, i)
+			}
+		}
+	}
+}
+
+func TestDependencesStayLocal(t *testing.T) {
+	for _, name := range []string{"fib", "linpack", "memops", "matmul", "base64"} {
+		for i, op := range take(t, ByName(name, 3), 5000) {
+			if op.Dep1 > 16 || op.Dep2 > 16 {
+				t.Fatalf("%s: op %d has distant dependence %d/%d", name, i, op.Dep1, op.Dep2)
+			}
+		}
+	}
+}
+
+func TestMispredictRates(t *testing.T) {
+	// fib is the branchiest; linpack/matmul are highly predictable.
+	rate := func(name string) float64 {
+		ops := take(t, ByName(name, 5), 200000)
+		br, mp := 0, 0
+		for _, op := range ops {
+			if op.Class == isa.Branch {
+				br++
+				if op.Mispredict {
+					mp++
+				}
+			}
+		}
+		if br == 0 {
+			return 0
+		}
+		return float64(mp) / float64(br)
+	}
+	if f, l := rate("fib"), rate("linpack"); f < 2*l {
+		t.Errorf("fib mispredict rate (%.4f) not ≫ linpack (%.4f)", f, l)
+	}
+	if m := rate("matmul"); m > 0.01 {
+		t.Errorf("matmul mispredict rate %.4f too high for a blocked kernel", m)
+	}
+}
+
+func TestPointerChaseSerialChain(t *testing.T) {
+	p := NewPointerChase(1, 1<<20, 0)
+	ops := take(t, p, 1000)
+	for i, op := range ops {
+		if op.Class != isa.Load || op.Dep1 != 1 {
+			t.Fatalf("op %d: %v dep %d, want serial load chain", i, op.Class, op.Dep1)
+		}
+		if op.Addr < 0x4000000 || op.Addr >= 0x4000000+1<<20 {
+			t.Fatalf("op %d address %#x outside working set", i, op.Addr)
+		}
+	}
+}
+
+func TestPointerChaseSPChains(t *testing.T) {
+	const every = 10
+	p := NewPointerChase(1, 1<<20, every)
+	ops := take(t, p, 200)
+	spWrites := 0
+	for i, op := range ops {
+		if (i+1)%every == 0 {
+			if !op.WritesSP || op.Dep1 != 1 {
+				t.Fatalf("op %d: expected SP write depending on chain, got %+v", i, op)
+			}
+			spWrites++
+			continue
+		}
+		if op.WritesSP {
+			t.Fatalf("op %d: unexpected SP write", i)
+		}
+		// The op right after an SP write starts a fresh chain.
+		if i%every == 0 && i > 0 {
+			if op.Dep1 != 0 {
+				t.Fatalf("op %d after SP write has Dep1=%d, want fresh chain", i, op.Dep1)
+			}
+		} else if op.Dep1 != 1 {
+			t.Fatalf("op %d: chain broken (dep %d)", i, op.Dep1)
+		}
+	}
+	if spWrites != 20 {
+		t.Errorf("SP writes = %d, want 20", spWrites)
+	}
+}
+
+func TestRdtscLoopShape(t *testing.T) {
+	r := NewRdtscLoop()
+	ops := take(t, r, 9)
+	for i := 0; i < 9; i += 3 {
+		if ops[i].Class != isa.IntAlu || ops[i].Lat == 0 {
+			t.Errorf("iteration op %d: want slow rdtsc alu, got %+v", i, ops[i])
+		}
+		if ops[i+1].Class != isa.Store {
+			t.Errorf("iteration op %d: want store, got %v", i+1, ops[i+1].Class)
+		}
+		if ops[i+2].Class != isa.Branch || ops[i+2].Mispredict {
+			t.Errorf("iteration op %d: want predictable loop branch", i+2)
+		}
+	}
+}
+
+func TestPollInstrumented(t *testing.T) {
+	inner := ByName("base64", 3)
+	p := NewPollInstrumented(inner, 10, 0xF200)
+	ops := take(t, p, 12000)
+	loads, branches := 0, 0
+	for i := 1; i < len(ops); i++ {
+		if ops[i-1].Class == isa.Load && ops[i-1].Shared && ops[i-1].Addr == 0xF200 {
+			loads++
+			if ops[i].Class != isa.Branch || ops[i].Dep1 != 1 {
+				t.Fatalf("check at %d not followed by dependent branch", i-1)
+			}
+			branches++
+		}
+	}
+	// 12000 ops ≈ 10000 inner + ~1000 check pairs.
+	if loads < 900 || loads > 1100 {
+		t.Errorf("%d poll checks in 12000 ops, want ≈1000", loads)
+	}
+	if loads != branches {
+		t.Errorf("loads %d != branches %d", loads, branches)
+	}
+	if got := p.Name(); got != "base64+poll" {
+		t.Errorf("name = %q", got)
+	}
+	// checkEvery < 1 clamps.
+	q := NewPollInstrumented(ByName("fib", 1), 0, 1)
+	if q.checkEvery != 1 {
+		t.Errorf("checkEvery clamp failed: %d", q.checkEvery)
+	}
+}
+
+func TestSafepointAnnotated(t *testing.T) {
+	s := NewSafepointAnnotated(ByName("matmul", 3), 25)
+	ops := take(t, s, 10000)
+	marked := 0
+	for i, op := range ops {
+		if op.Safepoint {
+			marked++
+			if (i+1)%25 != 0 {
+				t.Fatalf("safepoint at op %d, expected every 25", i)
+			}
+		}
+	}
+	if marked != 400 {
+		t.Errorf("%d safepoints in 10000 ops, want 400", marked)
+	}
+	if got := s.Name(); got != "matmul+sp" {
+		t.Errorf("name = %q", got)
+	}
+}
+
+func TestStreamAddressesWithinSpans(t *testing.T) {
+	// Memory ops must stay within each workload's declared footprint so
+	// the cache model sees the intended working-set tiering.
+	for _, name := range []string{"linpack", "memops", "matmul", "base64", "fib"} {
+		g := ByName(name, 9).(*synth)
+		lo, hi := g.addrBase, g.addrBase+g.addrSpan
+		for i, op := range take(t, g, 30000) {
+			if op.Class != isa.Load && op.Class != isa.Store {
+				continue
+			}
+			if op.Addr < lo || op.Addr >= hi {
+				t.Fatalf("%s op %d: address %#x outside [%#x,%#x)", name, i, op.Addr, lo, hi)
+			}
+		}
+	}
+}

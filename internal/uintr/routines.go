@@ -1,0 +1,115 @@
+package uintr
+
+import "xui/internal/isa"
+
+// Microcode routine builders. Per-op latencies are calibration knobs: they
+// are tuned (and continuously asserted by internal/experiments tests)
+// so that the *emergent* pipeline costs reproduce the paper's measurements:
+//
+//	senduipi            ≈ 383 cycles, dominated by serializing MSR writes
+//	notification+delivery (tracked IPI, §4.1)  ≈ 231 cycles
+//	delivery alone (KB_Timer / forwarded, §4.3) ≈ 105 cycles
+//	uiret               ≈ 10 cycles
+//
+// The notification routine's UPID read is a *shared* load: the sender core
+// just wrote the line, so the receiver pays a cache-to-cache transfer —
+// exactly the "equivalent to polling" cost §4.2 identifies. Its Lat field
+// adds the extra mesh hops of a Sapphire-Rapids-class uncore on top of the
+// base cross-core transfer.
+
+// NotificationRoutine returns the notification-processing microcode: read
+// the UPID, clear ON, read PIR into UIRR (§3.3 step 4). upidAddr locates
+// the current thread's UPID.
+func NotificationRoutine(upidAddr uint64) isa.Routine {
+	return isa.Routine{
+		Name: "notification_processing",
+		Ops: []isa.MicroOp{
+			{Class: isa.IntAlu, Lat: 2, BoundaryStart: true},                  // 0: ucode entry, locate UPID
+			{Class: isa.Load, Addr: upidAddr, Shared: true, Lat: 40, Dep1: 1}, // 1: read UPID (cross-core transfer + mesh)
+			{Class: isa.IntAlu, Dep1: 1},                                      // 2: extract ON/PIR fields
+			{Class: isa.Store, Addr: upidAddr, Shared: true, Dep1: 1},         // 3: clear outstanding-notification bit
+			{Class: isa.Load, Addr: upidAddr + 8, Dep1: 3},                    // 4: read PIR word (line now local)
+			{Class: isa.IntAlu, Lat: 4, Dep1: 1},                              // 5: merge into UIRR
+			{Class: isa.IntAlu, Lat: 2, Dep1: 1},                              // 6: clear PIR
+		},
+	}
+}
+
+// DeliveryRoutine returns the user-interrupt delivery microcode: push
+// SS:RSP, RIP and the vector onto the user stack, clear UIF, update UIRR,
+// and jump to the registered handler (§3.3 step 5). stackAddr is the
+// simulated handler stack location.
+func DeliveryRoutine(stackAddr uint64) isa.Routine {
+	return isa.Routine{
+		Name: "interrupt_delivery",
+		Ops: []isa.MicroOp{
+			{Class: isa.IntAlu, Lat: 3, BoundaryStart: true},     // 0: ucode entry
+			{Class: isa.IntAlu, Lat: 26, Dep1: 1},                // 1: read UINT_HANDLER / stack MSRs
+			{Class: isa.IntAlu, Lat: 2, Dep1: 1, ReadsSP: true},  // 2: compute frame address (needs RSP!)
+			{Class: isa.Store, Addr: stackAddr, Dep1: 1},         // 3: push RSP
+			{Class: isa.Store, Addr: stackAddr + 8, Dep1: 2},     // 4: push RIP (the tracked next_pc)
+			{Class: isa.Store, Addr: stackAddr + 16, Dep1: 3},    // 5: push vector
+			{Class: isa.IntAlu, Lat: 30, Dep1: 1},                // 6: clear UIF (microcoded flag write)
+			{Class: isa.IntAlu, Lat: 30, Dep1: 1},                // 7: update UIRR, fold priority
+			{Class: isa.IntAlu, Lat: 6, Dep1: 1, WritesSP: true}, // 8: switch to handler frame
+			// Microcoded indirect jump: no predictor coverage, so fetch of
+			// the handler waits for it to resolve (FetchBarrier).
+			{Class: isa.Branch, Dep1: 1, Taken: true, FetchBarrier: true}, // 9: jump to handler
+		},
+	}
+}
+
+// UiretRoutine returns the uiret microcode: pop the saved state, set UIF,
+// resume (§3.3 step 7 — measured at ~10 cycles).
+func UiretRoutine(stackAddr uint64) isa.Routine {
+	return isa.Routine{
+		Name: "uiret",
+		Ops: []isa.MicroOp{
+			{Class: isa.Load, Addr: stackAddr, BoundaryStart: true},       // pop frame
+			{Class: isa.IntAlu, Lat: 2, Dep1: 1, WritesSP: true},          // restore RSP, set UIF
+			{Class: isa.Branch, Dep1: 1, Taken: true, FetchBarrier: true}, // resume (return through frame)
+		},
+	}
+}
+
+// SenduipiRoutine returns the sender-side senduipi microcode: UITT lookup,
+// UPID read-modify-write (a cross-core RFO when the receiver owns the
+// line), and the serializing ICR write that launches the notification IPI
+// (§3.5: 57 micro-ops from the MSROM, ~279 stall cycles from serializing
+// operations, 383 cycles total).
+//
+// uittAddr and upidAddr locate the structures; icrWriteIdx in the returned
+// routine marks the op whose completion corresponds to the IPI leaving the
+// local APIC (used by the sender model to time message departure).
+func SenduipiRoutine(uittAddr, upidAddr uint64) (r isa.Routine, icrWriteIdx int) {
+	ops := []isa.MicroOp{
+		{Class: isa.IntAlu, Lat: 2, BoundaryStart: true},                  // 0: decode operand, MSROM entry
+		{Class: isa.Load, Addr: uittAddr},                                 // 1: read UITT entry
+		{Class: isa.IntAlu, Dep1: 1},                                      // 2: validate entry
+		{Class: isa.Load, Addr: upidAddr, Shared: true, Lat: 40, Dep1: 1}, // 3: read UPID (RFO begins)
+		{Class: isa.IntAlu, Dep1: 1},                                      // 4: compute PIR bit
+		{Class: isa.Store, Addr: upidAddr, Shared: true, Dep1: 1},         // 5: locked OR into PIR, set ON
+		{Class: isa.IntAlu, Dep1: 1},                                      // 6: extract NDST/NV
+		{Class: isa.Serialize, Lat: 130, Dep1: 1},                         // 7: WRMSR: arm ICR (serializing)
+		{Class: isa.Serialize, Lat: 95, Dep1: 1},                          // 8: WRMSR: ICR write, IPI departs
+	}
+	icrWriteIdx = len(ops) - 1
+	// Pad with bookkeeping micro-ops to the measured 57-uop MSROM count;
+	// they execute in parallel and add negligible latency, matching the
+	// observation that stalls, not uop count, dominate senduipi.
+	for len(ops) < 57 {
+		ops = append(ops, isa.MicroOp{Class: isa.IntAlu})
+	}
+	return isa.Routine{Name: "senduipi", Ops: ops}, icrWriteIdx
+}
+
+// CluiCost and StuiCost are the measured costs of the user-interrupt
+// flag-manipulation instructions (Table 2). clui is a cheap flag clear;
+// stui is dearer because setting UIF forces the core to re-scan UIRR for
+// pending interrupts. They are charged directly by Tier-2 models and by
+// the safepoint-alternative cost analysis (§4.1: a clui/stui pair costs 34
+// cycles, too expensive for hot paths).
+const (
+	CluiCost = 2
+	StuiCost = 32
+)

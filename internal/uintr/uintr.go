@@ -1,0 +1,164 @@
+// Package uintr implements Intel's UIPI protocol as described in §3 of the
+// paper: the in-memory UPID and UITT structures, the senduipi posting
+// protocol, the user-interrupt control instructions, and the MSROM
+// microcode routines (notification processing, delivery, uiret) whose
+// timing the pipeline model executes.
+//
+// The package has two faces:
+//
+//   - A functional protocol model (UPID, UITT, Post/Acknowledge) used by the
+//     Tier-2 system simulation in internal/core and internal/kernel.
+//   - Microcode routine builders used by the Tier-1 pipeline model; their
+//     per-op latencies are calibrated so the emergent costs reproduce the
+//     paper's Table 2 / Figure 2 measurements.
+package uintr
+
+import "fmt"
+
+// Vector is a 6-bit user interrupt vector (§3.1: UIPI defines its own
+// vector space, UV, orthogonal to the core's 256-entry space).
+type Vector uint8
+
+// MaxVector is the largest user vector (6-bit space).
+const MaxVector Vector = 63
+
+// UPID is the User Posted Interrupt Descriptor (Table 1). One per
+// receiving thread, allocated by the kernel, shared in memory between
+// cores. Field layout follows the paper's Table 1.
+type UPID struct {
+	// ON — outstanding notification: set when one or more user interrupts
+	// have been posted and a notification IPI is outstanding.
+	ON bool
+	// SN — suppressed notification: set by the kernel when the receiver
+	// thread is context-switched out, telling senders not to send IPIs.
+	SN bool
+	// NV — notification vector: the conventional interrupt vector used to
+	// signal a pending UIPI to the receiving core.
+	NV uint8
+	// NDST — notification destination: APIC ID of the core the thread is
+	// currently running on. The OS rewrites this on migration.
+	NDST uint32
+	// PIR — posted interrupt requests: one bit per user vector.
+	PIR uint64
+
+	// Addr is the simulated memory address of this descriptor, used by the
+	// timing models (the UPID occupies one cache line).
+	Addr uint64
+}
+
+// Post records a posted user interrupt with the given vector, returning
+// whether the sender should follow with a notification IPI. Mirrors the
+// senduipi microcode: set the PIR bit; the IPI is sent only when no
+// notification is already outstanding and notifications are not
+// suppressed (in which case ON is set as a side effect).
+func (u *UPID) Post(v Vector) (notify bool) {
+	if v > MaxVector {
+		panic(fmt.Sprintf("uintr: vector %d out of range", v))
+	}
+	u.PIR |= 1 << v
+	if u.SN || u.ON {
+		return false
+	}
+	u.ON = true
+	return true
+}
+
+// Acknowledge is the receiver's notification-processing step: it clears ON,
+// drains PIR and returns the pending vector set. (Hardware copies PIR into
+// UIRR; we return it.)
+func (u *UPID) Acknowledge() (pir uint64) {
+	u.ON = false
+	pir = u.PIR
+	u.PIR = 0
+	return pir
+}
+
+// Pending reports whether any vector is posted.
+func (u *UPID) Pending() bool { return u.PIR != 0 }
+
+// Suppress sets SN (thread descheduled). Posted bits remain for the kernel
+// slow path.
+func (u *UPID) Suppress() { u.SN = true }
+
+// Unsuppress clears SN (thread rescheduled).
+func (u *UPID) Unsuppress() { u.SN = false }
+
+// Encode packs the descriptor into its 128-bit in-memory layout, exactly
+// per Table 1: ON at bit 0, SN at bit 1, NV at bits 23:16, NDST at bits
+// 63:32, PIR at bits 127:64.
+func (u *UPID) Encode() (lo, hi uint64) {
+	if u.ON {
+		lo |= 1 << 0
+	}
+	if u.SN {
+		lo |= 1 << 1
+	}
+	lo |= uint64(u.NV) << 16
+	lo |= uint64(u.NDST) << 32
+	hi = u.PIR
+	return lo, hi
+}
+
+// DecodeUPID unpacks the Table 1 layout. The Addr field is not part of the
+// architectural state and is left zero.
+func DecodeUPID(lo, hi uint64) UPID {
+	return UPID{
+		ON:   lo&(1<<0) != 0,
+		SN:   lo&(1<<1) != 0,
+		NV:   uint8(lo >> 16),
+		NDST: uint32(lo >> 32),
+		PIR:  hi,
+	}
+}
+
+// UITTEntry maps a connection index to a receiver: ⟨UPID, user vector⟩
+// (§3.1). The presence of the entry is the permission to send.
+type UITTEntry struct {
+	Valid  bool
+	UPID   *UPID
+	Vector Vector
+}
+
+// UITT is the per-process User Interrupt Target Table.
+type UITT struct {
+	entries []UITTEntry
+}
+
+// Register appends an entry and returns its index — the operand the sender
+// passes to senduipi (register_sender(...) in the kernel interface).
+func (t *UITT) Register(upid *UPID, v Vector) int {
+	t.entries = append(t.entries, UITTEntry{Valid: true, UPID: upid, Vector: v})
+	return len(t.entries) - 1
+}
+
+// Revoke invalidates an entry.
+func (t *UITT) Revoke(idx int) {
+	if idx >= 0 && idx < len(t.entries) {
+		t.entries[idx].Valid = false
+	}
+}
+
+// Len returns the number of allocated entries.
+func (t *UITT) Len() int { return len(t.entries) }
+
+// Lookup returns the entry for a senduipi operand.
+func (t *UITT) Lookup(idx int) (UITTEntry, error) {
+	if idx < 0 || idx >= len(t.entries) || !t.entries[idx].Valid {
+		return UITTEntry{}, fmt.Errorf("uintr: invalid UITT index %d", idx)
+	}
+	return t.entries[idx], nil
+}
+
+// Senduipi performs the sender-side protocol for entry idx: look up the
+// UPID and vector, post, and report whether and where a notification IPI
+// must be sent (the receiving core's APIC ID and notification vector).
+func (t *UITT) Senduipi(idx int) (notify bool, ndst uint32, nv uint8, err error) {
+	e, err := t.Lookup(idx)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	if e.UPID.Post(e.Vector) {
+		return true, e.UPID.NDST, e.UPID.NV, nil
+	}
+	return false, 0, 0, nil
+}

@@ -1,0 +1,212 @@
+package uintr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUPIDPostFirstNotifies(t *testing.T) {
+	u := &UPID{NV: 0xEC, NDST: 3}
+	if !u.Post(5) {
+		t.Fatalf("first post did not request notification")
+	}
+	if !u.ON {
+		t.Errorf("ON not set after post")
+	}
+	if u.PIR != 1<<5 {
+		t.Errorf("PIR = %#x, want bit 5", u.PIR)
+	}
+}
+
+func TestUPIDPostWhileOutstandingSuppressed(t *testing.T) {
+	u := &UPID{}
+	u.Post(1)
+	if u.Post(2) {
+		t.Errorf("second post notified while ON already set")
+	}
+	if u.PIR != 0b110 {
+		t.Errorf("PIR = %#b, want both bits", u.PIR)
+	}
+}
+
+func TestUPIDSuppression(t *testing.T) {
+	u := &UPID{}
+	u.Suppress()
+	if u.Post(3) {
+		t.Errorf("post notified despite SN")
+	}
+	if !u.Pending() {
+		t.Errorf("posted vector lost under SN")
+	}
+	u.Unsuppress()
+	// Still no IPI until someone drains: ON semantics are per-notification,
+	// not per-vector; SN was covering the outstanding state.
+	pir := u.Acknowledge()
+	if pir != 1<<3 {
+		t.Errorf("acknowledge = %#x, want bit 3", pir)
+	}
+	if u.Pending() || u.ON {
+		t.Errorf("acknowledge did not clear state")
+	}
+}
+
+func TestUPIDAcknowledgeThenPostNotifiesAgain(t *testing.T) {
+	u := &UPID{}
+	u.Post(1)
+	u.Acknowledge()
+	if !u.Post(1) {
+		t.Errorf("post after acknowledge did not notify")
+	}
+}
+
+func TestUPIDVectorRange(t *testing.T) {
+	u := &UPID{}
+	u.Post(MaxVector) // must not panic
+	defer func() {
+		if recover() == nil {
+			t.Errorf("posting vector 64 did not panic")
+		}
+	}()
+	u.Post(MaxVector + 1)
+}
+
+// Property: for any sequence of posts, PIR equals the union of posted bits,
+// and exactly the first post after each acknowledge (with SN clear)
+// notifies.
+func TestUPIDPostProperty(t *testing.T) {
+	f := func(vectors []byte) bool {
+		u := &UPID{}
+		var want uint64
+		notified := false
+		for _, b := range vectors {
+			v := Vector(b % 64)
+			n := u.Post(v)
+			want |= 1 << v
+			if n && notified {
+				return false // double notification without acknowledge
+			}
+			notified = notified || n
+		}
+		return u.PIR == want && (len(vectors) == 0 || notified)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUITTRegisterLookup(t *testing.T) {
+	var tbl UITT
+	u1, u2 := &UPID{NDST: 1, NV: 0xEC}, &UPID{NDST: 2, NV: 0xEC}
+	i1 := tbl.Register(u1, 7)
+	i2 := tbl.Register(u2, 9)
+	if i1 == i2 {
+		t.Fatalf("duplicate UITT indices")
+	}
+	e, err := tbl.Lookup(i2)
+	if err != nil || e.UPID != u2 || e.Vector != 9 {
+		t.Errorf("lookup(i2) = %+v, %v", e, err)
+	}
+	if _, err := tbl.Lookup(99); err == nil {
+		t.Errorf("lookup of unallocated index succeeded")
+	}
+	if _, err := tbl.Lookup(-1); err == nil {
+		t.Errorf("lookup(-1) succeeded")
+	}
+	tbl.Revoke(i1)
+	if _, err := tbl.Lookup(i1); err == nil {
+		t.Errorf("lookup of revoked entry succeeded")
+	}
+	if tbl.Len() != 2 {
+		t.Errorf("len = %d, want 2", tbl.Len())
+	}
+}
+
+func TestUITTSenduipi(t *testing.T) {
+	var tbl UITT
+	u := &UPID{NDST: 4, NV: 0xEC}
+	idx := tbl.Register(u, 11)
+	notify, ndst, nv, err := tbl.Senduipi(idx)
+	if err != nil || !notify || ndst != 4 || nv != 0xEC {
+		t.Errorf("senduipi = (%v,%d,%#x,%v)", notify, ndst, nv, err)
+	}
+	// Second send while outstanding: posted, not notified.
+	notify, _, _, err = tbl.Senduipi(idx)
+	if err != nil || notify {
+		t.Errorf("second senduipi notified: (%v,%v)", notify, err)
+	}
+	if u.PIR != 1<<11 {
+		t.Errorf("PIR = %#x", u.PIR)
+	}
+	if _, _, _, err := tbl.Senduipi(42); err == nil {
+		t.Errorf("senduipi on bad index succeeded")
+	}
+}
+
+func TestRoutinesValidate(t *testing.T) {
+	notif := NotificationRoutine(0x1000)
+	if err := notif.Validate(); err != nil {
+		t.Errorf("notification routine invalid: %v", err)
+	}
+	del := DeliveryRoutine(0x2000)
+	if err := del.Validate(); err != nil {
+		t.Errorf("delivery routine invalid: %v", err)
+	}
+	ui := UiretRoutine(0x2000)
+	if err := ui.Validate(); err != nil {
+		t.Errorf("uiret routine invalid: %v", err)
+	}
+	snd, icr := SenduipiRoutine(0x3000, 0x1000)
+	if err := snd.Validate(); err != nil {
+		t.Errorf("senduipi routine invalid: %v", err)
+	}
+	if snd.Len() != 57 {
+		t.Errorf("senduipi uop count = %d, want the measured 57", snd.Len())
+	}
+	if icr <= 0 || icr >= snd.Len() {
+		t.Errorf("icr index %d out of range", icr)
+	}
+	// The delivery routine must read SP (the §6.1 worst case depends on it)
+	// and the uiret must restore it.
+	readsSP := false
+	for _, op := range del.Ops {
+		if op.ReadsSP {
+			readsSP = true
+		}
+	}
+	if !readsSP {
+		t.Errorf("delivery routine never reads SP")
+	}
+}
+
+func TestUPIDEncodeLayout(t *testing.T) {
+	// Table 1 bit ranges: ON 0:0, SN 1:1, NV 23:16, NDST 63:32, PIR 127:64.
+	u := UPID{ON: true, SN: false, NV: 0xEC, NDST: 27, PIR: 1<<5 | 1<<63}
+	lo, hi := u.Encode()
+	if lo&1 != 1 {
+		t.Errorf("ON bit not at 0")
+	}
+	if lo&2 != 0 {
+		t.Errorf("SN bit set")
+	}
+	if uint8(lo>>16) != 0xEC {
+		t.Errorf("NV at 23:16 = %#x", uint8(lo>>16))
+	}
+	if uint32(lo>>32) != 27 {
+		t.Errorf("NDST at 63:32 = %d", uint32(lo>>32))
+	}
+	if hi != 1<<5|1<<63 {
+		t.Errorf("PIR at 127:64 = %#x", hi)
+	}
+}
+
+// Property: Encode/Decode round-trips every architectural field.
+func TestUPIDEncodeRoundTrip(t *testing.T) {
+	f := func(on, sn bool, nv uint8, ndst uint32, pir uint64) bool {
+		u := UPID{ON: on, SN: sn, NV: nv, NDST: ndst, PIR: pir}
+		got := DecodeUPID(u.Encode())
+		return got.ON == on && got.SN == sn && got.NV == nv && got.NDST == ndst && got.PIR == pir
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

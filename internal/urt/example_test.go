@@ -1,0 +1,61 @@
+package urt_test
+
+import (
+	"fmt"
+
+	"xui/internal/core"
+	"xui/internal/kernel"
+	"xui/internal/sim"
+	"xui/internal/uintr"
+	"xui/internal/urt"
+)
+
+// Preempt a long request so a short one sneaks through — the scheduling
+// pattern behind the paper's RocksDB evaluation.
+func ExampleRuntime() {
+	s := sim.New(1)
+	m, _ := core.NewMachine(s, 1, core.TrackedIPI)
+	k := kernel.New(m)
+	rt, _ := urt.New(m, k, urt.Config{
+		Workers: 1,
+		Preempt: urt.KBTimer,
+		Quantum: 10000, // 5 µs
+	})
+
+	rt.Spawn(0, "long", sim.FromMicros(100), func(now sim.Time, _ *urt.UThread) {
+		fmt.Printf("long done at %.0f µs\n", now.Micros())
+	})
+	rt.Spawn(0, "short", sim.FromMicros(1), func(now sim.Time, _ *urt.UThread) {
+		fmt.Printf("short done at %.1f µs\n", now.Micros())
+	})
+	s.RunUntil(sim.FromMicros(300))
+	// Output:
+	// short done at 6.2 µs
+	// long done at 102 µs
+}
+
+// Multiplex many software timeouts over one KB_Timer.
+func ExampleTimerWheel() {
+	s := sim.New(1)
+	m, _ := core.NewMachine(s, 1, core.TrackedIPI)
+	k := kernel.New(m)
+	th := k.NewThread()
+	var w *urt.TimerWheel
+	k.RegisterHandler(th, func(now sim.Time, _ uintr.Vector, _ core.Mechanism) {
+		w.HandleExpiry(now)
+	})
+	k.ScheduleOn(th, 0)
+	m.Cores[0].KBT.Enable(3)
+	w, _ = urt.NewTimerWheel(s, m.Cores[0].KBT)
+
+	w.After(sim.FromMicros(2), func(now sim.Time) { fmt.Println("t1") })
+	t2 := w.After(sim.FromMicros(5), func(now sim.Time) { fmt.Println("t2 (cancelled)") })
+	w.After(sim.FromMicros(8), func(now sim.Time) { fmt.Println("t3") })
+	w.Cancel(t2)
+	s.RunUntil(sim.FromMicros(50))
+	fmt.Println("fired:", w.Fired)
+	// Output:
+	// t1
+	// t3
+	// fired: 2
+}

@@ -1,0 +1,135 @@
+package urt
+
+import (
+	"container/heap"
+	"fmt"
+
+	"xui/internal/core"
+	"xui/internal/sim"
+)
+
+// TimerWheel multiplexes any number of software timers over one per-core
+// KB_Timer, the way the paper intends the primitive to be used (§4.3:
+// "a low-level primitive that user-level runtimes can use to implement
+// software timers for tasks like preemption, periodic polling, timeouts").
+//
+// It keeps a deadline heap and programs the KB_Timer in one-shot mode for
+// the earliest deadline; each expiry interrupt costs the delivery-only
+// 105 cycles, and re-programming is a user-mode set_timer — no syscalls
+// anywhere on the path.
+type TimerWheel struct {
+	sim  *sim.Simulator
+	kbt  *core.KBTimer
+	heap timerHeap
+	next uint64
+
+	// Fired counts software-timer callbacks run.
+	Fired uint64
+}
+
+// SWTimer is one software timer handle.
+type SWTimer struct {
+	id       uint64
+	deadline sim.Time
+	fn       func(now sim.Time)
+	index    int // heap index, -1 when inactive
+}
+
+// Active reports whether the timer is still pending.
+func (t *SWTimer) Active() bool { return t.index >= 0 }
+
+type timerHeap []*SWTimer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].deadline != h[j].deadline {
+		return h[i].deadline < h[j].deadline
+	}
+	return h[i].id < h[j].id
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*SWTimer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// NewTimerWheel builds a wheel over the core's KB_Timer. The kernel must
+// have enabled the timer (enable_kb_timer) first; the wheel owns it from
+// here on.
+func NewTimerWheel(s *sim.Simulator, kbt *core.KBTimer) (*TimerWheel, error) {
+	if !kbt.Enabled() {
+		return nil, fmt.Errorf("urt: KB_Timer not enabled by the kernel")
+	}
+	w := &TimerWheel{sim: s, kbt: kbt}
+	return w, nil
+}
+
+// HandleExpiry must be invoked from the core's user interrupt handler when
+// the KB_Timer vector fires: it runs every due software timer and re-arms
+// the hardware for the next deadline.
+func (w *TimerWheel) HandleExpiry(now sim.Time) {
+	for len(w.heap) > 0 && w.heap[0].deadline <= now {
+		t := heap.Pop(&w.heap).(*SWTimer)
+		w.Fired++
+		if t.fn != nil {
+			t.fn(now)
+		}
+	}
+	w.rearm()
+}
+
+// After schedules fn to run delay cycles from now and returns its handle.
+func (w *TimerWheel) After(delay sim.Time, fn func(now sim.Time)) *SWTimer {
+	w.next++
+	t := &SWTimer{
+		id:       w.next,
+		deadline: w.sim.Now() + delay,
+		fn:       fn,
+		index:    -1,
+	}
+	heap.Push(&w.heap, t)
+	w.rearm()
+	return t
+}
+
+// Cancel deactivates a pending timer; cancelling a fired or cancelled
+// timer is a no-op. Returns whether the timer was still pending.
+func (w *TimerWheel) Cancel(t *SWTimer) bool {
+	if t == nil || t.index < 0 {
+		return false
+	}
+	heap.Remove(&w.heap, t.index)
+	w.rearm()
+	return true
+}
+
+// Pending returns the number of armed software timers.
+func (w *TimerWheel) Pending() int { return len(w.heap) }
+
+// rearm programs the KB_Timer (one-shot, absolute deadline — exactly the
+// set_timer(cycles, one-shot) ISA shape) for the earliest pending timer.
+func (w *TimerWheel) rearm() {
+	if len(w.heap) == 0 {
+		w.kbt.Clear()
+		return
+	}
+	if err := w.kbt.Set(uint64(w.heap[0].deadline), core.OneShot); err != nil {
+		// Enabled() was checked at construction; the kernel disabling the
+		// timer mid-flight is a model bug worth failing loudly on.
+		panic(err)
+	}
+}

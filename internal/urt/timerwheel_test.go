@@ -1,0 +1,176 @@
+package urt
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"xui/internal/core"
+	"xui/internal/kernel"
+	"xui/internal/sim"
+	"xui/internal/uintr"
+)
+
+// wheelFixture wires a TimerWheel to a one-core machine's KB_Timer through
+// the kernel's registration path.
+func wheelFixture(t *testing.T) (*sim.Simulator, *TimerWheel) {
+	t.Helper()
+	s := sim.New(1)
+	m, err := core.NewMachine(s, 1, core.TrackedIPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(m)
+	th := k.NewThread()
+	var w *TimerWheel
+	k.RegisterHandler(th, func(now sim.Time, _ uintr.Vector, _ core.Mechanism) {
+		w.HandleExpiry(now)
+	})
+	k.ScheduleOn(th, 0)
+	m.Cores[0].KBT.Enable(3)
+	w, err = NewTimerWheel(s, m.Cores[0].KBT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, w
+}
+
+func TestTimerWheelRequiresEnabledKBT(t *testing.T) {
+	s := sim.New(1)
+	m, _ := core.NewMachine(s, 1, core.TrackedIPI)
+	if _, err := NewTimerWheel(s, m.Cores[0].KBT); err == nil {
+		t.Fatalf("wheel built over a disabled KB_Timer")
+	}
+}
+
+func TestTimerWheelSingleTimer(t *testing.T) {
+	s, w := wheelFixture(t)
+	var at sim.Time
+	w.After(10000, func(now sim.Time) { at = now })
+	s.RunUntil(50000)
+	// Fires at deadline + delivery-only cost (105) — no OS anywhere.
+	if at != 10000+core.DeliveryOnlyCost {
+		t.Errorf("fired at %d, want %d", at, 10000+core.DeliveryOnlyCost)
+	}
+	if w.Pending() != 0 {
+		t.Errorf("pending = %d after fire", w.Pending())
+	}
+}
+
+func TestTimerWheelOrdering(t *testing.T) {
+	s, w := wheelFixture(t)
+	var order []int
+	w.After(30000, func(sim.Time) { order = append(order, 3) })
+	w.After(10000, func(sim.Time) { order = append(order, 1) })
+	w.After(20000, func(sim.Time) { order = append(order, 2) })
+	s.RunUntil(100000)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("fire order %v", order)
+	}
+}
+
+func TestTimerWheelCancel(t *testing.T) {
+	s, w := wheelFixture(t)
+	fired := 0
+	keep := w.After(20000, func(sim.Time) { fired++ })
+	drop := w.After(10000, func(sim.Time) { fired += 100 })
+	if !w.Cancel(drop) {
+		t.Fatalf("cancel of pending timer returned false")
+	}
+	if w.Cancel(drop) {
+		t.Errorf("double cancel returned true")
+	}
+	if drop.Active() {
+		t.Errorf("cancelled timer still active")
+	}
+	s.RunUntil(100000)
+	if fired != 1 {
+		t.Errorf("fired = %d, want only the kept timer", fired)
+	}
+	if w.Cancel(keep) {
+		t.Errorf("cancel of fired timer returned true")
+	}
+}
+
+func TestTimerWheelManyTimersShareOneKBT(t *testing.T) {
+	s, w := wheelFixture(t)
+	var fireTimes []sim.Time
+	const n = 200
+	for i := 0; i < n; i++ {
+		w.After(sim.Time(1000+i*777), func(now sim.Time) { fireTimes = append(fireTimes, now) })
+	}
+	s.RunUntil(2_000_000)
+	if len(fireTimes) != n {
+		t.Fatalf("fired %d of %d", len(fireTimes), n)
+	}
+	for i := 1; i < len(fireTimes); i++ {
+		if fireTimes[i] < fireTimes[i-1] {
+			t.Fatalf("out-of-order firing at %d", i)
+		}
+	}
+	if w.Fired != n {
+		t.Errorf("Fired = %d", w.Fired)
+	}
+}
+
+func TestTimerWheelTimersScheduledFromCallbacks(t *testing.T) {
+	s, w := wheelFixture(t)
+	depth := 0
+	var tick func(now sim.Time)
+	tick = func(now sim.Time) {
+		depth++
+		if depth < 20 {
+			w.After(5000, tick)
+		}
+	}
+	w.After(5000, tick)
+	s.RunUntil(2_000_000)
+	if depth != 20 {
+		t.Errorf("chained depth %d, want 20", depth)
+	}
+}
+
+// Property: any batch of deadlines fires completely and in deadline order.
+func TestTimerWheelProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		if len(delays) > 64 {
+			delays = delays[:64]
+		}
+		s := sim.New(1)
+		m, _ := core.NewMachine(s, 1, core.TrackedIPI)
+		k := kernel.New(m)
+		th := k.NewThread()
+		var w *TimerWheel
+		k.RegisterHandler(th, func(now sim.Time, _ uintr.Vector, _ core.Mechanism) {
+			w.HandleExpiry(now)
+		})
+		k.ScheduleOn(th, 0)
+		m.Cores[0].KBT.Enable(3)
+		w, _ = NewTimerWheel(s, m.Cores[0].KBT)
+
+		want := make([]int, len(delays))
+		var got []sim.Time
+		for i, d := range delays {
+			want[i] = int(d) + 1
+			w.After(sim.Time(d)+1, func(now sim.Time) { got = append(got, now) })
+		}
+		s.RunUntil(sim.Time(1 << 22))
+		if len(got) != len(delays) {
+			return false
+		}
+		sort.Ints(want)
+		for i := 1; i < len(got); i++ {
+			if got[i] < got[i-1] {
+				return false
+			}
+		}
+		// Every callback runs no earlier than its deadline.
+		return got[0] >= sim.Time(want[0])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
