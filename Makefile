@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test bench run-all examples
+.PHONY: all build vet test bench race run-all examples
 
 all: build vet test
 
@@ -14,7 +14,10 @@ test:
 	go test ./...
 
 bench:
-	go test -bench=. -benchmem .
+	go test -run '^$$' -bench=. -benchmem ./...
+
+race:
+	go test -race ./...
 
 # Regenerate every table and figure from the paper.
 run-all:

@@ -15,7 +15,9 @@ import (
 
 	"xui/internal/cpu"
 	"xui/internal/experiments"
+	"xui/internal/obs"
 	"xui/internal/sim"
+	"xui/internal/trace"
 )
 
 // BenchmarkTable2UIPIMetrics regenerates Table 2.
@@ -184,6 +186,40 @@ func BenchmarkAblationStrategies(b *testing.B) {
 			}
 			b.ReportMetric(per, "cy/event")
 		})
+	}
+}
+
+// obsBenchRun is the fixed pipeline workload the observability-overhead
+// pair below shares: a flush-strategy receiver on linpack taking periodic
+// full-path interrupts.
+func obsBenchRun() {
+	c, port := experiments.NewReceiver(cpu.Flush, trace.ByName("linpack", 1))
+	c.PeriodicInterrupts(5000, 5000, func() cpu.Interrupt {
+		port.MarkRemoteWrite(experiments.UPIDAddr)
+		return cpu.Interrupt{Vector: 1, Handler: experiments.TinyHandler()}
+	})
+	c.Run(60000, 60000*400)
+}
+
+// BenchmarkObsDisabled measures the pipeline with observability off — the
+// default nil-observer fast path. Compare against BenchmarkObsEnabled: the
+// hook guards must cost well under 2% of host time.
+func BenchmarkObsDisabled(b *testing.B) {
+	experiments.SetObservability(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obsBenchRun()
+	}
+}
+
+// BenchmarkObsEnabled measures the same run with a live tracer + registry
+// attached, bounding the cost of full tracing.
+func BenchmarkObsEnabled(b *testing.B) {
+	experiments.SetObservability(obs.NewContext())
+	defer experiments.SetObservability(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obsBenchRun()
 	}
 }
 

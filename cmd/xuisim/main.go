@@ -15,8 +15,14 @@ import (
 	"os"
 
 	"xui/internal/experiments"
+	"xui/internal/obs"
 	"xui/internal/sim"
 )
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
 
 func main() {
 	scenario := flag.String("scenario", "rocksdb", "rocksdb | l3fwd | dsa | timer")
@@ -26,7 +32,27 @@ func main() {
 	noise := flag.Float64("noise", 20, "dsa: noise magnitude in % of base latency")
 	cores := flag.Int("cores", 8, "timer: application cores to preempt")
 	period := flag.Float64("period", 5, "timer: preemption period in µs")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event / Perfetto JSON trace of the run to this file")
+	metricsPath := flag.String("metrics", "", "write a metrics-registry JSON snapshot of the run to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
+
+	stopProf, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	var ctx *obs.Context
+	if *tracePath != "" || *metricsPath != "" {
+		ctx = &obs.Context{}
+		if *tracePath != "" {
+			ctx.Trace = obs.NewTracer()
+		}
+		if *metricsPath != "" {
+			ctx.Metrics = obs.NewRegistry()
+		}
+		experiments.SetObservability(ctx)
+	}
 
 	horizon := sim.Time(*ms) * sim.Millisecond
 	switch *scenario {
@@ -58,5 +84,11 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
 		os.Exit(2)
+	}
+	if err := ctx.ExportFiles(*tracePath, *metricsPath); err != nil {
+		fatal(err)
+	}
+	if err := stopProf(); err != nil {
+		fatal(err)
 	}
 }

@@ -8,6 +8,7 @@
 //	xuitrace -workload linpack -uops 200000
 //	xuitrace -workload fib -strategy tracked -period 10000
 //	xuitrace -timeline
+//	xuitrace -chrome out.json          # Fig. 2 scenario, Perfetto trace
 package main
 
 import (
@@ -18,8 +19,14 @@ import (
 	"xui/internal/cpu"
 	"xui/internal/experiments"
 	"xui/internal/isa"
+	"xui/internal/obs"
 	"xui/internal/trace"
 )
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
 
 func main() {
 	workload := flag.String("workload", "linpack", "fib | linpack | memops | matmul | base64 | pointerchase | rdtsc")
@@ -30,7 +37,40 @@ func main() {
 	safepoints := flag.Int("safepoints", 0, "annotate a safepoint every N ops and gate delivery on them")
 	timeline := flag.Bool("timeline", false, "print the Figure 2 UIPI timeline and exit")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	chrome := flag.String("chrome", "", "write a Chrome trace-event / Perfetto JSON trace to this file (with -period 0, traces the Fig. 2 scenario)")
+	metricsPath := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
+
+	stopProf, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	var ctx *obs.Context
+	if *chrome != "" || *metricsPath != "" {
+		ctx = obs.NewContext()
+		experiments.SetObservability(ctx)
+	}
+	finish := func() {
+		if err := ctx.ExportFiles(*chrome, *metricsPath); err != nil {
+			fatal(err)
+		}
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *chrome != "" && *period == 0 && !*timeline {
+		// No custom interrupt run configured: trace the paper's Figure 2
+		// scenario (senduipi loop sender offset + flush-strategy receiver
+		// on the rdtsc measurement loop).
+		r := experiments.TracedFig2(ctx)
+		finish()
+		fmt.Printf("traced the Fig. 2 scenario to %s (%d events; arrive=%.0f deliveryDone=%.0f)\n",
+			*chrome, ctx.Trace.Len(), r.Arrive, r.DeliveryDone)
+		return
+	}
 
 	if *timeline {
 		r := experiments.Fig2()
@@ -41,6 +81,7 @@ func main() {
 		fmt.Printf("  delivery done     %6.0f   (paper %4.0f)\n", r.DeliveryDone, p.DeliveryDone)
 		fmt.Printf("  handler starts    %6.0f\n", r.HandlerStart)
 		fmt.Printf("  uiret             %6.0f   (paper %4.0f)\n", r.UiretCost, p.UiretCost)
+		finish()
 		return
 	}
 
@@ -83,6 +124,9 @@ func main() {
 	if *safepoints > 0 {
 		// Rebuild with safepoint mode enabled.
 		c = cpu.New(cfg, prog, port)
+		if ctx != nil {
+			c.SetObserver(obs.NewPipeline(ctx.Trace, ctx.Metrics, obs.Tier1Pid, 0))
+		}
 	}
 	if *period > 0 {
 		c.PeriodicInterrupts(*period, *period, func() cpu.Interrupt {
@@ -111,4 +155,5 @@ func main() {
 		fmt.Printf("interrupts: %d delivered of %d; mean delivery latency %.0f cycles; %.2f reinjections/intr\n",
 			delivered, len(res.Interrupts), lat/float64(delivered), reinj/float64(delivered))
 	}
+	finish()
 }

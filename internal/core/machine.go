@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"xui/internal/apic"
+	"xui/internal/obs"
 	"xui/internal/sim"
 	"xui/internal/stats"
 	"xui/internal/uintr"
@@ -69,6 +70,11 @@ type VCore struct {
 
 	// Delivered counts user-level deliveries by mechanism.
 	Delivered map[Mechanism]uint64
+
+	// Obs, when non-nil, receives trace spans and live metrics for this
+	// core (set by Machine.Observe); obsNS is the "vcore<ID>/" prefix.
+	Obs   *obs.Context
+	obsNS string
 }
 
 // RaiseInterrupt implements apic.Sink for conventional vectors.
@@ -78,6 +84,10 @@ func (v *VCore) RaiseInterrupt(now sim.Time, vector uint8) {
 		// recognition copies PIR into UIRR regardless of UIF; delivery
 		// happens when UIF allows (§3.3).
 		pir := v.UPID.Acknowledge()
+		if v.Obs != nil {
+			v.Obs.Trace.Instant(obs.Tier2Pid, uint32(v.ID), "upid.ack", "notify", uint64(now), nil)
+			v.Obs.Metrics.Inc(v.obsNS + "upid_acks")
+		}
 		for pir != 0 {
 			vec := highestVector(pir)
 			pir &^= 1 << vec
@@ -96,12 +106,22 @@ func (v *VCore) RaiseInterrupt(now sim.Time, vector uint8) {
 // UIRR bit; if UIF is clear the vector is held until it is set again
 // (§4.5 — the UPID is never touched, no kernel involvement).
 func (v *VCore) RaiseForwarded(now sim.Time, vector uint8) {
+	if v.Obs != nil {
+		v.Obs.Trace.Instant(obs.Tier2Pid, uint32(v.ID), "forward.fast", "forward", uint64(now),
+			map[string]any{"vector": vector})
+		v.Obs.Metrics.Inc(v.obsNS + "forwarded_fast")
+	}
 	v.post(now, uintr.Vector(vector&63), ForwardedIntr)
 }
 
 // RaiseForwardedSlow implements apic.Sink: the target thread is off-core;
 // the kernel captures the vector into the DUPID.
 func (v *VCore) RaiseForwardedSlow(now sim.Time, vector uint8) {
+	if v.Obs != nil {
+		v.Obs.Trace.Instant(obs.Tier2Pid, uint32(v.ID), "forward.slow", "forward", uint64(now),
+			map[string]any{"vector": vector})
+		v.Obs.Metrics.Inc(v.obsNS + "forwarded_slow")
+	}
 	if v.OnKernelInterrupt != nil {
 		v.OnKernelInterrupt(now, vector)
 	}
@@ -112,10 +132,18 @@ func (v *VCore) RaiseForwardedSlow(now sim.Time, vector uint8) {
 // (§4.3).
 func (v *VCore) kbFire(now sim.Time, vector uintr.Vector) {
 	if v.UPID == nil {
+		if v.Obs != nil {
+			v.Obs.Trace.Instant(obs.Tier2Pid, uint32(v.ID), "kb_timer.trap", "kbtimer", uint64(now), nil)
+			v.Obs.Metrics.Inc(v.obsNS + "kbtimer_traps")
+		}
 		if v.OnKernelInterrupt != nil {
 			v.OnKernelInterrupt(now, uint8(vector))
 		}
 		return
+	}
+	if v.Obs != nil {
+		v.Obs.Trace.Instant(obs.Tier2Pid, uint32(v.ID), "kb_timer.fire", "kbtimer", uint64(now), nil)
+		v.Obs.Metrics.Inc(v.obsNS + "kbtimer_fires")
 	}
 	v.post(now, vector, KBTimerIntr)
 }
@@ -139,6 +167,12 @@ func (v *VCore) tryDeliver(now sim.Time) {
 	cost := v.Costs.Receiver(mech)
 	v.Account.Charge(CatNotify, uint64(cost))
 	v.Delivered[mech]++
+	if v.Obs != nil {
+		v.Obs.Trace.Span(obs.Tier2Pid, uint32(v.ID), "deliver:"+mech.String(), "delivery",
+			uint64(now), uint64(now+cost), map[string]any{"vector": uint8(vec)})
+		v.Obs.Metrics.Inc(v.obsNS + "delivered/" + mech.String())
+		v.Obs.Metrics.Observe(v.obsNS+"delivery_cost", uint64(cost))
+	}
 	v.UIF = false // delivery clears the flag until uiret
 	v.delivering = true
 	v.Sim.After(cost, func(t sim.Time) {
@@ -156,6 +190,9 @@ func (v *VCore) tryDeliver(now sim.Time) {
 func (v *VCore) Clui() {
 	v.Account.Charge(CatWork, CluiCost)
 	v.UIF = false
+	if v.Obs != nil {
+		v.Obs.Metrics.Inc(v.obsNS + "clui")
+	}
 }
 
 // Stui executes the stui instruction: set UIF and deliver anything held in
@@ -163,6 +200,9 @@ func (v *VCore) Clui() {
 func (v *VCore) Stui(now sim.Time) {
 	v.Account.Charge(CatWork, StuiCost)
 	v.UIF = true
+	if v.Obs != nil {
+		v.Obs.Metrics.Inc(v.obsNS + "stui")
+	}
 	v.tryDeliver(now)
 }
 
@@ -237,6 +277,10 @@ func NewMachine(s *sim.Simulator, n int, ipiMech Mechanism) (*Machine, error) {
 func (m *Machine) SendUIPI(sender int, uitt *uintr.UITT, idx int) error {
 	src := m.Cores[sender]
 	src.Account.Charge(CatSend, uint64(m.Costs.Sender(UIPI)))
+	if src.Obs != nil {
+		src.Obs.Trace.Instant(obs.Tier2Pid, uint32(src.ID), "senduipi", "send", uint64(m.Sim.Now()), nil)
+		src.Obs.Metrics.Inc(src.obsNS + "senduipi")
+	}
 	notify, ndst, nv, err := uitt.Senduipi(idx)
 	if err != nil {
 		return err
@@ -251,4 +295,42 @@ func (m *Machine) SendUIPI(sender int, uitt *uintr.UITT, idx int) error {
 		}
 	})
 	return nil
+}
+
+// Observe attaches an observability context to the machine: every core gets
+// a named thread under Tier2Pid, live counters/spans flow into ctx, and the
+// event kernel reports scheduling activity through a sim probe. A nil ctx
+// detaches everything.
+func (m *Machine) Observe(ctx *obs.Context) {
+	if ctx == nil {
+		for _, v := range m.Cores {
+			v.Obs, v.obsNS = nil, ""
+		}
+		m.Sim.SetProbe(nil)
+		return
+	}
+	ctx.Trace.NameProcess(obs.Tier2Pid, "tier2-machine")
+	for _, v := range m.Cores {
+		v.Obs = ctx
+		v.obsNS = fmt.Sprintf("vcore%d/", v.ID)
+		ctx.Trace.NameThread(obs.Tier2Pid, uint32(v.ID), fmt.Sprintf("vcore%d", v.ID))
+	}
+	m.Sim.SetProbe(obs.NewSimProbe(ctx.Trace, ctx.Metrics, obs.Tier2Pid))
+}
+
+// SnapshotMetrics writes each core's end-of-run accounting into reg:
+// per-category cycle totals under "vcore<ID>/cycles/", utilization and
+// per-mechanism delivered totals as gauges. Call once when the run ends —
+// cycle accounts are imported additively, so repeated snapshots of the same
+// account would double-count.
+func (m *Machine) SnapshotMetrics(reg *obs.Registry) {
+	now := uint64(m.Sim.Now())
+	for _, v := range m.Cores {
+		ns := fmt.Sprintf("vcore%d/", v.ID)
+		reg.AddCycleAccount(ns+"cycles/", v.Account)
+		reg.SetGauge(ns+"utilization", v.Busy.Utilization(now))
+		for mech, n := range v.Delivered {
+			reg.SetGauge(ns+"delivered_total/"+mech.String(), float64(n))
+		}
+	}
 }

@@ -141,6 +141,9 @@ type Core struct {
 	// write) without touching the pipeline.
 	OnProgramCommit func(streamPos, cycle uint64)
 
+	// obsv, when non-nil, receives the interrupt-delivery lifecycle.
+	obsv IntrObserver
+
 	// Statistics.
 	committedProgram uint64
 	committedOther   uint64
@@ -343,9 +346,15 @@ func (c *Core) acceptInterrupts() {
 	// Drain strategies: inject once the window is empty.
 	if c.cur != nil && c.draining && c.head == c.tail {
 		c.draining = false
+		if c.obsv != nil {
+			c.obsv.IntrDrain(c.cur.rec.Arrive, c.cycle)
+		}
 		if c.cfg.Strategy == LegacyGem5 {
 			// Stock gem5 adds a fixed 13 cycles after every drain (§5.2).
 			c.fetchStallUntil = c.cycle + 13
+			if c.obsv != nil {
+				c.obsv.IntrRefill(c.cycle, c.fetchStallUntil)
+			}
 		}
 		c.beginInjection()
 		c.didWork = true
@@ -357,6 +366,9 @@ func (c *Core) arrivalAt(intr Interrupt) {
 		// Blocked: posted, delivered when the current delivery finishes
 		// (mirrors UIRR accumulation + UIF).
 		c.pendQueue = append(c.pendQueue, intr)
+		if c.obsv != nil {
+			c.obsv.IntrDeferred(c.cycle)
+		}
 		return
 	}
 	c.accept(intr)
@@ -373,6 +385,9 @@ func (c *Core) accept(intr Interrupt) {
 	st.buildSequence(c.cfg)
 	c.cur = st
 	c.uifSet = false
+	if c.obsv != nil {
+		c.obsv.IntrArrive(c.cycle, intr.Tag, intr.Vector, c.cfg.Strategy.String())
+	}
 
 	switch c.cfg.Strategy {
 	case Flush:
@@ -385,13 +400,23 @@ func (c *Core) accept(intr Interrupt) {
 		// of the squash and front-end refill. Tracked delivery exists to
 		// avoid exactly this (§4.2).
 		c.fetchStallUntil = c.cycle + squashCycles + uint64(c.cfg.FrontEndDepth) + uint64(c.cfg.FlushEntryPenalty)
+		if c.obsv != nil {
+			c.obsv.IntrSquash(c.cycle, c.cycle+squashCycles, n)
+			c.obsv.IntrRefill(c.cycle+squashCycles, c.fetchStallUntil)
+		}
 		c.beginInjection()
 	case Drain, LegacyGem5:
 		c.draining = true
 		if c.head == c.tail {
 			c.draining = false
+			if c.obsv != nil {
+				c.obsv.IntrDrain(c.cycle, c.cycle)
+			}
 			if c.cfg.Strategy == LegacyGem5 {
 				c.fetchStallUntil = c.cycle + 13
+				if c.obsv != nil {
+					c.obsv.IntrRefill(c.cycle, c.fetchStallUntil)
+				}
 			}
 			c.beginInjection()
 		}
@@ -510,27 +535,45 @@ func (c *Core) commitIntrOp(e *robEntry) {
 	if !st.committedFirst {
 		st.committedFirst = true
 		rec.FirstUcodeCommit = c.cycle
+		if c.obsv != nil {
+			c.obsv.IntrFirstCommit(c.cycle)
+		}
 	}
 	// Identify which index in seqOps this was: entries carry streamPos as
 	// the sequence index for interrupt ops.
 	idx := int(e.streamPos)
 	if idx == st.notifHi {
 		rec.NotifDone = c.cycle
+		if c.obsv != nil {
+			c.obsv.IntrNotifDone(c.cycle)
+		}
 	}
 	if idx == st.deliveryHi {
 		rec.DeliveryDone = c.cycle
+		if c.obsv != nil {
+			c.obsv.IntrDeliveryDone(c.cycle)
+		}
 	}
 	if st.deliveryHi+1 < len(st.seqOps)-cfgUiretLen(c.cfg) {
 		// handler exists
 		if idx == st.deliveryHi+1 {
 			rec.HandlerStart = c.cycle
+			if c.obsv != nil {
+				c.obsv.IntrHandlerStart(c.cycle)
+			}
 		}
 		if idx == len(st.seqOps)-cfgUiretLen(c.cfg)-1 {
 			rec.HandlerDone = c.cycle
+			if c.obsv != nil {
+				c.obsv.IntrHandlerDone(c.cycle)
+			}
 		}
 	}
 	if idx == len(st.seqOps)-1 {
 		rec.UiretDone = c.cycle
+		if c.obsv != nil {
+			c.obsv.IntrUiret(c.cycle)
+		}
 		c.finishInterrupt()
 	}
 }
@@ -710,6 +753,9 @@ func (c *Core) resolveMispredict(branch *robEntry) {
 			st.rec.Lost = true
 			c.cur = nil
 			c.uifSet = true
+			if c.obsv != nil {
+				c.obsv.IntrLost(c.cycle)
+			}
 		} else if c.cfg.SafepointMode {
 			// The safepoint we injected at was on the squashed path; wait
 			// for the next one (§4.4).
@@ -908,6 +954,9 @@ func (c *Core) rename(op isa.MicroOp, src fetchSrc) {
 		if st := c.cur; st != nil && st.firstSeq == 0 {
 			st.firstSeq = seq
 			st.rec.InjectStart = c.cycle
+			if c.obsv != nil {
+				c.obsv.IntrInject(c.cycle, st.rec.Reinjections > 0)
+			}
 		}
 		// Routine-internal deps are consecutive-seq by construction.
 		if op.Dep1 != 0 {

@@ -1,0 +1,54 @@
+package cpu
+
+// IntrObserver receives the interrupt-delivery lifecycle of the pipeline
+// model — the timeline the paper's Figure 2 and §3.5 arguments are built
+// on: arrival, the strategy's reconciliation with in-flight work (flush
+// squash + front-end refill, drain, or tracked boundary wait), microcode
+// injection and re-injection, first micro-op commit, the notification /
+// delivery / handler / uiret phases, and interrupts lost by the
+// re-injection ablation.
+//
+// Cycle arguments are plain uint64 so implementations (internal/obs) need
+// not import this package. All callbacks run synchronously inside the
+// cycle loop; every call site is guarded by a single nil test, so an
+// unobserved core pays essentially nothing (see BenchmarkObsDisabled).
+type IntrObserver interface {
+	// IntrArrive fires when the core accepts an interrupt and starts a
+	// delivery (pin raised, UIF open).
+	IntrArrive(cycle uint64, tag string, vector uint8, strategy string)
+	// IntrDeferred fires when an arrival is posted to the pending queue
+	// instead (UIF clear or another delivery in progress).
+	IntrDeferred(cycle uint64)
+	// IntrSquash reports the Flush strategy's arrival action: squashed
+	// in-flight micro-ops, walked off over [startCycle, endCycle].
+	IntrSquash(startCycle, endCycle uint64, squashed int)
+	// IntrDrain reports a completed Drain/LegacyGem5 wait for the window
+	// to empty.
+	IntrDrain(startCycle, endCycle uint64)
+	// IntrRefill reports the front-end stall that follows a flush (squash
+	// walk + redirect + serializing entry) or the legacy-gem5 fixed delay.
+	IntrRefill(startCycle, endCycle uint64)
+	// IntrInject fires when the first microcode op of the current
+	// (re-)injection enters rename.
+	IntrInject(cycle uint64, reinjection bool)
+	// IntrFirstCommit fires when the first microcode op commits — the
+	// point past which tracked interrupts can no longer be squashed.
+	IntrFirstCommit(cycle uint64)
+	// IntrNotifDone fires when the notification-processing routine retires.
+	IntrNotifDone(cycle uint64)
+	// IntrDeliveryDone fires when the delivery routine retires.
+	IntrDeliveryDone(cycle uint64)
+	// IntrHandlerStart / IntrHandlerDone bracket the user handler body.
+	IntrHandlerStart(cycle uint64)
+	IntrHandlerDone(cycle uint64)
+	// IntrUiret fires when uiret retires and the delivery completes.
+	IntrUiret(cycle uint64)
+	// IntrLost fires when the TrackedReinject ablation drops an interrupt
+	// squashed before its first commit.
+	IntrLost(cycle uint64)
+}
+
+// SetObserver attaches an interrupt-delivery observer (nil detaches). Pass
+// a concrete non-nil implementation; observability is opt-in and off by
+// default.
+func (c *Core) SetObserver(o IntrObserver) { c.obsv = o }

@@ -55,6 +55,7 @@ func cluiStuiThroughput(mallocsPerGet int, horizon sim.Time) float64 {
 	if err != nil {
 		panic(err)
 	}
+	maybeObserve(m)
 	k := kernel.New(m)
 	rt, err := urt.New(m, k, urt.Config{Workers: 1, Preempt: urt.KBTimer, Quantum: fig7Quantum})
 	if err != nil {
@@ -70,6 +71,7 @@ func cluiStuiThroughput(mallocsPerGet int, horizon sim.Time) float64 {
 		panic(err)
 	}
 	s.RunUntil(horizon)
+	SnapshotObserved(m)
 	gen.Stop()
 	return float64(rt.Completed) / horizon.Seconds()
 }

@@ -36,7 +36,9 @@ func NewReceiver(strategy cpu.Strategy, prog isa.Stream) (*cpu.Core, *cpu.Privat
 	cfg.Strategy = strategy
 	cfg.Ucode = Ucode()
 	port := &cpu.PrivatePort{H: mem.NewHierarchy(mem.Config{}), SharedCost: mem.LatCrossCore}
-	return cpu.New(cfg, prog, port), port
+	c := cpu.New(cfg, prog, port)
+	observeCore(c)
+	return c, port
 }
 
 // MeasurementHandler models the paper's measurement handler: it reads the

@@ -65,11 +65,13 @@ func Duet(iters int) DuetResult {
 	sendCfg := cpu.DefaultConfig()
 	sendCfg.Ucode = Ucode()
 	sender := cpu.New(sendCfg, isa.NewSliceStream("senduipi-duet", ops), &systemPort{sys: sys, core: 0})
+	observeCore(sender)
 
 	recvCfg := cpu.DefaultConfig()
 	recvCfg.Strategy = cpu.Flush
 	recvCfg.Ucode = Ucode()
 	receiver := cpu.New(recvCfg, NewEndlessRdtsc(), &systemPort{sys: sys, core: 1})
+	observeCore(receiver)
 
 	var starts, icrs []uint64
 	sender.OnProgramCommit = func(pos, cycle uint64) {

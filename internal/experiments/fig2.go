@@ -5,6 +5,7 @@ import (
 	"xui/internal/cpu"
 	"xui/internal/isa"
 	"xui/internal/mem"
+	"xui/internal/obs"
 	"xui/internal/trace"
 )
 
@@ -23,6 +24,17 @@ type Fig2Result struct {
 // PaperFig2 is the paper's measured timeline.
 func PaperFig2() Fig2Result {
 	return Fig2Result{Arrive: 380, FirstNotif: 804, DeliveryDone: 1066, UiretCost: 10}
+}
+
+// TracedFig2 runs the Fig. 2 scenario with observability attached: receiver
+// cores built during the run record their interrupt-delivery lifecycle into
+// ctx (flush → refill → notification → delivery → handler → uiret spans on
+// Tier1Pid). The previous package-wide sink is restored afterwards.
+func TracedFig2(ctx *obs.Context) Fig2Result {
+	prev := Observability()
+	SetObservability(ctx)
+	defer SetObservability(prev)
+	return Fig2()
 }
 
 // Fig2 measures the timeline on the pipeline model: the sender offset from

@@ -50,6 +50,7 @@ func fig6Point(method string, periodUs float64, nApp int, horizon sim.Time) Fig6
 	if err != nil {
 		panic(err)
 	}
+	maybeObserve(m)
 	k := kernel.New(m)
 	timerCore := nApp
 
@@ -125,6 +126,7 @@ func fig6Point(method string, periodUs float64, nApp int, horizon sim.Time) Fig6
 		s.Schedule(period, tick)
 	}
 	s.RunUntil(horizon)
+	SnapshotObserved(m)
 
 	acct := m.Cores[timerCore].Account
 	busy := acct.Get("os-timer") + acct.Get(core.CatSend) + acct.Get("signal")

@@ -66,6 +66,7 @@ func fig7Point(cfg Fig7Config, rps float64, horizon sim.Time) Fig7Row {
 	if err != nil {
 		panic(err)
 	}
+	maybeObserve(m)
 	k := kernel.New(m)
 	rt, err := urt.New(m, k, urt.Config{
 		Workers: 1,
@@ -109,6 +110,7 @@ func fig7Point(cfg Fig7Config, rps float64, horizon sim.Time) Fig7Row {
 		panic(err)
 	}
 	s.RunUntil(horizon)
+	SnapshotObserved(m)
 	gen.Stop()
 
 	row := Fig7Row{Config: cfg.Name, OfferedRPS: rps}

@@ -45,6 +45,7 @@ func fig8Point(mode netsim.Mode, nq int, loadPct float64, horizon sim.Time) Fig8
 	if err != nil {
 		panic(err)
 	}
+	maybeObserve(m)
 	v := m.Cores[0]
 	table := lpm.GenerateTable(16000, 7)
 
@@ -85,6 +86,7 @@ func fig8Point(mode netsim.Mode, nq int, loadPct float64, horizon sim.Time) Fig8
 	}
 	l3.Start()
 	s.RunUntil(horizon)
+	SnapshotObserved(m)
 	for _, g := range gens {
 		g.Stop()
 	}

@@ -61,6 +61,7 @@ func fig9Point(className string, mean sim.Time, noise float64, method string, re
 	if err != nil {
 		panic(err)
 	}
+	maybeObserve(m)
 	v := m.Cores[0]
 	kernel.New(m) // install the kernel's interrupt hooks
 	dev := dsa.New(s, dsa.Config{BaseLatency: mean, Noise: noise}, 321)
@@ -163,6 +164,7 @@ func fig9Point(className string, mean sim.Time, noise float64, method string, re
 	if done < requests {
 		panic("experiments: fig9 run stalled")
 	}
+	SnapshotObserved(m)
 
 	elapsed := float64(s.Now())
 	busy := float64(v.Account.Get(core.CatWork) + v.Account.Get(core.CatPoll) +

@@ -48,6 +48,7 @@ func multiWorkerPoint(workers int, steal bool, rps float64, horizon sim.Time) Mu
 	if err != nil {
 		panic(err)
 	}
+	maybeObserve(m)
 	k := kernel.New(m)
 	rt, err := urt.New(m, k, urt.Config{
 		Workers:      workers,
@@ -74,6 +75,7 @@ func multiWorkerPoint(workers int, steal bool, rps float64, horizon sim.Time) Mu
 		panic(err)
 	}
 	s.RunUntil(horizon)
+	SnapshotObserved(m)
 	gen.Stop()
 
 	row := MultiWorkerRow{Workers: workers, Steal: steal, OfferedRPS: rps}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"xui/internal/obs"
+)
+
+// TestTracedFig2ChromeTrace is the acceptance check for the observability
+// layer: tracing the Fig. 2 scenario must produce valid Chrome trace-event
+// JSON whose interrupt spans appear in the flush → refill → delivery order
+// the paper's timeline describes.
+func TestTracedFig2ChromeTrace(t *testing.T) {
+	ctx := obs.NewContext()
+	r := TracedFig2(ctx)
+	if r.Arrive == 0 || r.DeliveryDone == 0 {
+		t.Fatalf("traced Fig2 returned an empty result: %+v", r)
+	}
+
+	var buf bytes.Buffer
+	if err := ctx.Trace.Export(&buf); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("trace export is not valid JSON")
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+
+	for _, e := range parsed.TraceEvents {
+		for _, field := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := e[field]; !ok {
+				t.Fatalf("event %v missing required field %q", e, field)
+			}
+		}
+	}
+
+	// First occurrence timestamp of each interrupt-lifecycle span, plus the
+	// count of complete deliveries.
+	firstTs := map[string]float64{}
+	deliveries := 0
+	for _, e := range parsed.TraceEvents {
+		if e["ph"] != "X" {
+			continue
+		}
+		name := e["name"].(string)
+		if name == "uiret" {
+			deliveries++
+		}
+		if _, seen := firstTs[name]; !seen {
+			firstTs[name] = e["ts"].(float64)
+		}
+		if e["pid"].(float64) != float64(obs.Tier1Pid) {
+			t.Errorf("span %q on pid %v, want Tier1Pid", name, e["pid"])
+		}
+	}
+	if deliveries == 0 {
+		t.Fatal("no completed deliveries (uiret spans) in the trace")
+	}
+
+	order := []string{"flush", "refill", "notification", "delivery", "handler", "uiret"}
+	for i, name := range order {
+		ts, ok := firstTs[name]
+		if !ok {
+			t.Fatalf("span %q missing from trace; have %v", name, firstTs)
+		}
+		if i > 0 && firstTs[order[i-1]] > ts {
+			t.Errorf("span %q (ts=%g) precedes %q (ts=%g)", name, ts, order[i-1], firstTs[order[i-1]])
+		}
+	}
+}
+
+// TestObservabilityRestored checks that TracedFig2 restores the previous
+// package-wide sink and that running experiments without observability
+// leaves the trace empty.
+func TestObservabilityRestored(t *testing.T) {
+	if Observability() != nil {
+		t.Fatal("observability unexpectedly enabled at test start")
+	}
+	ctx := obs.NewContext()
+	TracedFig2(ctx)
+	if Observability() != nil {
+		t.Error("TracedFig2 left the package sink installed")
+	}
+	n := ctx.Trace.Len()
+	Fig2() // untraced
+	if ctx.Trace.Len() != n {
+		t.Error("untraced run appended events to a detached context")
+	}
+}

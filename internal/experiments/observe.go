@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"xui/internal/core"
+	"xui/internal/cpu"
+	"xui/internal/obs"
+)
+
+// Package-wide observability sink. Experiments build cores and machines in
+// many places; rather than threading a context through every constructor,
+// cmd binaries install one here (SetObservability) and every receiver core
+// and Tier-2 machine built afterwards attaches to it. The default (nil)
+// costs a single pointer test per construction and nothing per cycle.
+var (
+	obsCtx *obs.Context
+	obsTid uint32 // next Tier-1 thread ID; cores are numbered in build order
+)
+
+// SetObservability installs ctx as the package-wide sink for everything
+// built afterwards; nil disables. Resets Tier-1 core numbering.
+func SetObservability(ctx *obs.Context) {
+	obsCtx = ctx
+	obsTid = 0
+}
+
+// Observability returns the active context, nil when disabled.
+func Observability() *obs.Context { return obsCtx }
+
+// observeCore attaches a trace/metrics pipeline observer to a freshly built
+// Tier-1 receiver core, numbering cores in construction order.
+func observeCore(c *cpu.Core) {
+	if obsCtx == nil {
+		return
+	}
+	tid := obsTid
+	obsTid++
+	c.SetObserver(obs.NewPipeline(obsCtx.Trace, obsCtx.Metrics, obs.Tier1Pid, tid))
+}
+
+// maybeObserve attaches the active context to a freshly built Tier-2
+// machine.
+func maybeObserve(m *core.Machine) {
+	if obsCtx != nil {
+		m.Observe(obsCtx)
+	}
+}
+
+// SnapshotObserved imports a machine's end-of-run accounting (per-category
+// cycles, utilization, delivered totals) into the active registry. Call
+// once per machine when its run ends.
+func SnapshotObserved(m *core.Machine) {
+	if obsCtx != nil {
+		m.SnapshotMetrics(obsCtx.Metrics)
+	}
+}

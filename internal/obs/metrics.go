@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+
+	"xui/internal/stats"
+)
+
+// Registry is a namespace-keyed collection of counters, gauges and
+// log-bucketed histograms (reusing the HdrHistogram-style buckets from
+// internal/stats). Metric names are slash-separated component paths, e.g.
+// "cpu0/delivered" or "vcore1/cycles/notify"; instruments are created on
+// first use. A nil Registry discards everything. Registry is not safe for
+// concurrent use; both simulators are single-threaded.
+type Registry struct {
+	counters map[string]uint64
+	gauges   map[string]float64
+	hists    map[string]*stats.Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]uint64),
+		gauges:   make(map[string]float64),
+		hists:    make(map[string]*stats.Histogram),
+	}
+}
+
+// Enabled reports whether metrics will be recorded.
+func (r *Registry) Enabled() bool { return r != nil }
+
+// Add increments counter name by n.
+func (r *Registry) Add(name string, n uint64) {
+	if r == nil {
+		return
+	}
+	r.counters[name] += n
+}
+
+// Inc increments counter name by one.
+func (r *Registry) Inc(name string) { r.Add(name, 1) }
+
+// Counter returns the current value of a counter (0 if never written).
+func (r *Registry) Counter(name string) uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.counters[name]
+}
+
+// SetGauge records the latest value of gauge name.
+func (r *Registry) SetGauge(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.gauges[name] = v
+}
+
+// Gauge returns the last recorded value of a gauge (0 if never written).
+func (r *Registry) Gauge(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	return r.gauges[name]
+}
+
+// Observe records one observation into histogram name.
+func (r *Registry) Observe(name string, v uint64) {
+	if r == nil {
+		return
+	}
+	h := r.hists[name]
+	if h == nil {
+		h = stats.NewHistogram()
+		r.hists[name] = h
+	}
+	h.Record(v)
+}
+
+// HistogramSummary returns the digest of histogram name, a zero Summary if
+// it does not exist.
+func (r *Registry) HistogramSummary(name string) stats.Summary {
+	if r == nil || r.hists[name] == nil {
+		return stats.Summary{}
+	}
+	return r.hists[name].Summarize()
+}
+
+// AddCycleAccount copies every category of a CycleAccount into counters
+// under prefix — the bridge that unifies the Tier-2 per-core cycle
+// accounting with the metrics registry. prefix should end with "/".
+func (r *Registry) AddCycleAccount(prefix string, a *stats.CycleAccount) {
+	if r == nil || a == nil {
+		return
+	}
+	for _, cat := range a.Categories() {
+		r.Add(prefix+cat, a.Get(cat))
+	}
+}
+
+// Snapshot is the JSON-serialisable state of a registry.
+type Snapshot struct {
+	Counters   map[string]uint64        `json:"counters"`
+	Gauges     map[string]float64       `json:"gauges"`
+	Histograms map[string]stats.Summary `json:"histograms"`
+}
+
+// Snapshot digests the registry. Histograms are reduced to their standard
+// summary (count/mean/p50/p95/p99/p99.9/min/max).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]stats.Summary{},
+	}
+	if r == nil {
+		return s
+	}
+	for k, v := range r.counters {
+		s.Counters[k] = v
+	}
+	for k, v := range r.gauges {
+		s.Gauges[k] = v
+	}
+	for k, h := range r.hists {
+		s.Histograms[k] = h.Summarize()
+	}
+	return s
+}
+
+// Names returns every metric name in the registry, sorted.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	var names []string
+	for k := range r.counters {
+		names = append(names, k)
+	}
+	for k := range r.gauges {
+		names = append(names, k)
+	}
+	for k := range r.hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Export writes the snapshot as indented JSON. A nil registry exports an
+// empty (still valid) snapshot.
+func (r *Registry) Export(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// ExportFile writes the snapshot to path.
+func (r *Registry) ExportFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Export(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

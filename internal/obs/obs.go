@@ -1,0 +1,264 @@
+// Package obs is the unified observability layer shared by both simulation
+// tiers: a structured trace recorder that exports Chrome trace-event /
+// Perfetto JSON, and a metrics registry of counters, gauges and
+// log-bucketed histograms with JSON snapshot export.
+//
+// Observability is strictly opt-in. Every entry point is nil-safe: calling
+// any method on a nil *Tracer, *Registry or *Context is a no-op, so
+// instrumented code needs only a single pointer test (or none at all) on
+// its hot paths and a disabled build pays essentially nothing. A benchmark
+// in the root package (BenchmarkObsDisabled) guards this property.
+//
+// Conventions
+//
+// Trace timestamps are simulated cycles of the 2 GHz machine and are
+// converted to fractional microseconds at export time (the unit the Chrome
+// trace-event format specifies). Process/thread IDs partition the timeline:
+//
+//	pid 1 — Tier-1 pipeline cores (tid = core index)
+//	pid 2 — Tier-2 event-level machine (tid = VCore ID)
+//
+// Metric names are slash-separated component namespaces, e.g.
+// "cpu0/delivered", "vcore1/cycles/notify", "sim/events_fired".
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// CyclesPerMicrosecond converts simulated cycles to trace microseconds
+// (2 GHz clock, matching sim.CyclesPerSecond).
+const CyclesPerMicrosecond = 2000.0
+
+// Tier1Pid and Tier2Pid are the trace process IDs the two simulation tiers
+// record events under (see the package conventions above).
+const (
+	Tier1Pid uint32 = 1
+	Tier2Pid uint32 = 2
+)
+
+// DefaultMaxEvents bounds a Tracer's buffered event count so that tracing a
+// long Tier-2 horizon cannot exhaust memory; past the cap, events are
+// counted but dropped. Raise Tracer.MaxEvents for deep captures.
+const DefaultMaxEvents = 1 << 21
+
+// event is one Chrome trace-event record. Timestamps are kept in cycles
+// until export.
+type event struct {
+	name     string
+	cat      string
+	ph       byte // 'X' span, 'i' instant, 'C' counter, 'M' metadata
+	startCy  uint64
+	endCy    uint64 // valid for 'X'
+	pid, tid uint32
+	args     map[string]any
+}
+
+// Tracer records structured events and serialises them in the Chrome
+// trace-event JSON format understood by Perfetto (ui.perfetto.dev) and
+// chrome://tracing. A nil Tracer discards everything. Tracer is not safe
+// for concurrent use; both simulators are single-threaded.
+type Tracer struct {
+	// MaxEvents caps the buffer; zero means DefaultMaxEvents.
+	MaxEvents int
+
+	events  []event
+	dropped uint64
+}
+
+// NewTracer returns an empty tracer with the default event cap.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Enabled reports whether events will be recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Dropped returns the number of events discarded after the cap was hit.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+func (t *Tracer) add(e event) {
+	limit := t.MaxEvents
+	if limit == 0 {
+		limit = DefaultMaxEvents
+	}
+	if len(t.events) >= limit {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// Span records a complete ('X') event covering [startCy, endCy]. Zero-length
+// spans are widened to one cycle so they stay visible in the viewer.
+func (t *Tracer) Span(pid, tid uint32, name, cat string, startCy, endCy uint64, args map[string]any) {
+	if t == nil {
+		return
+	}
+	if endCy <= startCy {
+		endCy = startCy + 1
+	}
+	t.add(event{name: name, cat: cat, ph: 'X', startCy: startCy, endCy: endCy, pid: pid, tid: tid, args: args})
+}
+
+// Instant records a thread-scoped instant ('i') event at atCy.
+func (t *Tracer) Instant(pid, tid uint32, name, cat string, atCy uint64, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.add(event{name: name, cat: cat, ph: 'i', startCy: atCy, pid: pid, tid: tid, args: args})
+}
+
+// Counter records a counter-track ('C') sample: the viewer draws one track
+// per name interpolating between samples.
+func (t *Tracer) Counter(pid uint32, name string, atCy uint64, value float64) {
+	if t == nil {
+		return
+	}
+	t.add(event{name: name, ph: 'C', startCy: atCy, pid: pid, args: map[string]any{"value": value}})
+}
+
+// NameProcess attaches a display name to pid (metadata event).
+func (t *Tracer) NameProcess(pid uint32, name string) {
+	if t == nil {
+		return
+	}
+	t.add(event{name: "process_name", ph: 'M', pid: pid, args: map[string]any{"name": name}})
+}
+
+// NameThread attaches a display name to (pid, tid).
+func (t *Tracer) NameThread(pid, tid uint32, name string) {
+	if t == nil {
+		return
+	}
+	t.add(event{name: "thread_name", ph: 'M', pid: pid, tid: tid, args: map[string]any{"name": name}})
+}
+
+// jsonEvent is the serialised Chrome trace-event shape.
+type jsonEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   uint32         `json:"pid"`
+	Tid   uint32         `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+func cyclesToUs(cy uint64) float64 { return float64(cy) / CyclesPerMicrosecond }
+
+// Export writes the buffered events as a Chrome trace-event JSON object
+// ({"traceEvents": [...]}), loadable by Perfetto and chrome://tracing. A
+// nil tracer exports an empty (still valid) trace.
+func (t *Tracer) Export(w io.Writer) error {
+	out := struct {
+		TraceEvents     []jsonEvent    `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		OtherData       map[string]any `json:"otherData,omitempty"`
+	}{TraceEvents: []jsonEvent{}, DisplayTimeUnit: "ns"}
+	if t != nil {
+		out.TraceEvents = make([]jsonEvent, 0, len(t.events))
+		for _, e := range t.events {
+			je := jsonEvent{
+				Name: e.name,
+				Cat:  e.cat,
+				Ph:   string(e.ph),
+				Ts:   cyclesToUs(e.startCy),
+				Pid:  e.pid,
+				Tid:  e.tid,
+				Args: e.args,
+			}
+			switch e.ph {
+			case 'X':
+				je.Dur = cyclesToUs(e.endCy - e.startCy)
+			case 'i':
+				je.Scope = "t"
+			case 'M':
+				je.Ts = 0
+			}
+			out.TraceEvents = append(out.TraceEvents, je)
+		}
+		if t.dropped > 0 {
+			out.OtherData = map[string]any{"droppedEvents": t.dropped}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ExportFile writes the trace to path.
+func (t *Tracer) ExportFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Export(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: exporting trace to %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// Context bundles a tracer and a registry, either of which may be nil. It
+// is the single handle instrumented components hold; a nil *Context (or a
+// Context with both fields nil) disables observability entirely.
+type Context struct {
+	Trace   *Tracer
+	Metrics *Registry
+}
+
+// NewContext returns a context with a fresh tracer and registry.
+func NewContext() *Context {
+	return &Context{Trace: NewTracer(), Metrics: NewRegistry()}
+}
+
+// Tracer returns the context's tracer, nil when ctx is nil.
+func (c *Context) TracerOrNil() *Tracer {
+	if c == nil {
+		return nil
+	}
+	return c.Trace
+}
+
+// RegistryOrNil returns the context's registry, nil when ctx is nil.
+func (c *Context) RegistryOrNil() *Registry {
+	if c == nil {
+		return nil
+	}
+	return c.Metrics
+}
+
+// ExportFiles writes the context's trace and metrics snapshot to the given
+// paths; an empty path skips that export. A nil context is a no-op.
+func (c *Context) ExportFiles(tracePath, metricsPath string) error {
+	if c == nil {
+		return nil
+	}
+	if tracePath != "" {
+		if err := c.Trace.ExportFile(tracePath); err != nil {
+			return err
+		}
+	}
+	if metricsPath != "" {
+		if err := c.Metrics.ExportFile(metricsPath); err != nil {
+			return err
+		}
+	}
+	return nil
+}

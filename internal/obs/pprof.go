@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts a CPU profile at cpuPath (empty disables) and
+// returns a stop function that finishes the CPU profile and, when memPath
+// is non-empty, writes a heap profile there. Call the stop function exactly
+// once, after the workload of interest has run.
+func StartProfiles(cpuPath, memPath string) (func() error, error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("obs: starting CPU profile: %w", err)
+		}
+		cpuF = f
+	}
+	stop := func() error {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // materialise up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("obs: writing heap profile to %s: %w", memPath, err)
+			}
+			return f.Close()
+		}
+		return nil
+	}
+	return stop, nil
+}

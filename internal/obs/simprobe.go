@@ -1,0 +1,47 @@
+package obs
+
+// SimProbe satisfies sim.Probe (structurally — this package does not import
+// internal/sim): it counts event scheduling/dispatch/cancellation in the
+// metrics registry and samples the pending-queue depth onto a trace counter
+// track. Dispatches are sampled rather than traced individually: a Tier-2
+// horizon fires millions of events and per-event trace records would
+// swamp the buffer.
+type SimProbe struct {
+	Trace   *Tracer
+	Metrics *Registry
+	Pid     uint32
+
+	// SampleEvery controls how often (in dispatched events) the pending
+	// counter track is sampled; zero means every 1024 dispatches.
+	SampleEvery uint64
+
+	fired uint64
+}
+
+// NewSimProbe builds a probe that attributes its trace samples to pid.
+func NewSimProbe(tr *Tracer, reg *Registry, pid uint32) *SimProbe {
+	return &SimProbe{Trace: tr, Metrics: reg, Pid: pid}
+}
+
+// EventScheduled implements sim.Probe.
+func (p *SimProbe) EventScheduled(now, when uint64) {
+	p.Metrics.Inc("sim/events_scheduled")
+}
+
+// EventFired implements sim.Probe.
+func (p *SimProbe) EventFired(when uint64, pending int) {
+	p.Metrics.Inc("sim/events_fired")
+	p.fired++
+	every := p.SampleEvery
+	if every == 0 {
+		every = 1024
+	}
+	if p.fired%every == 0 {
+		p.Trace.Counter(p.Pid, "sim.pendingEvents", when, float64(pending))
+	}
+}
+
+// EventCancelled implements sim.Probe.
+func (p *SimProbe) EventCancelled(now uint64) {
+	p.Metrics.Inc("sim/events_cancelled")
+}

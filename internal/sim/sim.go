@@ -93,6 +93,21 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// Probe receives kernel-level scheduling events for observability. Times
+// are plain uint64 cycles so implementations (internal/obs) need not import
+// this package. All methods are invoked synchronously on the simulation
+// thread; a nil probe (the default) costs one predictable branch per event.
+type Probe interface {
+	// EventScheduled fires when an event is queued (Schedule/After/Every;
+	// periodic re-arms are not re-counted).
+	EventScheduled(now, when uint64)
+	// EventFired fires as each event dispatches, with the queue depth
+	// remaining at that instant.
+	EventFired(when uint64, pending int)
+	// EventCancelled fires when a pending event is cancelled.
+	EventCancelled(now uint64)
+}
+
 // Simulator is a single-threaded discrete-event simulator. It is not safe
 // for concurrent use; model concurrency with events, not goroutines.
 type Simulator struct {
@@ -101,7 +116,12 @@ type Simulator struct {
 	seq    uint64
 	nFired uint64
 	rng    *RNG
+	probe  Probe
 }
+
+// SetProbe attaches an observability probe (nil detaches). Pass a concrete
+// non-nil implementation; observability is opt-in and off by default.
+func (s *Simulator) SetProbe(p Probe) { s.probe = p }
 
 // New returns a simulator whose clock starts at zero, with a deterministic
 // random stream derived from seed.
@@ -131,6 +151,9 @@ func (s *Simulator) Schedule(when Time, fn Handler) *Event {
 	e := &Event{when: when, seq: s.seq, fn: fn, index: -1}
 	s.seq++
 	heap.Push(&s.queue, e)
+	if s.probe != nil {
+		s.probe.EventScheduled(uint64(s.now), uint64(when))
+	}
 	return e
 }
 
@@ -159,6 +182,9 @@ func (s *Simulator) Cancel(e *Event) {
 	e.stopped = true
 	if e.index >= 0 {
 		heap.Remove(&s.queue, e.index)
+		if s.probe != nil {
+			s.probe.EventCancelled(uint64(s.now))
+		}
 	}
 }
 
@@ -179,6 +205,9 @@ func (s *Simulator) Step() bool {
 			heap.Push(&s.queue, e)
 		}
 		s.nFired++
+		if s.probe != nil {
+			s.probe.EventFired(uint64(s.now), len(s.queue))
+		}
 		e.fn(s.now)
 		return true
 	}

@@ -1,0 +1,80 @@
+package stats
+
+import "testing"
+
+func TestCycleAccountFractionEmpty(t *testing.T) {
+	a := NewCycleAccount()
+	if f := a.Fraction("anything"); f != 0 {
+		t.Errorf("Fraction on empty account = %g, want 0", f)
+	}
+	if f := a.FractionOf("anything", 0); f != 0 {
+		t.Errorf("FractionOf with zero denominator = %g, want 0", f)
+	}
+	if a.Total() != 0 || len(a.Categories()) != 0 {
+		t.Errorf("empty account: total=%d cats=%v", a.Total(), a.Categories())
+	}
+}
+
+func TestCycleAccountFractionUnknownCategory(t *testing.T) {
+	a := NewCycleAccount()
+	a.Charge("work", 100)
+	if f := a.Fraction("missing"); f != 0 {
+		t.Errorf("Fraction of unknown category = %g, want 0", f)
+	}
+	if f := a.FractionOf("missing", 50); f != 0 {
+		t.Errorf("FractionOf unknown category = %g, want 0", f)
+	}
+	// Charging an unknown category must not have materialised it.
+	if len(a.Categories()) != 1 {
+		t.Errorf("categories after reads = %v, want [work]", a.Categories())
+	}
+}
+
+func TestCycleAccountFractionOfExternalDenominator(t *testing.T) {
+	a := NewCycleAccount()
+	a.Charge("poll", 250)
+	// The external denominator can exceed charged cycles (wall clock with
+	// idle time) or be smaller (a sub-window); both must divide exactly.
+	if f := a.FractionOf("poll", 1000); f != 0.25 {
+		t.Errorf("FractionOf(poll, 1000) = %g, want 0.25", f)
+	}
+	if f := a.FractionOf("poll", 125); f != 2 {
+		t.Errorf("FractionOf(poll, 125) = %g, want 2", f)
+	}
+}
+
+func TestCycleAccountMergeDisjoint(t *testing.T) {
+	a := NewCycleAccount()
+	a.Charge("work", 100)
+	b := NewCycleAccount()
+	b.Charge("notify", 40)
+	b.Charge("work", 10)
+
+	a.Merge(b)
+	if a.Total() != 150 {
+		t.Errorf("merged total = %d, want 150", a.Total())
+	}
+	if a.Get("work") != 110 || a.Get("notify") != 40 {
+		t.Errorf("merged charges: work=%d notify=%d", a.Get("work"), a.Get("notify"))
+	}
+	// Merge copies, not aliases: mutating b afterwards must not affect a.
+	b.Charge("notify", 1000)
+	if a.Get("notify") != 40 {
+		t.Errorf("merge aliased the source account: notify=%d", a.Get("notify"))
+	}
+}
+
+func TestCycleAccountMergeEmpty(t *testing.T) {
+	a := NewCycleAccount()
+	a.Charge("work", 7)
+	a.Merge(NewCycleAccount())
+	if a.Total() != 7 {
+		t.Errorf("merge of empty account changed total: %d", a.Total())
+	}
+
+	dst := NewCycleAccount()
+	dst.Merge(a)
+	if dst.Total() != 7 || dst.Get("work") != 7 {
+		t.Errorf("merge into empty account: total=%d work=%d", dst.Total(), dst.Get("work"))
+	}
+}
