@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test bench race run-all examples
+.PHONY: all build vet test bench microbench race run-all sweep-profile examples
 
 all: build vet test
 
@@ -13,11 +13,21 @@ vet:
 test:
 	go test ./...
 
+# Regenerate the committed perf baseline: per-experiment wall times at the
+# machine's full worker count plus sim hot-loop ns/op and allocs/op.
 bench:
+	go run ./cmd/xuibench -exp all -quick -benchjson BENCH_sweep.json
+
+microbench:
 	go test -run '^$$' -bench=. -benchmem ./...
 
 race:
 	go test -race ./...
+
+# CPU-profile a full parallel sweep of every experiment.
+sweep-profile:
+	go run ./cmd/xuibench -exp all -quick -cpuprofile sweep.pprof
+	@echo "wrote sweep.pprof; inspect with: go tool pprof sweep.pprof"
 
 # Regenerate every table and figure from the paper.
 run-all:

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"xui/internal/sim"
+)
+
+// benchRecord is the machine-readable perf record -benchjson emits: wall
+// time per experiment at the configured worker count, plus ns/op and
+// allocs/op microbenchmarks of the simulation kernel's hot loops. Committed
+// baselines (BENCH_sweep.json) let perf regressions show up in review as
+// JSON diffs.
+type benchRecord struct {
+	Schema      string       `json:"schema"` // "xuibench-bench/1"
+	Workers     int          `json:"workers"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	GoOS        string       `json:"goos"`
+	GoArch      string       `json:"goarch"`
+	Quick       bool         `json:"quick"`
+	TotalMs     float64      `json:"totalMs"`
+	Experiments []expTiming  `json:"experiments"`
+	HotLoops    []hotLoopRow `json:"hotLoops"`
+}
+
+type expTiming struct {
+	Name   string  `json:"name"`
+	WallMs float64 `json:"wallMs"`
+}
+
+type hotLoopRow struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+}
+
+// runBenchJSON runs the selected experiments (printing their normal output)
+// while timing each, benchmarks the sim hot loops, and writes the record.
+func runBenchJSON(path, name string, order []string, runners map[string]func(bool), quick bool, workers int) error {
+	selected := order
+	if name != "all" {
+		run, ok := runners[name]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		selected = []string{name}
+		_ = run
+	}
+	rec := benchRecord{
+		Schema:     "xuibench-bench/1",
+		Workers:    workers,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		Quick:      quick,
+	}
+	total := time.Now()
+	for _, n := range selected {
+		start := time.Now()
+		runners[n](quick)
+		rec.Experiments = append(rec.Experiments, expTiming{
+			Name:   n,
+			WallMs: float64(time.Since(start).Microseconds()) / 1000,
+		})
+	}
+	rec.TotalMs = float64(time.Since(total).Microseconds()) / 1000
+	rec.HotLoops = benchHotLoops()
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// benchHotLoops microbenchmarks the event-kernel hot paths (mirroring the
+// BenchmarkSim* suite in internal/sim) so the record captures per-op cost
+// and allocation behaviour alongside the wall times.
+func benchHotLoops() []hotLoopRow {
+	row := func(name string, r testing.BenchmarkResult) hotLoopRow {
+		return hotLoopRow{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+	var fn sim.Handler = func(sim.Time) {}
+	return []hotLoopRow{
+		row("sim/event-schedule", testing.Benchmark(func(b *testing.B) {
+			s := sim.New(1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.After(1, fn)
+				s.Step()
+			}
+		})),
+		row("sim/event-periodic", testing.Benchmark(func(b *testing.B) {
+			s := sim.New(1)
+			ev := s.Every(10, fn)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.Step()
+			}
+			s.Cancel(ev)
+		})),
+		row("sim/event-cancel", testing.Benchmark(func(b *testing.B) {
+			s := sim.New(1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.Cancel(s.After(10, fn))
+			}
+		})),
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"xui/internal/experiments"
@@ -33,7 +34,10 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write a metrics-registry JSON snapshot of the run to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for the grid-experiment sweeps; results are identical at any value")
+	benchJSON := flag.String("benchjson", "", "time each experiment and the sim hot loops, writing a machine-readable perf record to this file")
 	flag.Parse()
+	experiments.SetWorkers(*workers)
 
 	stopProf, err := obs.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
@@ -84,6 +88,13 @@ func main() {
 	order := []string{"table2", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "worstcase", "section2", "section35", "ablations", "multiworker", "duet"}
 
 	name := strings.ToLower(*exp)
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, name, order, runners, *quick, *workers); err != nil {
+			fatal(err)
+		}
+		finish()
+		return
+	}
 	if *jsonOut {
 		emitJSON(name, order, *quick)
 		finish()

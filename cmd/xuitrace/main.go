@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"xui/internal/cpu"
 	"xui/internal/experiments"
@@ -41,7 +42,9 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for any grid sweeps experiments run; results are identical at any value")
 	flag.Parse()
+	experiments.SetWorkers(*workers)
 
 	stopProf, err := obs.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {

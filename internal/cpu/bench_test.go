@@ -1,0 +1,53 @@
+package cpu
+
+import (
+	"testing"
+
+	"xui/internal/isa"
+)
+
+// ilpBlock is a mildly parallel program block used by the benchmarks.
+func ilpBlock() []isa.MicroOp {
+	return []isa.MicroOp{
+		{Class: isa.IntAlu, BoundaryStart: true},
+		{Class: isa.IntAlu},
+		{Class: isa.IntAlu, Dep1: 2, BoundaryStart: true},
+		{Class: isa.Load, Addr: 0x1000, BoundaryStart: true},
+		{Class: isa.IntAlu, Dep1: 1, BoundaryStart: true},
+		{Class: isa.Store, Addr: 0x2000, Dep1: 1, BoundaryStart: true},
+	}
+}
+
+// BenchmarkCoreProgramRun measures the steady-state pipeline loop on a plain
+// program (no interrupts): fetch → rename → issue → writeback → commit.
+// The hot path must not allocate once the replay buffer is warm.
+func BenchmarkCoreProgramRun(b *testing.B) {
+	block := ilpBlock()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		core, _ := newTestCore(Tracked, repeat("bench", block, 2000))
+		b.StartTimer()
+		core.Run(12000, 1_000_000)
+	}
+}
+
+// BenchmarkCoreInterruptDelivery measures periodic Tracked deliveries into a
+// running program — the per-interrupt path (accept, sequence build, inject,
+// retire) reusing the core-owned delivery state.
+func BenchmarkCoreInterruptDelivery(b *testing.B) {
+	block := ilpBlock()
+	handler := smallHandler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		core, _ := newTestCore(Tracked, repeat("bench", block, 4000))
+		core.PeriodicInterrupts(200, 400, func() Interrupt {
+			return Interrupt{Vector: 7, Handler: handler, Tag: "bench"}
+		})
+		b.StartTimer()
+		core.Run(24000, 4_000_000)
+	}
+}

@@ -110,7 +110,8 @@ type Core struct {
 	prog      isa.Stream
 	progDone  bool
 	buf       []isa.MicroOp // replay window of fetched-but-uncommitted program ops
-	bufBase   uint64        // stream position of buf[0]
+	bufOff    int           // index of the window's oldest op within buf
+	bufBase   uint64        // stream position of buf[bufOff]
 	fetchPos  uint64        // next stream position to fetch
 	commitPos uint64        // number of program ops committed (= next pos to commit)
 	posSeq    []uint64      // in-flight seq per stream position (ring)
@@ -124,11 +125,19 @@ type Core struct {
 	// Stack-pointer writers currently in flight, ascending seq.
 	spWriters []uint64
 
-	// Interrupts.
-	arrivals  []scheduledIntr // sorted by at
-	pendQueue []Interrupt     // accepted-but-blocked (UIF clear / another in progress)
+	// Interrupts. arrivals and pendQueue are drained with head cursors
+	// (reset when empty) so their backing arrays are reused, not resliced
+	// away.
+	arrivals  []scheduledIntr // sorted by at; pending region is [arrHead:]
+	arrHead   int
+	pendQueue []Interrupt // accepted-but-blocked (UIF clear / another in progress)
+	pendHead  int
 	cur       *intrState
-	uifSet    bool // user interrupts enabled
+	// curState is the storage cur points at: at most one delivery is in
+	// progress, so one reused struct (and its seqOps scratch) serves every
+	// interrupt without a per-interrupt allocation.
+	curState intrState
+	uifSet   bool // user interrupts enabled
 
 	// Periodic generator (optional).
 	period     uint64
@@ -166,6 +175,8 @@ func New(cfg Config, prog isa.Stream, mp MemPort) *Core {
 		head:   1,
 		tail:   1,
 		posSeq: make([]uint64, 4096),
+		buf:    make([]isa.MicroOp, 0, 1024),
+		iqList: make([]uint64, 0, cfg.IQSize),
 		uifSet: true,
 	}
 	return c
@@ -181,7 +192,7 @@ func (c *Core) Records() []IntrRecord { return c.records }
 func (c *Core) ScheduleInterrupt(at uint64, intr Interrupt) {
 	// Insert keeping sorted order (arrivals are few and mostly appended).
 	i := len(c.arrivals)
-	for i > 0 && c.arrivals[i-1].at > at {
+	for i > c.arrHead && c.arrivals[i-1].at > at {
 		i--
 	}
 	c.arrivals = append(c.arrivals, scheduledIntr{})
@@ -217,8 +228,8 @@ func (c *Core) Run(maxProgramUops, maxCycles uint64) Result {
 	limit := c.cycle + maxCycles
 	for c.committedProgram < target && c.cycle < limit {
 		c.step()
-		if c.progDone && c.head == c.tail && c.cur == nil && len(c.pendQueue) == 0 &&
-			int(c.fetchPos-c.bufBase) >= len(c.buf) {
+		if c.progDone && c.head == c.tail && c.cur == nil && c.pendHead >= len(c.pendQueue) &&
+			c.bufOff+int(c.fetchPos-c.bufBase) >= len(c.buf) {
 			// Stream exhausted, window drained, no delivery in progress,
 			// and no squashed ops awaiting refetch from the replay buffer.
 			break
@@ -288,8 +299,8 @@ func (c *Core) nextEventCycle() (uint64, bool) {
 	if c.cycle < c.fetchStallUntil {
 		merge(c.fetchStallUntil)
 	}
-	if len(c.arrivals) > 0 {
-		merge(c.arrivals[0].at)
+	if c.arrHead < len(c.arrivals) {
+		merge(c.arrivals[c.arrHead].at)
 	}
 	if c.periodGen != nil {
 		merge(c.periodNext)
@@ -332,15 +343,24 @@ func (c *Core) acceptInterrupts() {
 		c.arrivalAt(c.periodGen())
 		c.periodNext += c.period
 	}
-	for len(c.arrivals) > 0 && c.arrivals[0].at <= c.cycle {
-		c.arrivalAt(c.arrivals[0].intr)
-		c.arrivals = c.arrivals[1:]
+	for c.arrHead < len(c.arrivals) && c.arrivals[c.arrHead].at <= c.cycle {
+		intr := c.arrivals[c.arrHead].intr
+		c.arrivals[c.arrHead] = scheduledIntr{}
+		c.arrHead++
+		c.arrivalAt(intr)
+	}
+	if c.arrHead == len(c.arrivals) && c.arrHead > 0 {
+		c.arrivals, c.arrHead = c.arrivals[:0], 0
 	}
 	// A delivery that completed last cycle re-enabled UIF; accept a posted
 	// interrupt now (not mid-commit, which would corrupt the ROB walk).
-	if c.cur == nil && c.uifSet && len(c.pendQueue) > 0 {
-		next := c.pendQueue[0]
-		c.pendQueue = c.pendQueue[1:]
+	if c.cur == nil && c.uifSet && c.pendHead < len(c.pendQueue) {
+		next := c.pendQueue[c.pendHead]
+		c.pendQueue[c.pendHead] = Interrupt{}
+		c.pendHead++
+		if c.pendHead == len(c.pendQueue) {
+			c.pendQueue, c.pendHead = c.pendQueue[:0], 0
+		}
 		c.accept(next)
 	}
 	// Drain strategies: inject once the window is empty.
@@ -378,9 +398,14 @@ func (c *Core) accept(intr Interrupt) {
 	c.didWork = true
 	rec := IntrRecord{Tag: intr.Tag, Vector: intr.Vector, Arrive: c.cycle}
 	c.records = append(c.records, rec)
-	st := &intrState{
-		intr: intr,
-		rec:  &c.records[len(c.records)-1],
+	// Reuse the one delivery-state struct (and its seqOps backing): accept
+	// only runs with no delivery in progress, so the previous interrupt is
+	// done with it.
+	st := &c.curState
+	*st = intrState{
+		intr:   intr,
+		rec:    &c.records[len(c.records)-1],
+		seqOps: st.seqOps[:0],
 	}
 	st.buildSequence(c.cfg)
 	c.cur = st
@@ -427,9 +452,10 @@ func (c *Core) accept(intr Interrupt) {
 	}
 }
 
-// buildSequence stamps the full micro-op sequence for this interrupt.
+// buildSequence stamps the full micro-op sequence for this interrupt into
+// s.seqOps (whose backing array is reused across deliveries).
 func (s *intrState) buildSequence(cfg Config) {
-	var ops []isa.MicroOp
+	ops := s.seqOps[:0]
 	s.notifHi = -1
 	if !s.intr.SkipNotification {
 		for _, op := range cfg.Ucode.Notification.Ops {
@@ -510,14 +536,20 @@ func (c *Core) retire(e *robEntry) {
 		if c.OnProgramCommit != nil {
 			c.OnProgramCommit(e.streamPos, c.cycle)
 		}
-		// Trim the replay buffer.
+		// Trim the replay buffer by advancing the head cursor; the backing
+		// array is compacted (not abandoned) so appends reuse its capacity.
 		if c.commitPos > c.bufBase {
 			trim := c.commitPos - c.bufBase
-			if trim > uint64(len(c.buf)) {
-				trim = uint64(len(c.buf))
+			if trim > uint64(len(c.buf)-c.bufOff) {
+				trim = uint64(len(c.buf) - c.bufOff)
 			}
-			c.buf = c.buf[trim:]
+			c.bufOff += int(trim)
 			c.bufBase += trim
+			if c.bufOff >= 1024 && c.bufOff*2 >= len(c.buf) {
+				n := copy(c.buf, c.buf[c.bufOff:])
+				c.buf = c.buf[:n]
+				c.bufOff = 0
+			}
 		}
 	} else {
 		c.committedOther++
@@ -901,7 +933,7 @@ func (c *Core) nextFetchOp() (isa.MicroOp, fetchSrc, bool) {
 
 // peekProgram returns the op at fetchPos without consuming it.
 func (c *Core) peekProgram() (isa.MicroOp, bool) {
-	idx := int(c.fetchPos - c.bufBase)
+	idx := c.bufOff + int(c.fetchPos-c.bufBase)
 	for idx >= len(c.buf) {
 		if c.progDone {
 			return isa.MicroOp{}, false

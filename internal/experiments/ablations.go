@@ -36,8 +36,10 @@ func CluiStuiCriticalSection(mallocsPerGet int, horizon sim.Time) CluiStuiResult
 		PairCost:        pair,
 		AnalyticPenalty: 100 * pair * float64(mallocsPerGet) / float64(costs.GetMean),
 	}
-	base := cluiStuiThroughput(0, horizon)
-	prot := cluiStuiThroughput(mallocsPerGet, horizon)
+	thr := runGrid("cluistui", []int{0, mallocsPerGet}, func(_ int, m int) float64 {
+		return cluiStuiThroughput(m, horizon)
+	})
+	base, prot := thr[0], thr[1]
 	if base > 0 {
 		res.MeasuredPenalty = 100 * (base - prot) / base
 	}
@@ -94,8 +96,7 @@ func SafepointDensity(spacings []int, uops uint64) []SafepointDensityRow {
 	baseCore, _ := NewReceiver(cpu.Tracked, trace.ByName("matmul", 1))
 	base := baseCore.Run(uops, uops*400)
 
-	var rows []SafepointDensityRow
-	for _, every := range spacings {
+	return runGrid("safepoint-density", spacings, func(_ int, every int) SafepointDensityRow {
 		cfg := cpu.DefaultConfig()
 		cfg.Strategy = cpu.Tracked
 		cfg.SafepointMode = true
@@ -119,13 +120,12 @@ func SafepointDensity(spacings []int, uops uint64) []SafepointDensityRow {
 		if n > 0 {
 			delay /= float64(n)
 		}
-		rows = append(rows, SafepointDensityRow{
+		return SafepointDensityRow{
 			Every:        every,
 			OverheadPct:  100 * (float64(res.Cycles) - float64(base.Cycles)) / float64(base.Cycles),
 			MeanDelayCyc: delay,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // PollDensityRow is one point of the polling-density ablation — the Go
@@ -141,18 +141,16 @@ type PollDensityRow struct {
 func PollDensity(spacings []int, uops uint64) []PollDensityRow {
 	baseCore, _ := NewReceiver(cpu.Flush, trace.ByName("matmul", 1))
 	base := baseCore.Run(uops, uops*400)
-	var rows []PollDensityRow
-	for _, every := range spacings {
+	return runGrid("poll-density", spacings, func(_ int, every int) PollDensityRow {
 		prog := trace.NewPollInstrumented(trace.ByName("matmul", 1), every, FlagAddr)
 		c, _ := NewReceiver(cpu.Flush, prog)
 		total := uops + uops/uint64(every)*2
 		res := c.Run(total, total*400)
-		rows = append(rows, PollDensityRow{
+		return PollDensityRow{
 			Every:       every,
 			OverheadPct: 100 * (float64(res.Cycles) - float64(base.Cycles)) / float64(base.Cycles),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // FormatAblations renders the three ablations for cmd/xuibench.

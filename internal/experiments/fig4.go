@@ -38,19 +38,25 @@ var Fig4Workloads = []string{"fib", "linpack", "memops"}
 // 6.86 % → 1.06 % overhead).
 func Fig4(uopsPerRun uint64) []Fig4Row {
 	period := uint64(5 * sim.Time(2000)) // 5 µs at 2 GHz
-	var rows []Fig4Row
+	type job struct {
+		w   string
+		cfg Fig4Config
+	}
+	var jobs []job
 	for _, w := range Fig4Workloads {
 		for _, cfg := range Fig4Configs() {
-			per := ReceiverEventCost(cfg.Strategy, w, cfg.SkipNotif, period, uopsPerRun)
-			rows = append(rows, Fig4Row{
-				Workload:    w,
-				Config:      cfg.Name,
-				PerEvent:    per,
-				OverheadPct: 100 * per / float64(period),
-			})
+			jobs = append(jobs, job{w, cfg})
 		}
 	}
-	return rows
+	return runGrid("fig4", jobs, func(_ int, j job) Fig4Row {
+		per := ReceiverEventCost(j.cfg.Strategy, j.w, j.cfg.SkipNotif, period, uopsPerRun)
+		return Fig4Row{
+			Workload:    j.w,
+			Config:      j.cfg.Name,
+			PerEvent:    per,
+			OverheadPct: 100 * per / float64(period),
+		}
+	})
 }
 
 // Fig4Summary averages per-event costs across workloads per config,

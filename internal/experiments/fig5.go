@@ -51,20 +51,32 @@ func CtxSwitchHandler() []isa.MicroOp {
 // anchors at a 5 µs quantum: safepoints 1.2–1.5 %, UIPI in between,
 // polling 8.5–11 %.
 func Fig5(quantaUs []float64, uopsPerRun uint64) []Fig5Row {
-	var rows []Fig5Row
-	for _, w := range Fig5Workloads {
+	// Phase 1: the per-workload uninstrumented baselines.
+	bases := runGrid("fig5/base", Fig5Workloads, func(_ int, w string) uint64 {
 		baseCore, _ := NewReceiver(cpu.Flush, trace.ByName(w, 1))
-		base := baseCore.Run(uopsPerRun, uopsPerRun*400)
+		return baseCore.Run(uopsPerRun, uopsPerRun*400).Cycles
+	})
+	// Phase 2: the (workload, quantum, method) grid against those baselines.
+	type job struct {
+		w      string
+		base   uint64
+		q      float64
+		method string
+	}
+	var jobs []job
+	for wi, w := range Fig5Workloads {
 		for _, q := range quantaUs {
-			period := uint64(q * 2000)
 			for _, method := range Fig5Methods {
-				cycles := fig5Run(w, method, period, uopsPerRun)
-				over := 100 * (cycles - float64(base.Cycles)) / float64(base.Cycles)
-				rows = append(rows, Fig5Row{Workload: w, Method: method, QuantumUs: q, OverheadPct: over})
+				jobs = append(jobs, job{w, bases[wi], q, method})
 			}
 		}
 	}
-	return rows
+	return runGrid("fig5", jobs, func(_ int, j job) Fig5Row {
+		period := uint64(j.q * 2000)
+		cycles := fig5Run(j.w, j.method, period, uopsPerRun)
+		over := 100 * (cycles - float64(j.base)) / float64(j.base)
+		return Fig5Row{Workload: j.w, Method: j.method, QuantumUs: j.q, OverheadPct: over}
+	})
 }
 
 func fig5Run(workload, method string, period, uops uint64) float64 {

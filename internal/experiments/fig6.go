@@ -28,15 +28,22 @@ var Fig6Methods = []string{"setitimer", "nanosleep", "rdtsc-spin", "xui-kbtimer"
 // core entirely (each core has its own KB_Timer), so its utilization is
 // identically zero.
 func Fig6(periodsUs []float64, appCores []int, horizon sim.Time) []Fig6Row {
-	var rows []Fig6Row
+	type job struct {
+		method string
+		pUs    float64
+		n      int
+	}
+	var jobs []job
 	for _, pUs := range periodsUs {
 		for _, n := range appCores {
 			for _, method := range Fig6Methods {
-				rows = append(rows, fig6Point(method, pUs, n, horizon))
+				jobs = append(jobs, job{method, pUs, n})
 			}
 		}
 	}
-	return rows
+	return runGrid("fig6", jobs, func(_ int, j job) Fig6Row {
+		return fig6Point(j.method, j.pUs, j.n, horizon)
+	})
 }
 
 func fig6Point(method string, periodUs float64, nApp int, horizon sim.Time) Fig6Row {

@@ -45,13 +45,19 @@ type Fig7Row struct {
 // preemption quantum. The key-value store really executes each request;
 // the simulated service time comes from the calibrated cost model.
 func Fig7(loads []float64, horizon sim.Time) []Fig7Row {
-	var rows []Fig7Row
+	type job struct {
+		cfg  Fig7Config
+		load float64
+	}
+	var jobs []job
 	for _, cfg := range Fig7Configs() {
 		for _, load := range loads {
-			rows = append(rows, fig7Point(cfg, load, horizon))
+			jobs = append(jobs, job{cfg, load})
 		}
 	}
-	return rows
+	return runGrid("fig7", jobs, func(_ int, j job) Fig7Row {
+		return fig7Point(j.cfg, j.load, horizon)
+	})
 }
 
 const fig7Quantum = 5 * 2000 // 5 µs

@@ -29,14 +29,20 @@ type Fig8Row struct {
 // load with one queue xUI leaves ≈45 % of cycles free; throughput parity
 // within 0.08 %; p95 latency +2 %/−8 %/+65 % for 1/4/8 NICs.
 func Fig8(nicCounts []int, loadsPct []float64, horizon sim.Time) []Fig8Row {
-	var rows []Fig8Row
+	type job struct {
+		mode netsim.Mode
+		nq   int
+		load float64
+	}
+	var jobs []job
 	for _, nq := range nicCounts {
 		for _, load := range loadsPct {
-			rows = append(rows, fig8Point(netsim.PollMode, nq, load, horizon))
-			rows = append(rows, fig8Point(netsim.InterruptMode, nq, load, horizon))
+			jobs = append(jobs, job{netsim.PollMode, nq, load}, job{netsim.InterruptMode, nq, load})
 		}
 	}
-	return rows
+	return runGrid("fig8", jobs, func(_ int, j job) Fig8Row {
+		return fig8Point(j.mode, j.nq, j.load, horizon)
+	})
 }
 
 func fig8Point(mode netsim.Mode, nq int, loadPct float64, horizon sim.Time) Fig8Row {

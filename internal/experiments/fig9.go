@@ -44,15 +44,23 @@ func Fig9(noisePcts []float64, requests int) []Fig9Row {
 		name string
 		mean sim.Time
 	}{{"2us", dsa.ShortClassMean}, {"20us", dsa.LongClassMean}}
-	var rows []Fig9Row
+	type job struct {
+		name   string
+		mean   sim.Time
+		np     float64
+		method string
+	}
+	var jobs []job
 	for _, cl := range classes {
 		for _, np := range noisePcts {
 			for _, method := range Fig9Methods {
-				rows = append(rows, fig9Point(cl.name, cl.mean, np/100, method, requests))
+				jobs = append(jobs, job{cl.name, cl.mean, np, method})
 			}
 		}
 	}
-	return rows
+	return runGrid("fig9", jobs, func(_ int, j job) Fig9Row {
+		return fig9Point(j.name, j.mean, j.np/100, j.method, requests)
+	})
 }
 
 func fig9Point(className string, mean sim.Time, noise float64, method string, requests int) Fig9Row {

@@ -30,16 +30,22 @@ type MultiWorkerRow struct {
 // MultiWorker sweeps worker counts with and without stealing. All arrivals
 // enqueue on worker 0; without stealing the extra cores idle.
 func MultiWorker(workers []int, rps float64, horizon sim.Time) []MultiWorkerRow {
-	var rows []MultiWorkerRow
+	type job struct {
+		n     int
+		steal bool
+	}
+	var jobs []job
 	for _, n := range workers {
 		for _, steal := range []bool{false, true} {
 			if n == 1 && steal {
 				continue
 			}
-			rows = append(rows, multiWorkerPoint(n, steal, rps, horizon))
+			jobs = append(jobs, job{n, steal})
 		}
 	}
-	return rows
+	return runGrid("multiworker", jobs, func(_ int, j job) MultiWorkerRow {
+		return multiWorkerPoint(j.n, j.steal, rps, horizon)
+	})
 }
 
 func multiWorkerPoint(workers int, steal bool, rps float64, horizon sim.Time) MultiWorkerRow {

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"sync/atomic"
+
 	"xui/internal/core"
 	"xui/internal/cpu"
 	"xui/internal/obs"
@@ -11,16 +13,20 @@ import (
 // cmd binaries install one here (SetObservability) and every receiver core
 // and Tier-2 machine built afterwards attaches to it. The default (nil)
 // costs a single pointer test per construction and nothing per cycle.
+// obsTid is atomic because parallel sweep workers (internal/sweep) build
+// cores concurrently; numbering order then depends on completion order,
+// which only affects trace thread labels, never experiment results.
 var (
 	obsCtx *obs.Context
-	obsTid uint32 // next Tier-1 thread ID; cores are numbered in build order
+	obsTid atomic.Uint32 // next Tier-1 thread ID; cores are numbered in build order
 )
 
 // SetObservability installs ctx as the package-wide sink for everything
-// built afterwards; nil disables. Resets Tier-1 core numbering.
+// built afterwards; nil disables. Resets Tier-1 core numbering. Call it
+// only between experiment runs, never while a sweep is in flight.
 func SetObservability(ctx *obs.Context) {
 	obsCtx = ctx
-	obsTid = 0
+	obsTid.Store(0)
 }
 
 // Observability returns the active context, nil when disabled.
@@ -32,8 +38,7 @@ func observeCore(c *cpu.Core) {
 	if obsCtx == nil {
 		return
 	}
-	tid := obsTid
-	obsTid++
+	tid := obsTid.Add(1) - 1
 	c.SetObserver(obs.NewPipeline(obsCtx.Trace, obsCtx.Metrics, obs.Tier1Pid, tid))
 }
 

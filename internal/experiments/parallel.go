@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"sync/atomic"
+
+	"xui/internal/sweep"
+)
+
+// sweepWorkers is the package-wide worker-pool size for grid experiments;
+// 0 means runtime.GOMAXPROCS(0). Experiments are deterministic at any
+// setting: each grid point builds its own Simulator and results land by
+// job index (see internal/sweep), so rows are byte-identical at -j 1 and
+// -j N.
+var sweepWorkers atomic.Int64
+
+// SetWorkers sets the worker-pool size used by grid experiments
+// (cmd binaries wire their -j flag here). n <= 0 restores the default of
+// one worker per host core.
+func SetWorkers(n int) { sweepWorkers.Store(int64(n)) }
+
+// Workers returns the configured pool size; 0 means one per host core.
+func Workers() int { return int(sweepWorkers.Load()) }
+
+// runGrid fans fn over jobs on the configured worker pool, attaching the
+// package observability sink so sweeps appear in exported traces. Results
+// are returned in job order — grid experiments iterate their parameter
+// space to build jobs, call runGrid, then assemble rows in the same order,
+// which keeps output identical to the old serial loops.
+func runGrid[J, R any](name string, jobs []J, fn func(i int, job J) R) []R {
+	out, _ := sweep.RunOpts(jobs, sweep.Options{
+		Workers: Workers(),
+		Name:    name,
+		Obs:     obsCtx,
+	}, fn)
+	return out
+}

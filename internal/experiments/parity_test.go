@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"xui/internal/sim"
+)
+
+// TestSweepParity checks every grid experiment produces byte-identical
+// rows at one worker and at eight: the determinism contract the parallel
+// sweep engine promises (results land by job index; every point builds its
+// own simulator and RNG). Parameters are scaled down — each case runs the
+// full grid twice. Run with -race this is also the concurrency check for
+// the sweep-converted experiments.
+func TestSweepParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double-runs every grid experiment")
+	}
+	horizon := 2 * sim.Millisecond
+	cases := []struct {
+		name string
+		run  func() any
+	}{
+		{"fig4", func() any { return Fig4(40000) }},
+		{"fig5", func() any { return Fig5([]float64{5}, 40000) }},
+		{"fig6", func() any { return Fig6([]float64{20}, []int{1, 4}, horizon) }},
+		{"fig7", func() any { return Fig7([]float64{100_000}, horizon) }},
+		{"fig8", func() any { return Fig8([]int{1}, []float64{40}, horizon) }},
+		{"fig9", func() any { return Fig9([]float64{0, 30}, 100) }},
+		{"table2", func() any { return Table2() }},
+		{"worstcase", func() any { return WorstCase([]int{5, 10}) }},
+		{"s35chase", func() any { return S35PointerChase([]int{8, 64}) }},
+		{"s35linearity", func() any { return S35Linearity([]int{5, 10}) }},
+		{"multiworker", func() any { return MultiWorker([]int{1, 2}, 200_000, horizon) }},
+		{"safepoint-density", func() any { return SafepointDensity([]int{25, 100}, 40000) }},
+		{"poll-density", func() any { return PollDensity([]int{25}, 40000) }},
+		{"cluistui", func() any { return CluiStuiCriticalSection(5, horizon) }},
+	}
+	defer SetWorkers(0)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			SetWorkers(1)
+			serial, err := json.Marshal(tc.run())
+			if err != nil {
+				t.Fatal(err)
+			}
+			SetWorkers(8)
+			parallel, err := json.Marshal(tc.run())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(serial, parallel) {
+				t.Errorf("rows differ between -j 1 and -j 8:\n  -j 1: %s\n  -j 8: %s", serial, parallel)
+			}
+		})
+	}
+}

@@ -25,13 +25,20 @@ type S35ChaseRow struct {
 
 // S35PointerChase sweeps the chase working set for both strategies.
 func S35PointerChase(workingSetsKB []int) []S35ChaseRow {
-	var rows []S35ChaseRow
+	type job struct {
+		strategy cpu.Strategy
+		ws       int
+	}
+	var jobs []job
 	for _, ws := range workingSetsKB {
-		rows = append(rows, S35ChaseRow{
-			WorkingSetKB: ws,
-			FlushCycles:  s35ChasePoint(cpu.Flush, ws),
-			DrainCycles:  s35ChasePoint(cpu.Drain, ws),
-		})
+		jobs = append(jobs, job{cpu.Flush, ws}, job{cpu.Drain, ws})
+	}
+	lats := runGrid("s35chase", jobs, func(_ int, j job) float64 {
+		return s35ChasePoint(j.strategy, j.ws)
+	})
+	rows := make([]S35ChaseRow, len(workingSetsKB))
+	for i, ws := range workingSetsKB {
+		rows[i] = S35ChaseRow{WorkingSetKB: ws, FlushCycles: lats[2*i], DrainCycles: lats[2*i+1]}
 	}
 	return rows
 }
@@ -73,17 +80,19 @@ type S35FlushLinearity struct {
 // S35Linearity runs the same workload with increasing interrupt counts.
 func S35Linearity(counts []int) S35FlushLinearity {
 	out := S35FlushLinearity{Interrupts: counts}
-	var xs, ys []float64
-	for _, k := range counts {
+	out.Squashed = runGrid("s35linearity", counts, func(_ int, k int) uint64 {
 		c, port := NewReceiver(cpu.Flush, trace.ByName("linpack", 4))
 		for i := 1; i <= k; i++ {
 			port.MarkRemoteWrite(UPIDAddr)
 			c.ScheduleInterrupt(uint64(i)*5000, cpu.Interrupt{Vector: 1, Handler: TinyHandler()})
 		}
 		res := c.Run(uint64(k+2)*5000/2*3, 50_000_000) // enough uops to span all arrivals
-		out.Squashed = append(out.Squashed, res.SquashedProgram)
+		return res.SquashedProgram
+	})
+	var xs, ys []float64
+	for i, k := range counts {
 		xs = append(xs, float64(k))
-		ys = append(ys, float64(res.SquashedProgram))
+		ys = append(ys, float64(out.Squashed[i]))
 	}
 	out.PerIntr, out.Correlation = fitLine(xs, ys)
 	return out

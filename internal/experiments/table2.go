@@ -28,19 +28,34 @@ func PaperTable2() Table2Result {
 // receiver core running the rdtsc measurement loop, stock UIPI delivery
 // (flush strategy, full notification path).
 func Table2() Table2Result {
-	send, icr := SenduipiLoopCost(60)
-
-	// Receiver cost: added receiver cycles per UIPI on the rdtsc loop.
+	// The three measurements are independent simulations; fan them out.
 	const period = 20000
 	const uops = 300000
-	base, _ := NewReceiver(cpu.Flush, trace.NewRdtscLoop())
-	rBase := base.Run(uops, uops*400)
-	intr, port := NewReceiver(cpu.Flush, trace.NewRdtscLoop())
-	intr.PeriodicInterrupts(period, period, func() cpu.Interrupt {
-		port.MarkRemoteWrite(UPIDAddr)
-		return cpu.Interrupt{Vector: 1, Handler: MeasurementHandler()}
+	type part struct {
+		send, icr float64
+		res       cpu.Result
+	}
+	parts := runGrid("table2", []int{0, 1, 2}, func(_ int, which int) part {
+		switch which {
+		case 0:
+			send, icr := SenduipiLoopCost(60)
+			return part{send: send, icr: icr}
+		case 1:
+			// Interrupt-free rdtsc loop (the differencing baseline).
+			base, _ := NewReceiver(cpu.Flush, trace.NewRdtscLoop())
+			return part{res: base.Run(uops, uops*400)}
+		default:
+			// Receiver cost: added receiver cycles per UIPI on the rdtsc loop.
+			intr, port := NewReceiver(cpu.Flush, trace.NewRdtscLoop())
+			intr.PeriodicInterrupts(period, period, func() cpu.Interrupt {
+				port.MarkRemoteWrite(UPIDAddr)
+				return cpu.Interrupt{Vector: 1, Handler: MeasurementHandler()}
+			})
+			return part{res: intr.Run(uops, uops*400)}
+		}
 	})
-	rIntr := intr.Run(uops, uops*400)
+	send, icr := parts[0].send, parts[0].icr
+	rBase, rIntr := parts[1].res, parts[2].res
 	n := len(rIntr.Interrupts)
 	recv := 0.0
 	if n > 0 {

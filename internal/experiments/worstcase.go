@@ -19,13 +19,20 @@ type WorstCaseRow struct {
 // worst case for tracking with chains of 50+ loads, an order of magnitude
 // worse than flushing — and calls it "an extreme pathological case".
 func WorstCase(chainLens []int) []WorstCaseRow {
-	var rows []WorstCaseRow
+	type job struct {
+		strategy cpu.Strategy
+		n        int
+	}
+	var jobs []job
 	for _, n := range chainLens {
-		rows = append(rows, WorstCaseRow{
-			ChainLen:      n,
-			TrackedCycles: worstCaseLatency(cpu.Tracked, n),
-			FlushCycles:   worstCaseLatency(cpu.Flush, n),
-		})
+		jobs = append(jobs, job{cpu.Tracked, n}, job{cpu.Flush, n})
+	}
+	lats := runGrid("worstcase", jobs, func(_ int, j job) uint64 {
+		return worstCaseLatency(j.strategy, j.n)
+	})
+	rows := make([]WorstCaseRow, len(chainLens))
+	for i, n := range chainLens {
+		rows[i] = WorstCaseRow{ChainLen: n, TrackedCycles: lats[2*i], FlushCycles: lats[2*i+1]}
 	}
 	return rows
 }

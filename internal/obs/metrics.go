@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"sync"
 
 	"xui/internal/stats"
 )
@@ -13,9 +14,11 @@ import (
 // log-bucketed histograms (reusing the HdrHistogram-style buckets from
 // internal/stats). Metric names are slash-separated component paths, e.g.
 // "cpu0/delivered" or "vcore1/cycles/notify"; instruments are created on
-// first use. A nil Registry discards everything. Registry is not safe for
-// concurrent use; both simulators are single-threaded.
+// first use. A nil Registry discards everything. Registry is safe for
+// concurrent use: each Simulator is single-threaded, but parallel sweep
+// workers (internal/sweep) record into one shared registry.
 type Registry struct {
+	mu       sync.Mutex
 	counters map[string]uint64
 	gauges   map[string]float64
 	hists    map[string]*stats.Histogram
@@ -38,7 +41,9 @@ func (r *Registry) Add(name string, n uint64) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
 	r.counters[name] += n
+	r.mu.Unlock()
 }
 
 // Inc increments counter name by one.
@@ -49,6 +54,8 @@ func (r *Registry) Counter(name string) uint64 {
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.counters[name]
 }
 
@@ -57,7 +64,9 @@ func (r *Registry) SetGauge(name string, v float64) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
 	r.gauges[name] = v
+	r.mu.Unlock()
 }
 
 // Gauge returns the last recorded value of a gauge (0 if never written).
@@ -65,6 +74,8 @@ func (r *Registry) Gauge(name string) float64 {
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.gauges[name]
 }
 
@@ -73,18 +84,25 @@ func (r *Registry) Observe(name string, v uint64) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
 	h := r.hists[name]
 	if h == nil {
 		h = stats.NewHistogram()
 		r.hists[name] = h
 	}
 	h.Record(v)
+	r.mu.Unlock()
 }
 
 // HistogramSummary returns the digest of histogram name, a zero Summary if
 // it does not exist.
 func (r *Registry) HistogramSummary(name string) stats.Summary {
-	if r == nil || r.hists[name] == nil {
+	if r == nil {
+		return stats.Summary{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hists[name] == nil {
 		return stats.Summary{}
 	}
 	return r.hists[name].Summarize()
@@ -97,9 +115,11 @@ func (r *Registry) AddCycleAccount(prefix string, a *stats.CycleAccount) {
 	if r == nil || a == nil {
 		return
 	}
+	r.mu.Lock()
 	for _, cat := range a.Categories() {
-		r.Add(prefix+cat, a.Get(cat))
+		r.counters[prefix+cat] += a.Get(cat)
 	}
+	r.mu.Unlock()
 }
 
 // Snapshot is the JSON-serialisable state of a registry.
@@ -120,6 +140,8 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return s
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for k, v := range r.counters {
 		s.Counters[k] = v
 	}
@@ -137,6 +159,8 @@ func (r *Registry) Names() []string {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var names []string
 	for k := range r.counters {
 		names = append(names, k)

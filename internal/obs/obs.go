@@ -9,6 +9,10 @@
 // its hot paths and a disabled build pays essentially nothing. A benchmark
 // in the root package (BenchmarkObsDisabled) guards this property.
 //
+// Tracer and Registry are safe for concurrent use so that parallel sweep
+// workers (internal/sweep) can share the single sink a CLI run installs;
+// each individual Simulator remains single-threaded.
+//
 // Conventions
 //
 // Trace timestamps are simulated cycles of the 2 GHz machine and are
@@ -27,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 )
 
 // CyclesPerMicrosecond converts simulated cycles to trace microseconds
@@ -34,10 +39,15 @@ import (
 const CyclesPerMicrosecond = 2000.0
 
 // Tier1Pid and Tier2Pid are the trace process IDs the two simulation tiers
-// record events under (see the package conventions above).
+// record events under (see the package conventions above). SweepPid is the
+// process the parallel sweep engine (internal/sweep) records host-side
+// orchestration events under: one trace thread per worker, timestamps in
+// host nanoseconds scaled to the 2 GHz cycle clock so the exported
+// microseconds read as real wall time.
 const (
 	Tier1Pid uint32 = 1
 	Tier2Pid uint32 = 2
+	SweepPid uint32 = 3
 )
 
 // DefaultMaxEvents bounds a Tracer's buffered event count so that tracing a
@@ -59,12 +69,15 @@ type event struct {
 
 // Tracer records structured events and serialises them in the Chrome
 // trace-event JSON format understood by Perfetto (ui.perfetto.dev) and
-// chrome://tracing. A nil Tracer discards everything. Tracer is not safe
-// for concurrent use; both simulators are single-threaded.
+// chrome://tracing. A nil Tracer discards everything. Tracer is safe for
+// concurrent use: each Simulator is single-threaded, but the sweep engine
+// (internal/sweep) fans independent runs across worker goroutines that all
+// record into the one tracer the CLI installed.
 type Tracer struct {
 	// MaxEvents caps the buffer; zero means DefaultMaxEvents.
 	MaxEvents int
 
+	mu      sync.Mutex
 	events  []event
 	dropped uint64
 }
@@ -80,6 +93,8 @@ func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return len(t.events)
 }
 
@@ -88,6 +103,8 @@ func (t *Tracer) Dropped() uint64 {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.dropped
 }
 
@@ -96,6 +113,8 @@ func (t *Tracer) add(e event) {
 	if limit == 0 {
 		limit = DefaultMaxEvents
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if len(t.events) >= limit {
 		t.dropped++
 		return
@@ -173,6 +192,8 @@ func (t *Tracer) Export(w io.Writer) error {
 		OtherData       map[string]any `json:"otherData,omitempty"`
 	}{TraceEvents: []jsonEvent{}, DisplayTimeUnit: "ns"}
 	if t != nil {
+		t.mu.Lock()
+		defer t.mu.Unlock()
 		out.TraceEvents = make([]jsonEvent, 0, len(t.events))
 		for _, e := range t.events {
 			je := jsonEvent{

@@ -6,10 +6,14 @@
 // handful of conveniences (periodic events, cancellation, deterministic
 // randomness). Everything else — cores, NICs, timers, runtimes — is built on
 // top of it in sibling packages.
+//
+// The event path is allocation-free in steady state: Event objects come
+// from per-simulator slabs, fired one-shot and cancelled events return to
+// a free list, and the heap's backing array is preallocated and reused.
+// BenchmarkSimEvent* in this package guard those properties.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -48,6 +52,14 @@ type Handler func(now Time)
 
 // Event is a scheduled occurrence. A zero Event is invalid; events are
 // created through Simulator.Schedule and friends.
+//
+// Event storage is pooled: once a one-shot event has fired, or any event
+// has been cancelled, its *Event may be reused by a later Schedule. Hold a
+// returned *Event only while you know the event is still pending (the
+// pattern every component in this repo follows: clear the reference from
+// the event's own handler, and Cancel only events that have not fired).
+// Cancel and Pending on a retired-but-not-yet-reused pointer remain safe
+// no-ops.
 type Event struct {
 	when    Time
 	seq     uint64 // tie-break: FIFO among same-cycle events
@@ -64,34 +76,12 @@ func (e *Event) When() Time { return e.when }
 // Pending reports whether the event is still queued to fire.
 func (e *Event) Pending() bool { return e != nil && e.index >= 0 && !e.stopped }
 
-type eventHeap []*Event
+// eventSlabSize is how many Events one backing allocation holds; the free
+// list refills from slabs so steady-state scheduling allocates nothing.
+const eventSlabSize = 64
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
+// initialHeapCap presizes the event heap so typical models never grow it.
+const initialHeapCap = 128
 
 // Probe receives kernel-level scheduling events for observability. Times
 // are plain uint64 cycles so implementations (internal/obs) need not import
@@ -108,15 +98,23 @@ type Probe interface {
 	EventCancelled(now uint64)
 }
 
-// Simulator is a single-threaded discrete-event simulator. It is not safe
-// for concurrent use; model concurrency with events, not goroutines.
+// Simulator is a single-threaded discrete-event simulator. The concurrency
+// contract is one goroutine per Simulator instance: a Simulator is never
+// safe for concurrent use, and within one simulation concurrency is
+// modelled with events, not goroutines. Cross-run parallelism — running
+// many independent Simulators at once, as the experiment sweeps do — goes
+// through internal/sweep, which gives each job its own Simulator and
+// merges results deterministically.
 type Simulator struct {
 	now    Time
-	queue  eventHeap
+	queue  []*Event // binary min-heap on (when, seq)
 	seq    uint64
 	nFired uint64
 	rng    *RNG
 	probe  Probe
+
+	free []*Event // retired events awaiting reuse
+	slab []Event  // bump-allocation backing for new events
 }
 
 // SetProbe attaches an observability probe (nil detaches). Pass a concrete
@@ -126,7 +124,10 @@ func (s *Simulator) SetProbe(p Probe) { s.probe = p }
 // New returns a simulator whose clock starts at zero, with a deterministic
 // random stream derived from seed.
 func New(seed uint64) *Simulator {
-	return &Simulator{rng: NewRNG(seed)}
+	return &Simulator{
+		rng:   NewRNG(seed),
+		queue: make([]*Event, 0, initialHeapCap),
+	}
 }
 
 // Now returns the current simulated time.
@@ -142,15 +143,132 @@ func (s *Simulator) Fired() uint64 { return s.nFired }
 // Pending returns the number of queued events.
 func (s *Simulator) Pending() int { return len(s.queue) }
 
+// ---- event pool -----------------------------------------------------------
+
+// alloc takes an Event from the free list, refilling from slab storage.
+func (s *Simulator) alloc() *Event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return e
+	}
+	if len(s.slab) == 0 {
+		s.slab = make([]Event, eventSlabSize)
+	}
+	e := &s.slab[0]
+	s.slab = s.slab[1:]
+	return e
+}
+
+// release retires an event to the free list. The handler reference is
+// dropped so pooled events do not pin closures.
+func (s *Simulator) release(e *Event) {
+	e.fn = nil
+	e.period = 0
+	e.index = -1
+	e.stopped = true // stale Cancel on the retired pointer stays a no-op
+	s.free = append(s.free, e)
+}
+
+// ---- event heap -----------------------------------------------------------
+
+func (s *Simulator) heapLess(i, j int) bool {
+	a, b := s.queue[i], s.queue[j]
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+func (s *Simulator) heapSwap(i, j int) {
+	s.queue[i], s.queue[j] = s.queue[j], s.queue[i]
+	s.queue[i].index = i
+	s.queue[j].index = j
+}
+
+func (s *Simulator) heapUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.heapLess(i, p) {
+			break
+		}
+		s.heapSwap(i, p)
+		i = p
+	}
+}
+
+func (s *Simulator) heapDown(i int) {
+	n := len(s.queue)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && s.heapLess(l, small) {
+			small = l
+		}
+		if r < n && s.heapLess(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		s.heapSwap(i, small)
+		i = small
+	}
+}
+
+func (s *Simulator) heapPush(e *Event) {
+	e.index = len(s.queue)
+	s.queue = append(s.queue, e)
+	s.heapUp(e.index)
+}
+
+func (s *Simulator) heapPopMin() *Event {
+	e := s.queue[0]
+	n := len(s.queue) - 1
+	s.queue[0] = s.queue[n]
+	s.queue[0].index = 0
+	s.queue[n] = nil
+	s.queue = s.queue[:n]
+	if n > 0 {
+		s.heapDown(0)
+	}
+	e.index = -1
+	return e
+}
+
+// heapRemove deletes the entry at heap index i.
+func (s *Simulator) heapRemove(i int) {
+	n := len(s.queue) - 1
+	e := s.queue[i]
+	if i != n {
+		s.heapSwap(i, n)
+	}
+	s.queue[n] = nil
+	s.queue = s.queue[:n]
+	if i != n {
+		s.heapDown(i)
+		s.heapUp(i)
+	}
+	e.index = -1
+}
+
+// ---- scheduling -----------------------------------------------------------
+
 // Schedule queues fn to run at absolute time when. Scheduling in the past
 // panics: that is always a model bug.
 func (s *Simulator) Schedule(when Time, fn Handler) *Event {
 	if when < s.now {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", when, s.now))
 	}
-	e := &Event{when: when, seq: s.seq, fn: fn, index: -1}
+	e := s.alloc()
+	e.when = when
+	e.seq = s.seq
+	e.fn = fn
+	e.period = 0
+	e.stopped = false
 	s.seq++
-	heap.Push(&s.queue, e)
+	s.heapPush(e)
 	if s.probe != nil {
 		s.probe.EventScheduled(uint64(s.now), uint64(when))
 	}
@@ -173,18 +291,20 @@ func (s *Simulator) Every(period Time, fn Handler) *Event {
 	return e
 }
 
-// Cancel removes an event from the queue. Cancelling an already-fired or
-// already-cancelled event is a no-op. For periodic events, the series stops.
+// Cancel removes an event from the queue and recycles its storage.
+// Cancelling an already-fired, already-cancelled or nil event is a no-op.
+// For periodic events, the series stops.
 func (s *Simulator) Cancel(e *Event) {
 	if e == nil || e.stopped {
 		return
 	}
 	e.stopped = true
 	if e.index >= 0 {
-		heap.Remove(&s.queue, e.index)
+		s.heapRemove(e.index)
 		if s.probe != nil {
 			s.probe.EventCancelled(uint64(s.now))
 		}
+		s.release(e)
 	}
 }
 
@@ -192,23 +312,31 @@ func (s *Simulator) Cancel(e *Event) {
 // is empty.
 func (s *Simulator) Step() bool {
 	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
+		e := s.heapPopMin()
 		if e.stopped {
-			continue
+			continue // defensive: cancelled events leave the heap eagerly
 		}
 		s.now = e.when
-		if e.period != 0 {
+		fn := e.fn
+		periodic := e.period != 0
+		if periodic {
 			// Re-arm before dispatch so the handler can Cancel it.
 			e.when = s.now + e.period
 			e.seq = s.seq
 			s.seq++
-			heap.Push(&s.queue, e)
+			s.heapPush(e)
 		}
 		s.nFired++
 		if s.probe != nil {
 			s.probe.EventFired(uint64(s.now), len(s.queue))
 		}
-		e.fn(s.now)
+		fn(s.now)
+		if !periodic {
+			// One-shot storage returns to the pool once the handler is
+			// done (the handler itself may have Cancel'd the fired event;
+			// either way there is no heap entry left).
+			s.release(e)
+		}
 		return true
 	}
 	return false
@@ -223,29 +351,10 @@ func (s *Simulator) Run() {
 // RunUntil dispatches events with time ≤ deadline, then advances the clock
 // to the deadline. Events scheduled exactly at the deadline fire.
 func (s *Simulator) RunUntil(deadline Time) {
-	for len(s.queue) > 0 {
-		next := s.peek()
-		if next == nil {
-			break
-		}
-		if next.when > deadline {
-			break
-		}
+	for len(s.queue) > 0 && s.queue[0].when <= deadline {
 		s.Step()
 	}
 	if s.now < deadline {
 		s.now = deadline
 	}
-}
-
-func (s *Simulator) peek() *Event {
-	for len(s.queue) > 0 {
-		e := s.queue[0]
-		if e.stopped {
-			heap.Pop(&s.queue)
-			continue
-		}
-		return e
-	}
-	return nil
 }

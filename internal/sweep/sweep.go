@@ -1,0 +1,201 @@
+// Package sweep is the parallel orchestration layer for the experiment
+// suite: a generic worker pool that fans independent simulation runs
+// across host cores while keeping every per-run result deterministic.
+//
+// The paper's evaluation is a grid of independent deterministic
+// simulations (one sim.Simulator or cpu.Core per point), so cross-run
+// parallelism is embarrassingly clean: each job builds its own simulator,
+// RNG streams are derived from per-job seeds, and nothing is shared but
+// the optional observability sink (which is concurrency-safe). Results
+// land in the output slice by job index — never by completion order — so
+// a sweep's rows are byte-identical at any worker count.
+//
+// Contract: fn must not share mutable state across jobs. Panics inside a
+// job are captured with the job index and re-raised on the calling
+// goroutine once the pool drains, so a model bug aborts the run exactly
+// as it would have serially.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xui/internal/obs"
+)
+
+// Options configures a sweep run beyond the plain Run entry point.
+type Options struct {
+	// Workers is the pool size; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Name labels the sweep in trace spans and metric namespaces
+	// ("sweep/<name>/..."). Empty means "sweep".
+	Name string
+	// Obs, when non-nil, receives host-side orchestration telemetry: one
+	// span per job on the worker's trace thread (pid obs.SweepPid), a
+	// per-worker jobs-completed counter track, and registry counters.
+	Obs *obs.Context
+	// OnProgress, when non-nil, is called after each job completes with
+	// the number done so far and the total. Calls are serialised but may
+	// come from any worker goroutine.
+	OnProgress func(done, total int)
+	// Ctx, when non-nil, cancels the sweep: workers stop picking up new
+	// jobs once Ctx is done and RunOpts returns Ctx.Err(). Jobs already
+	// started run to completion; unstarted jobs leave zero results.
+	Ctx context.Context
+}
+
+// jobPanic carries a captured worker panic back to the caller.
+type jobPanic struct {
+	index int
+	value any
+	stack []byte
+}
+
+// Run fans fn over jobs on a pool of the given size (<= 0 means
+// runtime.GOMAXPROCS(0)) and returns the results in job order. It is the
+// plain entry point for grid experiments; RunOpts adds cancellation,
+// progress and observability.
+func Run[J, R any](jobs []J, workers int, fn func(i int, job J) R) []R {
+	out, _ := RunOpts(jobs, Options{Workers: workers}, fn)
+	return out
+}
+
+// RunOpts fans fn over jobs according to opts. The returned slice always
+// has len(jobs) entries, indexed by job; on cancellation the unstarted
+// entries are zero values and the error is opts.Ctx.Err().
+func RunOpts[J, R any](jobs []J, opts Options, fn func(i int, job J) R) ([]R, error) {
+	results := make([]R, len(jobs))
+	if len(jobs) == 0 {
+		return results, nil
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	name := opts.Name
+	if name == "" {
+		name = "sweep"
+	}
+
+	tracer := opts.Obs.TracerOrNil()
+	metrics := opts.Obs.RegistryOrNil()
+	if tracer.Enabled() {
+		tracer.NameProcess(obs.SweepPid, "sweep")
+	}
+	metrics.SetGauge("sweep/"+name+"/workers", float64(workers))
+	metrics.Add("sweep/"+name+"/jobs_total", uint64(len(jobs)))
+	epoch := time.Now()
+
+	var (
+		next      atomic.Int64 // next job index to claim
+		done      atomic.Int64 // jobs completed
+		cancelled atomic.Bool
+		failed    atomic.Bool // a job panicked; stop claiming new jobs
+		progMu    sync.Mutex  // serialises OnProgress calls
+		panicMu   sync.Mutex
+		panics    []jobPanic
+		wg        sync.WaitGroup
+	)
+	ctxDone := func() bool {
+		if opts.Ctx == nil {
+			return false
+		}
+		select {
+		case <-opts.Ctx.Done():
+			cancelled.Store(true)
+			return true
+		default:
+			return false
+		}
+	}
+
+	// runJob isolates one job so a panic unwinds only that job's frame.
+	runJob := func(worker, idx int) {
+		defer func() {
+			if r := recover(); r != nil {
+				failed.Store(true)
+				panicMu.Lock()
+				panics = append(panics, jobPanic{index: idx, value: r, stack: stackTrace()})
+				panicMu.Unlock()
+			}
+		}()
+		start := time.Since(epoch)
+		results[idx] = fn(idx, jobs[idx])
+		if tracer.Enabled() {
+			end := time.Since(epoch)
+			tracer.Span(obs.SweepPid, uint32(worker), fmt.Sprintf("%s[%d]", name, idx), "sweep",
+				hostCycles(start), hostCycles(end), nil)
+		}
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			if tracer.Enabled() {
+				tracer.NameThread(obs.SweepPid, uint32(worker), fmt.Sprintf("worker %d", worker))
+			}
+			completed := 0
+			for {
+				if failed.Load() || ctxDone() {
+					break
+				}
+				idx := int(next.Add(1)) - 1
+				if idx >= len(jobs) {
+					break
+				}
+				runJob(worker, idx)
+				completed++
+				n := int(done.Add(1))
+				if tracer.Enabled() {
+					tracer.Counter(obs.SweepPid, fmt.Sprintf("%s/worker%d/jobs", name, worker),
+						hostCycles(time.Since(epoch)), float64(completed))
+				}
+				metrics.Inc("sweep/" + name + "/jobs_done")
+				metrics.Inc(fmt.Sprintf("sweep/%s/worker%d/jobs", name, worker))
+				if opts.OnProgress != nil {
+					progMu.Lock()
+					opts.OnProgress(n, len(jobs))
+					progMu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if len(panics) > 0 {
+		// Re-raise the lowest-indexed panic so failures are deterministic
+		// regardless of which worker hit its job first.
+		first := panics[0]
+		for _, p := range panics[1:] {
+			if p.index < first.index {
+				first = p
+			}
+		}
+		panic(fmt.Sprintf("sweep: job %d of %q panicked: %v\n%s", first.index, name, first.value, first.stack))
+	}
+	if cancelled.Load() && opts.Ctx != nil {
+		return results, opts.Ctx.Err()
+	}
+	return results, nil
+}
+
+// hostCycles converts a host wall-clock duration to simulated-cycle trace
+// units (the tracer divides by 2000 cy/µs at export), so sweep spans read
+// as real wall microseconds in Perfetto alongside the simulated tiers.
+func hostCycles(d time.Duration) uint64 {
+	return uint64(d.Nanoseconds()) * 2
+}
+
+// stackTrace captures the current goroutine's stack for panic reports.
+func stackTrace() []byte {
+	buf := make([]byte, 16<<10)
+	return buf[:runtime.Stack(buf, false)]
+}
