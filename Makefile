@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test bench microbench race run-all sweep-profile examples
+.PHONY: all build vet test bench bench-delta microbench race run-all sweep-profile examples
 
 all: build vet test
 
@@ -13,10 +13,16 @@ vet:
 test:
 	go test ./...
 
-# Regenerate the committed perf baseline: per-experiment wall times at the
-# machine's full worker count plus sim hot-loop ns/op and allocs/op.
+# Regenerate the committed perf baseline: per-experiment wall times at one
+# worker (so the numbers are comparable across machines with different core
+# counts) plus sim hot-loop ns/op and allocs/op and run-cache statistics.
 bench:
-	go run ./cmd/xuibench -exp all -quick -benchjson BENCH_sweep.json
+	go run ./cmd/xuibench -exp all -quick -j 1 -benchjson BENCH_sweep.json
+
+# Time the current tree against the committed baseline without touching it:
+# prints per-experiment wall-time deltas (negative = faster than committed).
+bench-delta:
+	go run ./cmd/xuibench -exp all -quick -j 1 -benchjson /tmp/xuibench_delta.json -benchbase BENCH_sweep.json
 
 microbench:
 	go test -run '^$$' -bench=. -benchmem ./...

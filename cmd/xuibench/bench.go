@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"xui/internal/experiments"
 	"xui/internal/sim"
 )
 
@@ -23,9 +24,13 @@ type benchRecord struct {
 	GoOS        string       `json:"goos"`
 	GoArch      string       `json:"goarch"`
 	Quick       bool         `json:"quick"`
+	CacheOn     bool         `json:"cacheOn"`
 	TotalMs     float64      `json:"totalMs"`
 	Experiments []expTiming  `json:"experiments"`
 	HotLoops    []hotLoopRow `json:"hotLoops"`
+	// Cache reports what the run-redundancy layer absorbed: per-cache
+	// hit/miss/dedup counts and the tape registry's footprint.
+	Cache experiments.CacheStatsSnapshot `json:"cache"`
 }
 
 type expTiming struct {
@@ -42,7 +47,9 @@ type hotLoopRow struct {
 
 // runBenchJSON runs the selected experiments (printing their normal output)
 // while timing each, benchmarks the sim hot loops, and writes the record.
-func runBenchJSON(path, name string, order []string, runners map[string]func(bool), quick bool, workers int) error {
+// With basePath set it also prints per-experiment wall-time deltas against
+// the committed baseline record (the Makefile's bench-delta target).
+func runBenchJSON(path, basePath, name string, order []string, runners map[string]func(bool), quick bool, workers int) error {
 	selected := order
 	if name != "all" {
 		run, ok := runners[name]
@@ -59,6 +66,7 @@ func runBenchJSON(path, name string, order []string, runners map[string]func(boo
 		GoOS:       runtime.GOOS,
 		GoArch:     runtime.GOARCH,
 		Quick:      quick,
+		CacheOn:    experiments.CachingEnabled(),
 	}
 	total := time.Now()
 	for _, n := range selected {
@@ -71,6 +79,7 @@ func runBenchJSON(path, name string, order []string, runners map[string]func(boo
 	}
 	rec.TotalMs = float64(time.Since(total).Microseconds()) / 1000
 	rec.HotLoops = benchHotLoops()
+	rec.Cache = experiments.CacheStats()
 
 	f, err := os.Create(path)
 	if err != nil {
@@ -82,7 +91,45 @@ func runBenchJSON(path, name string, order []string, runners map[string]func(boo
 		f.Close()
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if basePath != "" {
+		return printBenchDelta(rec, basePath)
+	}
+	return nil
+}
+
+// printBenchDelta compares a fresh record against a committed baseline and
+// prints per-experiment wall-time deltas (negative = faster than baseline).
+func printBenchDelta(rec benchRecord, basePath string) error {
+	raw, err := os.ReadFile(basePath)
+	if err != nil {
+		return err
+	}
+	var base benchRecord
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", basePath, err)
+	}
+	baseMs := make(map[string]float64, len(base.Experiments))
+	for _, e := range base.Experiments {
+		baseMs[e.Name] = e.WallMs
+	}
+	fmt.Printf("\nwall-time deltas vs %s (workers: base %d, now %d)\n", basePath, base.Workers, rec.Workers)
+	fmt.Printf("%-12s %10s %10s %8s\n", "experiment", "base", "now", "delta")
+	for _, e := range rec.Experiments {
+		b, ok := baseMs[e.Name]
+		if !ok || b == 0 {
+			fmt.Printf("%-12s %10s %8.1fms %8s\n", e.Name, "-", e.WallMs, "new")
+			continue
+		}
+		fmt.Printf("%-12s %8.1fms %8.1fms %+7.1f%%\n", e.Name, b, e.WallMs, 100*(e.WallMs-b)/b)
+	}
+	if base.TotalMs > 0 {
+		fmt.Printf("%-12s %8.1fms %8.1fms %+7.1f%%\n", "total", base.TotalMs, rec.TotalMs,
+			100*(rec.TotalMs-base.TotalMs)/base.TotalMs)
+	}
+	return nil
 }
 
 // benchHotLoops microbenchmarks the event-kernel hot paths (mirroring the

@@ -36,8 +36,11 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for the grid-experiment sweeps; results are identical at any value")
 	benchJSON := flag.String("benchjson", "", "time each experiment and the sim hot loops, writing a machine-readable perf record to this file")
+	benchBase := flag.String("benchbase", "", "with -benchjson: committed baseline record to print per-experiment wall-time deltas against")
+	nocache := flag.Bool("nocache", false, "disable the Tier-1 run cache, recorded instruction tapes and core pooling; every run is computed fresh (rows are identical either way)")
 	flag.Parse()
 	experiments.SetWorkers(*workers)
+	experiments.SetCaching(!*nocache)
 
 	stopProf, err := obs.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
@@ -55,6 +58,9 @@ func main() {
 		experiments.SetObservability(ctx)
 	}
 	finish := func() {
+		if ctx != nil && ctx.Metrics != nil {
+			experiments.PublishCacheStats(ctx.Metrics)
+		}
 		if err := ctx.ExportFiles(*tracePath, *metricsPath); err != nil {
 			fatal(err)
 		}
@@ -89,7 +95,7 @@ func main() {
 
 	name := strings.ToLower(*exp)
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, name, order, runners, *quick, *workers); err != nil {
+		if err := runBenchJSON(*benchJSON, *benchBase, name, order, runners, *quick, *workers); err != nil {
 			fatal(err)
 		}
 		finish()

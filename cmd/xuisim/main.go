@@ -36,7 +36,9 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write a metrics-registry JSON snapshot of the run to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
+	nocache := flag.Bool("nocache", false, "disable the Tier-1 run cache, recorded instruction tapes and core pooling (affects the Tier-1 calibrations Tier-2 scenarios draw on)")
 	flag.Parse()
+	experiments.SetCaching(!*nocache)
 
 	stopProf, err := obs.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {

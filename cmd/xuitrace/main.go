@@ -43,8 +43,10 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for any grid sweeps experiments run; results are identical at any value")
+	nocache := flag.Bool("nocache", false, "disable the Tier-1 run cache, recorded instruction tapes and core pooling; every run is computed fresh (rows are identical either way)")
 	flag.Parse()
 	experiments.SetWorkers(*workers)
+	experiments.SetCaching(!*nocache)
 
 	stopProf, err := obs.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {

@@ -182,6 +182,71 @@ func New(cfg Config, prog isa.Stream, mp MemPort) *Core {
 	return c
 }
 
+// Reset reinitializes the core for a fresh run of prog under cfg,
+// reusing every backing array New allocated (ROB entries, position
+// ring, replay window, issue list, completion heap, interrupt queues,
+// delivery scratch). A reset core is observably identical to a freshly
+// built one — TestCoreResetEquivalence pins this — which is what lets
+// experiment sweeps pool cores instead of reallocating per grid point.
+//
+// The one slice deliberately dropped rather than truncated is records:
+// Result.Interrupts aliases it, so a pooled core must leave previously
+// returned Results (possibly held by the run cache) untouched and
+// start a fresh slice.
+//
+// The memory port is replaced, not reset: callers pooling a PrivatePort
+// reset its Hierarchy themselves (mem.Hierarchy.Reset) before reuse.
+func (c *Core) Reset(cfg Config, prog isa.Stream, mp MemPort) {
+	if cfg.ROBSize == 0 {
+		cfg = DefaultConfig()
+	}
+	c.cfg = cfg
+	c.mem = mp
+	c.cycle = 0
+
+	if len(c.ent) != cfg.ROBSize {
+		c.ent = make([]robEntry, cfg.ROBSize)
+	} else {
+		clear(c.ent)
+	}
+	c.head, c.tail = 1, 1
+	c.iqCount, c.lqCount, c.sqCount = 0, 0, 0
+	c.iqList = c.iqList[:0]
+	c.doneHeap.items = c.doneHeap.items[:0]
+	c.serializing = 0
+	c.didWork = false
+
+	c.prog = prog
+	c.progDone = false
+	c.buf = c.buf[:0]
+	c.bufOff, c.bufBase = 0, 0
+	c.fetchPos, c.commitPos = 0, 0
+	clear(c.posSeq)
+
+	c.fetchStallUntil = 0
+	c.draining = false
+	c.barrierSeq = 0
+	c.spWriters = c.spWriters[:0]
+
+	c.arrivals = c.arrivals[:0]
+	c.arrHead = 0
+	c.pendQueue = c.pendQueue[:0]
+	c.pendHead = 0
+	c.cur = nil
+	c.curState = intrState{seqOps: c.curState.seqOps[:0]}
+	c.uifSet = true
+
+	c.period, c.periodNext = 0, 0
+	c.periodGen = nil
+	c.OnProgramCommit = nil
+	c.obsv = nil
+
+	c.committedProgram, c.committedOther = 0, 0
+	c.squashedProgram, c.squashedOther = 0, 0
+	c.records = nil
+	c.fetchedTotal = 0
+}
+
 // Cycle returns the current cycle.
 func (c *Core) Cycle() uint64 { return c.cycle }
 

@@ -1,0 +1,115 @@
+package cpu
+
+import (
+	"reflect"
+	"testing"
+
+	"xui/internal/isa"
+	"xui/internal/mem"
+)
+
+// resetScenarioProg builds a stream that exercises every structure Reset
+// must clear: cache-missing loads and stores across a wide footprint,
+// mispredicted branches (squash paths), SP writers, FP units.
+func resetScenarioProg() isa.Stream {
+	ops := make([]isa.MicroOp, 0, 24000)
+	addr := uint64(0x100000)
+	for i := 0; i < 4000; i++ {
+		addr += 4096 + uint64(i%7)*64
+		ops = append(ops,
+			isa.MicroOp{Class: isa.IntAlu, BoundaryStart: true},
+			isa.MicroOp{Class: isa.Load, Addr: addr, Dep1: 1, BoundaryStart: true},
+			isa.MicroOp{Class: isa.Branch, Dep1: 1, Taken: i%5 == 0, Mispredict: i%11 == 0, BoundaryStart: true},
+			isa.MicroOp{Class: isa.Store, Addr: addr + 64, Dep1: 2, BoundaryStart: true},
+			isa.MicroOp{Class: isa.IntAlu, WritesSP: true, ReadsSP: true, BoundaryStart: true},
+			isa.MicroOp{Class: isa.FPMult, Dep1: 1, BoundaryStart: true},
+		)
+	}
+	return isa.NewSliceStream("reset-scenario", ops)
+}
+
+func runResetScenario(c *Core, port *PrivatePort) Result {
+	c.PeriodicInterrupts(1500, 1500, func() Interrupt {
+		port.MarkRemoteWrite(testUPIDAddr)
+		return Interrupt{Vector: 3, Handler: smallHandler()}
+	})
+	return c.Run(20000, 10_000_000)
+}
+
+// TestCoreResetEquivalence pins the pooling contract: a core that ran a
+// different program under a different strategy and was then Reset must
+// produce a byte-identical Result to a freshly built core — and
+// resetting must not disturb the Result the previous run returned
+// (Result.Interrupts aliases the core's record slice; Reset drops it
+// rather than truncating).
+func TestCoreResetEquivalence(t *testing.T) {
+	freshCore, freshPort := newTestCore(Tracked, resetScenarioProg())
+	want := runResetScenario(freshCore, freshPort)
+
+	// Dirty a second core+port with an unrelated interrupt-heavy run.
+	dirtyCore, dirtyPort := newTestCore(Flush, repeat("dirty", aluChain(1), 3000))
+	dirtyCore.PeriodicInterrupts(700, 700, func() Interrupt {
+		dirtyPort.MarkRemoteWrite(testUPIDAddr)
+		return Interrupt{Vector: 9, Handler: smallHandler()}
+	})
+	first := dirtyCore.Run(2500, 5_000_000)
+	firstRecords := append([]IntrRecord(nil), first.Interrupts...)
+
+	cfg := DefaultConfig()
+	cfg.Strategy = Tracked
+	cfg.Ucode = testUcode()
+	dirtyPort.H.(*mem.Hierarchy).Reset()
+	clear(dirtyPort.PendingRemote)
+	dirtyPort.SharedCost = mem.LatCrossCore
+	dirtyCore.Reset(cfg, resetScenarioProg(), dirtyPort)
+	got := runResetScenario(dirtyCore, dirtyPort)
+
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("reset core diverged from fresh core:\n fresh: %+v\n reset: %+v", want, got)
+	}
+	if len(want.Interrupts) == 0 {
+		t.Fatal("scenario delivered no interrupts; it no longer exercises the delivery state")
+	}
+	if !reflect.DeepEqual(first.Interrupts, firstRecords) {
+		t.Error("Reset+rerun mutated the previous run's Result.Interrupts")
+	}
+}
+
+// TestCoreResetDifferentConfig checks Reset follows a structural config
+// change (ROB size) instead of keeping stale arrays.
+func TestCoreResetDifferentConfig(t *testing.T) {
+	core, port := newTestCore(Flush, repeat("a", aluChain(1), 2000))
+	core.Run(1500, 1_000_000)
+
+	small := DefaultConfig()
+	small.ROBSize = 64
+	small.Ucode = testUcode()
+	port.H.(*mem.Hierarchy).Reset()
+	core.Reset(small, repeat("b", aluChain(1), 2000), port)
+	got := core.Run(1500, 1_000_000)
+
+	freshPort := newPort()
+	fresh := New(small, repeat("b", aluChain(1), 2000), freshPort)
+	want := fresh.Run(1500, 1_000_000)
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("reset with smaller ROB diverged: fresh %+v, reset %+v", want, got)
+	}
+}
+
+// BenchmarkCoreReset measures the pooled-reuse path — Reset plus the
+// hierarchy's epoch reset — which must not allocate.
+func BenchmarkCoreReset(b *testing.B) {
+	prog := repeat("bench", ilpBlock(), 2000)
+	core, port := newTestCore(Tracked, prog)
+	core.Run(6000, 1_000_000)
+	cfg := DefaultConfig()
+	cfg.Strategy = Tracked
+	cfg.Ucode = testUcode()
+	h := port.H.(*mem.Hierarchy)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Reset()
+		core.Reset(cfg, prog, port)
+	}
+}

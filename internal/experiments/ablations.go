@@ -8,7 +8,6 @@ import (
 	"xui/internal/kernel"
 	"xui/internal/kvstore"
 	"xui/internal/loadgen"
-	"xui/internal/mem"
 	"xui/internal/sim"
 	"xui/internal/trace"
 	"xui/internal/urt"
@@ -93,21 +92,20 @@ type SafepointDensityRow struct {
 // claim, quantified.
 func SafepointDensity(spacings []int, uops uint64) []SafepointDensityRow {
 	const period = 10000
-	baseCore, _ := NewReceiver(cpu.Tracked, trace.ByName("matmul", 1))
-	base := baseCore.Run(uops, uops*400)
+	// Strategy-independent memoized baseline: shared with PollDensity and
+	// any fig5 run at the same budget.
+	base := workloadBaseline("matmul", 1, uops, uops*400)
 
 	return runGrid("safepoint-density", spacings, func(_ int, every int) SafepointDensityRow {
-		cfg := cpu.DefaultConfig()
-		cfg.Strategy = cpu.Tracked
+		cfg := receiverCfg(cpu.Tracked)
 		cfg.SafepointMode = true
-		cfg.Ucode = Ucode()
-		prog := trace.NewSafepointAnnotated(trace.ByName("matmul", 1), every)
-		port := &cpu.PrivatePort{H: mem.NewHierarchy(mem.Config{}), SharedCost: mem.LatCrossCore}
-		c := cpu.New(cfg, prog, port)
-		c.PeriodicInterrupts(period, period, func() cpu.Interrupt {
-			return cpu.Interrupt{Vector: 1, SkipNotification: true, Handler: CtxSwitchHandler()}
-		})
-		res := c.Run(uops, uops*400)
+		prog := trace.NewSafepointAnnotated(workloadStream("matmul", 1, uops), every)
+		res := runReceiver(cfg, prog, uops, uops*400,
+			func(c *cpu.Core, _ *cpu.PrivatePort) {
+				c.PeriodicInterrupts(period, period, func() cpu.Interrupt {
+					return cpu.Interrupt{Vector: 1, SkipNotification: true, Handler: CtxSwitchHandler()}
+				})
+			})
 		var delay float64
 		n := 0
 		for _, r := range res.Interrupts {
@@ -139,13 +137,11 @@ type PollDensityRow struct {
 // PollDensity sweeps Concord-style check spacing on matmul with no
 // preemptions at all: the overhead is pure instrumentation tax.
 func PollDensity(spacings []int, uops uint64) []PollDensityRow {
-	baseCore, _ := NewReceiver(cpu.Flush, trace.ByName("matmul", 1))
-	base := baseCore.Run(uops, uops*400)
+	base := workloadBaseline("matmul", 1, uops, uops*400)
 	return runGrid("poll-density", spacings, func(_ int, every int) PollDensityRow {
-		prog := trace.NewPollInstrumented(trace.ByName("matmul", 1), every, FlagAddr)
-		c, _ := NewReceiver(cpu.Flush, prog)
+		prog := trace.NewPollInstrumented(workloadStream("matmul", 1, uops), every, FlagAddr)
 		total := uops + uops/uint64(every)*2
-		res := c.Run(total, total*400)
+		res := runReceiver(receiverCfg(cpu.Flush), prog, total, total*400, nil)
 		return PollDensityRow{
 			Every:       every,
 			OverheadPct: 100 * (float64(res.Cycles) - float64(base.Cycles)) / float64(base.Cycles),

@@ -5,6 +5,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"xui/internal/cpu"
 	"xui/internal/isa"
 	"xui/internal/mem"
@@ -88,18 +90,23 @@ func SlowBranchStream(n int) isa.Stream {
 // ReceiverEventCost measures the added receiver cycles per interrupt for
 // the given strategy, workload and delivery path, by differencing against
 // an interrupt-free run (the Fig. 4 methodology). period is in cycles.
+//
+// The baseline is memoized: an interrupt-free run cannot depend on the
+// delivery strategy (it is consulted only on interrupt paths), so all
+// of fig4's strategy cells — and any other experiment differencing
+// against the same (workload, seed, budget) — share one cached run.
 func ReceiverEventCost(strategy cpu.Strategy, workload string, skipNotif bool, period uint64, nUops uint64) float64 {
-	base, _ := NewReceiver(strategy, trace.ByName(workload, 1))
-	rBase := base.Run(nUops, nUops*400)
+	rBase := workloadBaseline(workload, 1, nUops, nUops*400)
 
-	coreI, port := NewReceiver(strategy, trace.ByName(workload, 1))
-	coreI.PeriodicInterrupts(period, period, func() cpu.Interrupt {
-		if !skipNotif {
-			port.MarkRemoteWrite(UPIDAddr)
-		}
-		return cpu.Interrupt{Vector: 1, SkipNotification: skipNotif, Handler: TinyHandler()}
-	})
-	rIntr := coreI.Run(nUops, nUops*400)
+	rIntr := runReceiver(receiverCfg(strategy), workloadStream(workload, 1, nUops), nUops, nUops*400,
+		func(c *cpu.Core, port *cpu.PrivatePort) {
+			c.PeriodicInterrupts(period, period, func() cpu.Interrupt {
+				if !skipNotif {
+					port.MarkRemoteWrite(UPIDAddr)
+				}
+				return cpu.Interrupt{Vector: 1, SkipNotification: skipNotif, Handler: TinyHandler()}
+			})
+		})
 	n := len(rIntr.Interrupts)
 	if n == 0 {
 		return 0
@@ -113,6 +120,15 @@ func ReceiverEventCost(strategy cpu.Strategy, workload string, skipNotif bool, p
 // cycle offset within one senduipi at which the ICR write completes (the
 // IPI departure point).
 func SenduipiLoopCost(iters int) (perSend float64, icrOffset float64) {
+	// Memoized: Table 2 and Fig. 2 both run this exact study.
+	c := senduipiCache.Get(fmt.Sprintf("iters=%d", iters), func() senduipiCost {
+		per, icr := senduipiLoopCost(iters)
+		return senduipiCost{per: per, icr: icr}
+	})
+	return c.per, c.icr
+}
+
+func senduipiLoopCost(iters int) (perSend float64, icrOffset float64) {
 	routine, icrIdx := uintr.SenduipiRoutine(UITTAddr, UPIDAddr)
 	perIter := len(routine.Ops)
 	ops := make([]isa.MicroOp, 0, perIter*iters)
@@ -124,11 +140,6 @@ func SenduipiLoopCost(iters int) (perSend float64, icrOffset float64) {
 	}
 	prog := isa.NewSliceStream("senduipi-loop", ops)
 
-	cfg := cpu.DefaultConfig()
-	cfg.Ucode = Ucode()
-	port := &cpu.PrivatePort{H: mem.NewHierarchy(mem.Config{}), SharedCost: mem.LatCrossCore}
-	core := cpu.New(cfg, prog, port)
-
 	// Each send's UPID access is remote: the receiver acknowledged the
 	// previous notification, pulling the line away.
 	sharedLoadPos := -1
@@ -139,19 +150,23 @@ func SenduipiLoopCost(iters int) (perSend float64, icrOffset float64) {
 		}
 	}
 	var icrCommits, startCommits []uint64
-	core.OnProgramCommit = func(pos, cycle uint64) {
-		rel := int(pos) % perIter
-		if rel == 0 {
-			startCommits = append(startCommits, cycle)
+	cfg := cpu.DefaultConfig()
+	cfg.Ucode = Ucode()
+	res := runReceiver(cfg, prog, uint64(len(ops)), uint64(len(ops))*500,
+		func(core *cpu.Core, port *cpu.PrivatePort) {
+			core.OnProgramCommit = func(pos, cycle uint64) {
+				rel := int(pos) % perIter
+				if rel == 0 {
+					startCommits = append(startCommits, cycle)
+					port.MarkRemoteWrite(UPIDAddr)
+				}
+				if rel == icrIdx {
+					icrCommits = append(icrCommits, cycle)
+				}
+				_ = sharedLoadPos
+			}
 			port.MarkRemoteWrite(UPIDAddr)
-		}
-		if rel == icrIdx {
-			icrCommits = append(icrCommits, cycle)
-		}
-		_ = sharedLoadPos
-	}
-	port.MarkRemoteWrite(UPIDAddr)
-	res := core.Run(uint64(len(ops)), uint64(len(ops))*500)
+		})
 
 	// Skip warmup iterations.
 	skip := 8
@@ -180,12 +195,12 @@ func SenduipiLoopCost(iters int) (perSend float64, icrOffset float64) {
 func PollingCosts() (negative float64, positive float64) {
 	// Negative polls: difference between an instrumented and plain stream.
 	const n = 120000
-	plain, _ := NewReceiver(cpu.Flush, trace.ByName("base64", 3))
-	rPlain := plain.Run(n, n*400)
-	instr, _ := NewReceiver(cpu.Flush, trace.NewPollInstrumented(trace.ByName("base64", 3), 10, FlagAddr))
+	rPlain := workloadBaseline("base64", 3, n, n*400)
 	// The instrumented stream interleaves 2 extra ops per 10; run the same
 	// count of *inner* ops: total = n * 12/10.
-	rInstr := instr.Run(n*12/10, n*400)
+	rInstr := runReceiver(receiverCfg(cpu.Flush),
+		trace.NewPollInstrumented(workloadStream("base64", 3, n), 10, FlagAddr),
+		n*12/10, n*400, nil)
 	checks := float64(n) / 10
 	negative = (float64(rInstr.Cycles) - float64(rPlain.Cycles)) / checks
 	if negative < 0 {

@@ -4,7 +4,6 @@ import (
 	"xui/internal/core"
 	"xui/internal/cpu"
 	"xui/internal/isa"
-	"xui/internal/mem"
 	"xui/internal/trace"
 )
 
@@ -51,10 +50,10 @@ func CtxSwitchHandler() []isa.MicroOp {
 // anchors at a 5 µs quantum: safepoints 1.2–1.5 %, UIPI in between,
 // polling 8.5–11 %.
 func Fig5(quantaUs []float64, uopsPerRun uint64) []Fig5Row {
-	// Phase 1: the per-workload uninstrumented baselines.
+	// Phase 1: the per-workload uninstrumented baselines (memoized; fig4
+	// and section2 runs at the same budget share them).
 	bases := runGrid("fig5/base", Fig5Workloads, func(_ int, w string) uint64 {
-		baseCore, _ := NewReceiver(cpu.Flush, trace.ByName(w, 1))
-		return baseCore.Run(uopsPerRun, uopsPerRun*400).Cycles
+		return workloadBaseline(w, 1, uopsPerRun, uopsPerRun*400).Cycles
 	})
 	// Phase 2: the (workload, quantum, method) grid against those baselines.
 	type job struct {
@@ -86,33 +85,31 @@ func fig5Run(workload, method string, period, uops uint64) float64 {
 		// preemption rate; each positive check (one per quantum) costs a
 		// cross-core line transfer, a mispredicted branch, and the user
 		// context switch.
-		prog := trace.NewPollInstrumented(trace.ByName(workload, 1), pollCheckEvery, FlagAddr)
-		c, _ := NewReceiver(cpu.Flush, prog)
+		prog := trace.NewPollInstrumented(workloadStream(workload, 1, uops), pollCheckEvery, FlagAddr)
 		total := uops + uops/pollCheckEvery*2
-		res := c.Run(total, total*400)
+		res := runReceiver(receiverCfg(cpu.Flush), prog, total, total*400, nil)
 		positives := float64(res.Cycles) / float64(period)
 		posCost := float64(core.PollingNotifyCost+core.UserContextSwitch) + float64(cpu.DefaultConfig().FrontEndDepth)
 		return float64(res.Cycles) + positives*posCost
 	case "uipi":
-		c, port := NewReceiver(cpu.Flush, trace.ByName(workload, 1))
-		c.PeriodicInterrupts(period, period, func() cpu.Interrupt {
-			port.MarkRemoteWrite(UPIDAddr)
-			return cpu.Interrupt{Vector: 1, Handler: CtxSwitchHandler()}
-		})
-		res := c.Run(uops, uops*400)
+		res := runReceiver(receiverCfg(cpu.Flush), workloadStream(workload, 1, uops), uops, uops*400,
+			func(c *cpu.Core, port *cpu.PrivatePort) {
+				c.PeriodicInterrupts(period, period, func() cpu.Interrupt {
+					port.MarkRemoteWrite(UPIDAddr)
+					return cpu.Interrupt{Vector: 1, Handler: CtxSwitchHandler()}
+				})
+			})
 		return float64(res.Cycles)
 	case "xui-safepoint":
-		cfg := cpu.DefaultConfig()
-		cfg.Strategy = cpu.Tracked
+		cfg := receiverCfg(cpu.Tracked)
 		cfg.SafepointMode = true
-		cfg.Ucode = Ucode()
-		prog := trace.NewSafepointAnnotated(trace.ByName(workload, 1), safepointEvery)
-		port := &cpu.PrivatePort{H: mem.NewHierarchy(mem.Config{}), SharedCost: mem.LatCrossCore}
-		c := cpu.New(cfg, prog, port)
-		c.PeriodicInterrupts(period, period, func() cpu.Interrupt {
-			return cpu.Interrupt{Vector: 1, SkipNotification: true, Handler: CtxSwitchHandler()}
-		})
-		res := c.Run(uops, uops*400)
+		prog := trace.NewSafepointAnnotated(workloadStream(workload, 1, uops), safepointEvery)
+		res := runReceiver(cfg, prog, uops, uops*400,
+			func(c *cpu.Core, _ *cpu.PrivatePort) {
+				c.PeriodicInterrupts(period, period, func() cpu.Interrupt {
+					return cpu.Interrupt{Vector: 1, SkipNotification: true, Handler: CtxSwitchHandler()}
+				})
+			})
 		return float64(res.Cycles)
 	}
 	panic("experiments: unknown fig5 method " + method)

@@ -53,10 +53,10 @@ func Section2() Section2Result {
 }
 
 func pollSlowdown(workload string, checkEvery int, uops uint64) float64 {
-	base, _ := NewReceiver(cpu.Flush, trace.ByName(workload, 1))
-	rb := base.Run(uops, uops*400)
-	instr, _ := NewReceiver(cpu.Flush, trace.NewPollInstrumented(trace.ByName(workload, 1), checkEvery, FlagAddr))
+	rb := workloadBaseline(workload, 1, uops, uops*400)
 	total := uops + uops/uint64(checkEvery)*2
-	ri := instr.Run(total, total*400)
+	ri := runReceiver(receiverCfg(cpu.Flush),
+		trace.NewPollInstrumented(workloadStream(workload, 1, uops), checkEvery, FlagAddr),
+		total, total*400, nil)
 	return 100 * (float64(ri.Cycles) - float64(rb.Cycles)) / float64(rb.Cycles)
 }

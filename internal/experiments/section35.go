@@ -45,12 +45,13 @@ func S35PointerChase(workingSetsKB []int) []S35ChaseRow {
 
 func s35ChasePoint(s cpu.Strategy, wsKB int) float64 {
 	prog := trace.NewPointerChase(21, uint64(wsKB)<<10, 0)
-	c, port := NewReceiver(s, prog)
-	for i := uint64(1); i <= 10; i++ {
-		port.MarkRemoteWrite(UPIDAddr)
-		c.ScheduleInterrupt(20000+i*25013, cpu.Interrupt{Vector: 1, Handler: TinyHandler()})
-	}
-	res := c.Run(30000, 80_000_000)
+	res := runReceiver(receiverCfg(s), prog, 30000, 80_000_000,
+		func(c *cpu.Core, port *cpu.PrivatePort) {
+			for i := uint64(1); i <= 10; i++ {
+				port.MarkRemoteWrite(UPIDAddr)
+				c.ScheduleInterrupt(20000+i*25013, cpu.Interrupt{Vector: 1, Handler: TinyHandler()})
+			}
+		})
 	var sum float64
 	n := 0
 	for _, r := range res.Interrupts {
@@ -81,12 +82,14 @@ type S35FlushLinearity struct {
 func S35Linearity(counts []int) S35FlushLinearity {
 	out := S35FlushLinearity{Interrupts: counts}
 	out.Squashed = runGrid("s35linearity", counts, func(_ int, k int) uint64 {
-		c, port := NewReceiver(cpu.Flush, trace.ByName("linpack", 4))
-		for i := 1; i <= k; i++ {
-			port.MarkRemoteWrite(UPIDAddr)
-			c.ScheduleInterrupt(uint64(i)*5000, cpu.Interrupt{Vector: 1, Handler: TinyHandler()})
-		}
-		res := c.Run(uint64(k+2)*5000/2*3, 50_000_000) // enough uops to span all arrivals
+		uops := uint64(k+2) * 5000 / 2 * 3 // enough uops to span all arrivals
+		res := runReceiver(receiverCfg(cpu.Flush), workloadStream("linpack", 4, uops), uops, 50_000_000,
+			func(c *cpu.Core, port *cpu.PrivatePort) {
+				for i := 1; i <= k; i++ {
+					port.MarkRemoteWrite(UPIDAddr)
+					c.ScheduleInterrupt(uint64(i)*5000, cpu.Interrupt{Vector: 1, Handler: TinyHandler()})
+				}
+			})
 		return res.SquashedProgram
 	})
 	var xs, ys []float64

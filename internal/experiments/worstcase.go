@@ -42,14 +42,15 @@ func worstCaseLatency(s cpu.Strategy, chainLen int) uint64 {
 	// It is a worst-*case* study: deliver several interrupts at different
 	// chain phases and report the maximum delivery latency observed.
 	prog := trace.NewPointerChase(17, 256<<20, chainLen)
-	c, _ := NewReceiver(s, prog)
-	for i := uint64(1); i <= 12; i++ {
-		// Prime-ish spacing decorrelates arrival phase from chain phase.
-		c.ScheduleInterrupt(10000+i*30013, cpu.Interrupt{
-			Vector: 1, SkipNotification: true, Handler: TinyHandler(),
+	res := runReceiver(receiverCfg(s), prog, 60000, 100_000_000,
+		func(c *cpu.Core, _ *cpu.PrivatePort) {
+			for i := uint64(1); i <= 12; i++ {
+				// Prime-ish spacing decorrelates arrival phase from chain phase.
+				c.ScheduleInterrupt(10000+i*30013, cpu.Interrupt{
+					Vector: 1, SkipNotification: true, Handler: TinyHandler(),
+				})
+			}
 		})
-	}
-	res := c.Run(60000, 100_000_000)
 	var max uint64
 	for _, r := range res.Interrupts {
 		if r.DeliveryDone == 0 {

@@ -1,0 +1,68 @@
+package isa
+
+// Tape is an immutable recorded micro-op sequence. Workload generators
+// (internal/trace) are deterministic but pay per-op RNG and weight
+// arithmetic on every Next; recording a generator's output once into a
+// Tape lets every later run replay the same ops with a cursor walk —
+// and lets concurrent sweep workers share one backing array, since
+// nothing ever writes it after construction.
+//
+// Immutability is the sharing contract: NewTape takes ownership of ops
+// and neither the Tape nor any TapeStream over it may mutate the
+// slice. Wrapper streams (PollInstrumented, SafepointAnnotated)
+// compose over a TapeStream by value-copying each MicroOp out of Next,
+// so their per-op edits never touch the tape.
+type Tape struct {
+	name string
+	ops  []MicroOp
+}
+
+// NewTape wraps ops as a tape named name, taking ownership of the
+// slice. Callers must not retain or mutate ops afterwards.
+func NewTape(name string, ops []MicroOp) *Tape {
+	return &Tape{name: name, ops: ops}
+}
+
+// Name identifies the recorded workload.
+func (t *Tape) Name() string { return t.name }
+
+// Len returns the number of recorded micro-ops.
+func (t *Tape) Len() int { return len(t.ops) }
+
+// Ops exposes the recorded sequence for inspection (tests compare
+// tapes against live generators). The returned slice is the tape's
+// backing array: read-only by contract.
+func (t *Tape) Ops() []MicroOp { return t.ops }
+
+// Stream returns a fresh replayer positioned at the start of the tape.
+// Streams are independent cursors; any number may be live at once.
+func (t *Tape) Stream() *TapeStream {
+	return &TapeStream{name: t.name, ops: t.ops}
+}
+
+// TapeStream replays a Tape through the Stream interface. Next is a
+// bounds check, a copy and an increment — zero allocations in steady
+// state, which BenchmarkTapeStream pins.
+type TapeStream struct {
+	name string
+	ops  []MicroOp
+	pos  int
+}
+
+// Name implements Stream.
+func (s *TapeStream) Name() string { return s.name }
+
+// Next implements Stream. It returns ok=false past the end of the
+// tape; callers size tapes so a budgeted pipeline run never gets
+// there (see trace.Recorded's slack).
+func (s *TapeStream) Next() (MicroOp, bool) {
+	if s.pos >= len(s.ops) {
+		return MicroOp{}, false
+	}
+	op := s.ops[s.pos]
+	s.pos++
+	return op, true
+}
+
+// Reset rewinds the stream to the start of the tape.
+func (s *TapeStream) Reset() { s.pos = 0 }

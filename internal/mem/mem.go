@@ -31,6 +31,14 @@ type cache struct {
 	ways    int
 	lineLog uint
 	tags    [][]uint64 // per set, MRU-first
+
+	// Epoch-stamped lazy invalidation: reset() bumps epoch in O(1) and a
+	// set whose stamp is stale is treated as empty (and lazily re-stamped
+	// + truncated on first touch). This is what makes pooled hierarchies
+	// cheap — an LLC has 32 K sets, and walking them per reuse would cost
+	// more than the run it serves.
+	epoch    uint64
+	setEpoch []uint64
 }
 
 func newCache(sizeBytes, ways int) *cache {
@@ -43,12 +51,24 @@ func newCache(sizeBytes, ways int) *cache {
 	for i := range c.tags {
 		c.tags[i] = make([]uint64, 0, ways)
 	}
+	c.setEpoch = make([]uint64, sets)
 	return c
+}
+
+// lookup returns line's set, first truncating it if it predates the
+// current epoch.
+func (c *cache) lookup(line uint64) (uint64, []uint64) {
+	idx := line % uint64(c.sets)
+	if c.setEpoch[idx] != c.epoch {
+		c.setEpoch[idx] = c.epoch
+		c.tags[idx] = c.tags[idx][:0]
+	}
+	return idx, c.tags[idx]
 }
 
 // access looks up line; on miss it fills (evicting LRU) and returns false.
 func (c *cache) access(line uint64) bool {
-	set := c.tags[line%uint64(c.sets)]
+	idx, set := c.lookup(line)
 	for i, t := range set {
 		if t == line {
 			// Move to MRU.
@@ -63,21 +83,24 @@ func (c *cache) access(line uint64) bool {
 	}
 	copy(set[1:], set[:len(set)-1])
 	set[0] = line
-	c.tags[line%uint64(c.sets)] = set
+	c.tags[idx] = set
 	return false
 }
 
 // invalidate removes line if present, reporting whether it was.
 func (c *cache) invalidate(line uint64) bool {
-	set := c.tags[line%uint64(c.sets)]
+	idx, set := c.lookup(line)
 	for i, t := range set {
 		if t == line {
-			c.tags[line%uint64(c.sets)] = append(set[:i], set[i+1:]...)
+			c.tags[idx] = append(set[:i], set[i+1:]...)
 			return true
 		}
 	}
 	return false
 }
+
+// reset empties the cache in O(1) by advancing the epoch.
+func (c *cache) reset() { c.epoch++ }
 
 // Hierarchy is one core's private L1D + L2 in front of a shared LLC. The
 // LLC may be shared between Hierarchy instances via NewSystem.
@@ -149,6 +172,20 @@ func NewHierarchy(cfg Config) *Hierarchy {
 		l2:  newCache(cfg.L2Bytes, cfg.L2Ways),
 		llc: newCache(cfg.LLCBytes, cfg.LLCWays),
 	}
+}
+
+// Reset empties the hierarchy's caches (O(1) per level, via epoch
+// stamping) and zeroes its stats, making a pooled hierarchy
+// indistinguishable from a freshly built one. It is meant for isolated
+// hierarchies (NewHierarchy): on a System-attached hierarchy it would
+// also empty the *shared* LLC under the other cores.
+func (h *Hierarchy) Reset() {
+	h.l1.reset()
+	h.l2.reset()
+	if h.llc != nil {
+		h.llc.reset()
+	}
+	h.Accesses, h.L1Hits, h.L2Hits, h.LLCHits, h.DRAMFills = 0, 0, 0, 0, 0
 }
 
 // Load returns the latency in cycles for a load of addr through the private

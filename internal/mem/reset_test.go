@@ -1,0 +1,65 @@
+package mem
+
+import "testing"
+
+// TestHierarchyResetEquivalence pins the epoch-reset contract: a reset
+// hierarchy must be indistinguishable from a fresh one — every line cold
+// again, all statistics zero — under an access pattern wide enough to
+// touch many sets and trigger evictions.
+func TestHierarchyResetEquivalence(t *testing.T) {
+	pattern := func(h *Hierarchy) []int {
+		var lats []int
+		addr := uint64(0x40000)
+		for i := 0; i < 4000; i++ {
+			addr += 64 * uint64(1+i%97)
+			lats = append(lats, h.Load(addr))
+			if i%3 == 0 {
+				lats = append(lats, h.Store(addr+8192))
+			}
+			if i%17 == 0 {
+				lats = append(lats, h.Load(addr%0x8000)) // re-touch low lines
+			}
+		}
+		return lats
+	}
+
+	fresh := NewHierarchy(Config{})
+	want := pattern(fresh)
+	wantStats := *fresh
+
+	reused := NewHierarchy(Config{})
+	// Dirty it with a different pattern, then reset.
+	for a := uint64(0); a < 1<<20; a += 64 {
+		reused.Load(a)
+	}
+	reused.Reset()
+
+	got := pattern(reused)
+	if len(want) != len(got) {
+		t.Fatalf("latency trace lengths differ: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("latency[%d] = %d after reset, want %d (fresh)", i, got[i], want[i])
+		}
+	}
+	if reused.Accesses != wantStats.Accesses || reused.L1Hits != wantStats.L1Hits ||
+		reused.L2Hits != wantStats.L2Hits || reused.LLCHits != wantStats.LLCHits ||
+		reused.DRAMFills != wantStats.DRAMFills {
+		t.Errorf("stats after reset+pattern = %+v, want fresh %+v", reused, wantStats)
+	}
+}
+
+// BenchmarkHierarchyReset confirms the epoch reset is O(1) and
+// allocation-free regardless of how much state the caches hold.
+func BenchmarkHierarchyReset(b *testing.B) {
+	h := NewHierarchy(Config{})
+	for a := uint64(0); a < 1<<22; a += 64 {
+		h.Load(a)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Reset()
+	}
+}

@@ -1,0 +1,206 @@
+// Package runcache memoizes deterministic Tier-1 simulation runs.
+//
+// The experiment grids repeat byte-identical work: every cell of the
+// Fig. 4 differencing methodology re-runs the same interrupt-free
+// baseline, fig5 re-derives the same normalization bases, and the
+// density ablations recompute the very matmul baseline fig5 already
+// has. Because every Tier-1 run is a pure function of its inputs
+// (workload name + seed, uop budget, core configuration), such runs can
+// be computed once per process and shared.
+//
+// A Cache is single-flight: when several sweep workers request the same
+// key concurrently, exactly one computes while the rest block on the
+// in-flight computation and then share its result. Values must be
+// immutable once returned — cpu.Result qualifies as long as nobody
+// mutates the records slice it carries, which the pool-aware
+// cpu.Core.Reset guarantees by dropping (never truncating) the core's
+// record slice.
+//
+// Keys are canonical fingerprints built by the caller; the contract is
+// that the key covers *everything* the computation depends on and
+// *nothing* it does not (a baseline key must exclude the delivery
+// strategy, for example — see experiments.baselineKey). Invalidation is
+// by fingerprint: change an input, and the key changes with it, so
+// stale entries are never read; they are only dropped wholesale by
+// ResetAll (tests) or process exit.
+//
+// Hits, misses and dedup-waits are exported through internal/obs under
+// the cache/ namespace (PublishTo), and surfaced by
+// `xuibench -benchjson`.
+package runcache
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"xui/internal/obs"
+)
+
+// enabled is the package-wide switch; the cmd binaries' -nocache flag
+// clears it, turning every Get into a plain call of its compute
+// function (the determinism A/B check).
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// SetEnabled turns memoization on or off process-wide. Off, Get always
+// recomputes and records neither hits nor misses.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether memoization is active.
+func Enabled() bool { return enabled.Load() }
+
+// Stats is a point-in-time snapshot of one cache's counters.
+type Stats struct {
+	Name       string `json:"name"`
+	Hits       uint64 `json:"hits"`       // key present and computed
+	Misses     uint64 `json:"misses"`     // this caller ran the computation
+	DedupWaits uint64 `json:"dedupWaits"` // blocked on another caller's in-flight computation
+	Entries    int    `json:"entries"`
+}
+
+// registry tracks every cache built with New so stats can be snapshot
+// and published without threading cache handles around.
+var registry struct {
+	mu     sync.Mutex
+	caches []statser
+}
+
+type statser interface {
+	Stats() Stats
+	reset()
+}
+
+// entry is one single-flight slot. done is closed when val is ready;
+// panicked marks a computation that unwound, so waiters fail too
+// instead of reading a zero value.
+type entry[V any] struct {
+	done     chan struct{}
+	val      V
+	panicked bool
+}
+
+// Cache memoizes values of type V under string fingerprints. The zero
+// Cache is not usable; build with New.
+type Cache[V any] struct {
+	name string
+
+	mu      sync.Mutex
+	entries map[string]*entry[V]
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	waits  atomic.Uint64
+}
+
+// New builds a named cache and registers it for Snapshot/PublishTo.
+func New[V any](name string) *Cache[V] {
+	c := &Cache[V]{name: name, entries: make(map[string]*entry[V])}
+	registry.mu.Lock()
+	registry.caches = append(registry.caches, c)
+	registry.mu.Unlock()
+	return c
+}
+
+// Get returns the value for key, computing it with compute on first
+// use. Concurrent Gets for the same key run compute once; the others
+// block until it finishes. If compute panics, the waiters panic too
+// and the poisoned entry stays poisoned (deterministic computations
+// fail deterministically; retrying would just re-raise).
+func (c *Cache[V]) Get(key string, compute func() V) V {
+	if !enabled.Load() {
+		return compute()
+	}
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			c.hits.Add(1)
+		default:
+			c.waits.Add(1)
+			<-e.done
+		}
+		if e.panicked {
+			panic("runcache: " + c.name + ": shared computation for key " + key + " panicked")
+		}
+		return e.val
+	}
+	e := &entry[V]{done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	completed := false
+	defer func() {
+		e.panicked = !completed
+		close(e.done)
+	}()
+	e.val = compute()
+	completed = true
+	return e.val
+}
+
+// Stats snapshots the cache's counters.
+func (c *Cache[V]) Stats() Stats {
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return Stats{
+		Name:       c.name,
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		DedupWaits: c.waits.Load(),
+		Entries:    n,
+	}
+}
+
+// reset drops all entries and zeroes the counters. Callers must ensure
+// no Get is in flight (tests call it between runs).
+func (c *Cache[V]) reset() {
+	c.mu.Lock()
+	c.entries = make(map[string]*entry[V])
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.waits.Store(0)
+}
+
+// Snapshot returns stats for every registered cache, sorted by name.
+func Snapshot() []Stats {
+	registry.mu.Lock()
+	out := make([]Stats, 0, len(registry.caches))
+	for _, c := range registry.caches {
+		out = append(out, c.Stats())
+	}
+	registry.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ResetAll drops every registered cache's entries and counters. For
+// tests and A/B timing; never call with computations in flight.
+func ResetAll() {
+	registry.mu.Lock()
+	caches := append([]statser(nil), registry.caches...)
+	registry.mu.Unlock()
+	for _, c := range caches {
+		c.reset()
+	}
+}
+
+// PublishTo writes current totals into reg under the cache/ namespace:
+// cache/<name>/{hits,misses,dedup_waits,entries}. Call once per run
+// (counters add), typically when a cmd binary exports its registry.
+func PublishTo(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, s := range Snapshot() {
+		reg.Add("cache/"+s.Name+"/hits", s.Hits)
+		reg.Add("cache/"+s.Name+"/misses", s.Misses)
+		reg.Add("cache/"+s.Name+"/dedup_waits", s.DedupWaits)
+		reg.SetGauge("cache/"+s.Name+"/entries", float64(s.Entries))
+	}
+}

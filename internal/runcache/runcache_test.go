@@ -1,0 +1,113 @@
+package runcache
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetMemoizes(t *testing.T) {
+	defer ResetAll()
+	c := New[int]("test-memo")
+	calls := 0
+	f := func() int { calls++; return 42 }
+	if got := c.Get("k", f); got != 42 {
+		t.Fatalf("first Get = %d, want 42", got)
+	}
+	if got := c.Get("k", f); got != 42 {
+		t.Fatalf("second Get = %d, want 42", got)
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1", calls)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != 1 || s.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 miss / 1 hit / 1 entry", s)
+	}
+}
+
+func TestGetDisabledRecomputes(t *testing.T) {
+	defer ResetAll()
+	defer SetEnabled(true)
+	SetEnabled(false)
+	c := New[int]("test-disabled")
+	calls := 0
+	c.Get("k", func() int { calls++; return 1 })
+	c.Get("k", func() int { calls++; return 1 })
+	if calls != 2 {
+		t.Errorf("disabled cache ran compute %d times, want 2", calls)
+	}
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 0 || s.Entries != 0 {
+		t.Errorf("disabled cache recorded stats %+v, want zeros", s)
+	}
+}
+
+// TestSingleFlight checks concurrent Gets for one key run the compute
+// exactly once, with every caller seeing the same value.
+func TestSingleFlight(t *testing.T) {
+	defer ResetAll()
+	c := New[int]("test-singleflight")
+	var calls atomic.Int64
+	release := make(chan struct{})
+	const workers = 16
+	var wg sync.WaitGroup
+	results := make([]int, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.Get("k", func() int {
+				calls.Add(1)
+				<-release // hold the computation open so others must wait
+				return 7
+			})
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Errorf("compute ran %d times under contention, want 1", calls.Load())
+	}
+	for i, r := range results {
+		if r != 7 {
+			t.Errorf("worker %d got %d, want 7", i, r)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 {
+		t.Errorf("misses = %d, want 1", s.Misses)
+	}
+	if s.Hits+s.DedupWaits != workers-1 {
+		t.Errorf("hits(%d) + dedupWaits(%d) = %d, want %d", s.Hits, s.DedupWaits, s.Hits+s.DedupWaits, workers-1)
+	}
+}
+
+// TestPanicPoisonsEntry checks a panicking computation poisons its key:
+// both the owner and later callers panic rather than observe a zero
+// value.
+func TestPanicPoisonsEntry(t *testing.T) {
+	defer ResetAll()
+	c := New[int]("test-panic")
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("owner", func() { c.Get("k", func() int { panic("boom") }) })
+	mustPanic("later caller", func() { c.Get("k", func() int { return 1 }) })
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	defer ResetAll()
+	New[int]("zz-test-b")
+	New[int]("aa-test-a")
+	snap := Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name > snap[i].Name {
+			t.Fatalf("snapshot not sorted: %q before %q", snap[i-1].Name, snap[i].Name)
+		}
+	}
+}

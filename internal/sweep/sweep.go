@@ -135,10 +135,17 @@ func RunOpts[J, R any](jobs []J, opts Options, fn func(i int, job J) R) ([]R, er
 		}
 	}
 
+	// Per-job metric names are precomputed per worker: building them with
+	// fmt.Sprintf inside the claim loop allocated on every job, which
+	// showed up once the jobs themselves stopped allocating (pooled cores,
+	// taped streams).
+	jobsDoneKey := "sweep/" + name + "/jobs_done"
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(worker int) {
 			defer wg.Done()
+			workerKey := fmt.Sprintf("sweep/%s/worker%d/jobs", name, worker)
+			counterKey := fmt.Sprintf("%s/worker%d/jobs", name, worker)
 			if tracer.Enabled() {
 				tracer.NameThread(obs.SweepPid, uint32(worker), fmt.Sprintf("worker %d", worker))
 			}
@@ -155,11 +162,11 @@ func RunOpts[J, R any](jobs []J, opts Options, fn func(i int, job J) R) ([]R, er
 				completed++
 				n := int(done.Add(1))
 				if tracer.Enabled() {
-					tracer.Counter(obs.SweepPid, fmt.Sprintf("%s/worker%d/jobs", name, worker),
+					tracer.Counter(obs.SweepPid, counterKey,
 						hostCycles(time.Since(epoch)), float64(completed))
 				}
-				metrics.Inc("sweep/" + name + "/jobs_done")
-				metrics.Inc(fmt.Sprintf("sweep/%s/worker%d/jobs", name, worker))
+				metrics.Inc(jobsDoneKey)
+				metrics.Inc(workerKey)
 				if opts.OnProgress != nil {
 					progMu.Lock()
 					opts.OnProgress(n, len(jobs))

@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"xui/internal/isa"
+)
+
+// Recorded tapes: each named (workload, seed) synthetic stream is
+// generated once per process into an immutable isa.Tape and replayed by
+// cursor everywhere else, so the per-op RNG draws and weight
+// comparisons in synth.Next are paid once instead of once per run.
+// Growth keeps the live generator: when a longer recording is needed,
+// only the new suffix is generated and the existing prefix is copied
+// into a fresh backing array (generators are deterministic in their
+// seed, so the grown tape has every shorter one as an exact prefix and
+// live replayers over the old array never observe a change).
+
+// tapesOn is the process-wide switch; the cmd binaries' -nocache flag
+// clears it (via experiments.SetCaching) and Recorded falls back to
+// live generators.
+var tapesOn atomic.Bool
+
+func init() { tapesOn.Store(true) }
+
+// SetTapes enables or disables tape-backed streams process-wide.
+func SetTapes(on bool) { tapesOn.Store(on) }
+
+// TapesEnabled reports whether Recorded returns tape replayers.
+func TapesEnabled() bool { return tapesOn.Load() }
+
+// TapeSlack is how far past the commit budget a tape extends. The
+// front end runs ahead of commit by at most the ROB (384) plus one
+// fetch group, and replay after a squash re-reads the core's own
+// window buffer, never the stream — so a comfortable 4096 ops of
+// slack guarantees a budgeted run can never fall off the tape's end.
+const TapeSlack = 4096
+
+type tapeKey struct {
+	name string
+	seed uint64
+}
+
+// tapeEntry serializes recording per (name, seed) while letting
+// distinct workloads record concurrently. The generator is retained so
+// growth generates only the missing suffix; ops is the recording buffer
+// the current tape views a prefix of (never mutated once published —
+// growth copies into a fresh array).
+type tapeEntry struct {
+	mu   sync.Mutex
+	tape *isa.Tape
+	gen  isa.Stream
+	ops  []isa.MicroOp
+}
+
+var tapeReg struct {
+	mu sync.Mutex
+	m  map[tapeKey]*tapeEntry
+
+	recordings atomic.Uint64 // generator passes paid (incl. re-records for growth)
+	replays    atomic.Uint64 // streams served from an existing tape
+}
+
+// TapeStats summarizes the registry for -benchjson and the obs
+// cache/ namespace.
+type TapeStats struct {
+	Tapes      int    `json:"tapes"`      // distinct (workload, seed) tapes resident
+	Ops        uint64 `json:"ops"`        // micro-ops currently recorded
+	Bytes      uint64 `json:"bytes"`      // memory held by tape backing arrays
+	Recordings uint64 `json:"recordings"` // generator passes paid
+	Replays    uint64 `json:"replays"`    // streams served by cursor replay
+}
+
+// Tapes snapshots the registry.
+func Tapes() TapeStats {
+	tapeReg.mu.Lock()
+	s := TapeStats{
+		Tapes:      len(tapeReg.m),
+		Recordings: tapeReg.recordings.Load(),
+		Replays:    tapeReg.replays.Load(),
+	}
+	for _, e := range tapeReg.m {
+		e.mu.Lock()
+		if e.tape != nil {
+			s.Ops += uint64(e.tape.Len())
+		}
+		e.mu.Unlock()
+	}
+	tapeReg.mu.Unlock()
+	s.Bytes = s.Ops * uint64(unsafe.Sizeof(isa.MicroOp{}))
+	return s
+}
+
+// ResetTapes drops every recorded tape and zeroes the counters (tests
+// and A/B timing). Live TapeStreams keep their backing arrays.
+func ResetTapes() {
+	tapeReg.mu.Lock()
+	tapeReg.m = nil
+	tapeReg.recordings.Store(0)
+	tapeReg.replays.Store(0)
+	tapeReg.mu.Unlock()
+}
+
+// Recorded returns a stream of the named microbenchmark (the ByName
+// set) that will deliver at least budget+TapeSlack micro-ops before
+// ending: a cursor replayer over the process-wide tape when tapes are
+// enabled, or a live generator otherwise. It returns nil for unknown
+// names, like ByName.
+func Recorded(name string, seed, budget uint64) isa.Stream {
+	if !tapesOn.Load() {
+		return ByName(name, seed)
+	}
+	need := int(budget + TapeSlack)
+
+	key := tapeKey{name, seed}
+	tapeReg.mu.Lock()
+	if tapeReg.m == nil {
+		tapeReg.m = make(map[tapeKey]*tapeEntry)
+	}
+	e, ok := tapeReg.m[key]
+	if !ok {
+		e = &tapeEntry{}
+		tapeReg.m[key] = e
+	}
+	tapeReg.mu.Unlock()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.tape == nil || e.tape.Len() < need {
+		if e.gen == nil {
+			e.gen = ByName(name, seed)
+			if e.gen == nil {
+				return nil
+			}
+		}
+		// Copy the already-recorded prefix into a fresh array (the old
+		// tape and any live replayers keep the old one) and generate only
+		// the suffix from the retained generator.
+		grown := make([]isa.MicroOp, len(e.ops), need)
+		copy(grown, e.ops)
+		e.ops = grown
+		for len(e.ops) < need {
+			op, _ := e.gen.Next()
+			e.ops = append(e.ops, op)
+		}
+		e.tape = isa.NewTape(name, e.ops)
+		tapeReg.recordings.Add(1)
+	} else {
+		tapeReg.replays.Add(1)
+	}
+	return e.tape.Stream()
+}
