@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test bench bench-delta microbench race run-all sweep-profile examples
+.PHONY: all build vet test bench bench-delta microbench race run-all sweep-profile examples check fuzz
 
 all: build vet test
 
@@ -29,6 +29,20 @@ microbench:
 
 race:
 	go test -race ./...
+
+# Invariant-checking harness: the fault-injection suite under -race, the
+# always-checked experiments suite, then the full default sweep with the
+# checker attached (exits nonzero on any violation).
+check:
+	go test -race ./internal/check
+	go test ./internal/experiments
+	go run ./cmd/xuibench -check
+
+# Smoke-run the Go fuzz targets for 10s each (histogram percentile and
+# bucket-index round trips).
+fuzz:
+	go test -run '^$$' -fuzz FuzzHistogramPercentile -fuzztime 10s ./internal/stats
+	go test -run '^$$' -fuzz FuzzBucketIndex -fuzztime 10s ./internal/stats
 
 # CPU-profile a full parallel sweep of every experiment.
 sweep-profile:

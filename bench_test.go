@@ -13,11 +13,15 @@ package xui_test
 import (
 	"testing"
 
+	"xui/internal/check"
+	"xui/internal/core"
 	"xui/internal/cpu"
 	"xui/internal/experiments"
+	"xui/internal/kernel"
 	"xui/internal/obs"
 	"xui/internal/sim"
 	"xui/internal/trace"
+	"xui/internal/uintr"
 )
 
 // BenchmarkTable2UIPIMetrics regenerates Table 2.
@@ -249,4 +253,97 @@ func BenchmarkAblationReinject(b *testing.B) {
 		}
 	}
 	b.ReportMetric(rate, "reinjections/intr")
+}
+
+// checkBenchRun is the fixed workload the invariant-checking overhead pair
+// shares: the obsBenchRun pipeline plus a Tier-2 UIPI delivery loop, so
+// both tiers' check hooks are on the measured path.
+func checkBenchRun() {
+	obsBenchRun()
+	s := sim.New(1)
+	m, err := core.NewMachine(s, 2, core.TrackedIPI)
+	if err != nil {
+		panic(err)
+	}
+	if col := experiments.Checking(); col != nil {
+		check.Attach(col, m, "bench")
+	}
+	k := kernel.New(m)
+	recv := k.NewThread()
+	k.RegisterHandler(recv, func(sim.Time, uintr.Vector, core.Mechanism) {})
+	k.ScheduleOn(recv, 1)
+	idx, err := k.RegisterSender(recv, 3)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 2000; i++ {
+		s.After(sim.Time(i)*2000, func(sim.Time) {
+			if err := m.SendUIPI(0, k.UITT(), idx); err != nil {
+				panic(err)
+			}
+		})
+	}
+	s.Run()
+}
+
+// BenchmarkCheckDisabled measures both tiers with invariant checking off —
+// the default nil-probe fast path. Compare against BenchmarkCheckEnabled:
+// the nil guards must cost well under 2% of host time, and the delivery
+// hot path stays allocation-free (TestCheckDisabledDeliveryAllocFree).
+func BenchmarkCheckDisabled(b *testing.B) {
+	experiments.SetChecking(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		checkBenchRun()
+	}
+}
+
+// BenchmarkCheckEnabled measures the same runs with a live collector
+// attached, bounding the cost of always-on checking.
+func BenchmarkCheckEnabled(b *testing.B) {
+	experiments.SetChecking(check.NewCollector())
+	defer experiments.SetChecking(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		checkBenchRun()
+	}
+}
+
+// TestCheckDisabledDeliveryAllocFree pins the zero-cost contract: the
+// delivery hot path's own event closures aside, disabled checking adds
+// zero allocations — a machine that had a checker attached and detached
+// allocates exactly what a never-checked machine does per UIPI round trip.
+func TestCheckDisabledDeliveryAllocFree(t *testing.T) {
+	measure := func(detached bool) float64 {
+		s := sim.New(1)
+		m, err := core.NewMachine(s, 2, core.TrackedIPI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if detached {
+			check.Attach(check.NewCollector(), m, "alloc")
+			m.SetCheck(nil)
+		}
+		k := kernel.New(m)
+		recv := k.NewThread()
+		k.RegisterHandler(recv, func(sim.Time, uintr.Vector, core.Mechanism) {})
+		k.ScheduleOn(recv, 1)
+		idx, err := k.RegisterSender(recv, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		roundTrip := func() {
+			if err := m.SendUIPI(0, k.UITT(), idx); err != nil {
+				t.Fatal(err)
+			}
+			s.Run()
+		}
+		roundTrip() // warm the event pool
+		return testing.AllocsPerRun(200, roundTrip)
+	}
+	base := measure(false)
+	detached := measure(true)
+	if detached != base {
+		t.Errorf("checked-then-detached delivery path allocates %v/op, never-checked %v/op; disabled checking must add 0", detached, base)
+	}
 }

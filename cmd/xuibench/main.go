@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"strings"
 
+	"xui/internal/check"
 	"xui/internal/experiments"
 	"xui/internal/obs"
 	"xui/internal/plot"
@@ -38,9 +39,16 @@ func main() {
 	benchJSON := flag.String("benchjson", "", "time each experiment and the sim hot loops, writing a machine-readable perf record to this file")
 	benchBase := flag.String("benchbase", "", "with -benchjson: committed baseline record to print per-experiment wall-time deltas against")
 	nocache := flag.Bool("nocache", false, "disable the Tier-1 run cache, recorded instruction tapes and core pooling; every run is computed fresh (rows are identical either way)")
+	checkOn := flag.Bool("check", false, "run with invariant checking: assert the protocol conservation laws on every delivery, print the check report, exit nonzero on violations")
 	flag.Parse()
 	experiments.SetWorkers(*workers)
 	experiments.SetCaching(!*nocache)
+
+	var checkCol *check.Collector
+	if *checkOn {
+		checkCol = check.NewCollector()
+		experiments.SetChecking(checkCol)
+	}
 
 	stopProf, err := obs.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
@@ -60,12 +68,22 @@ func main() {
 	finish := func() {
 		if ctx != nil && ctx.Metrics != nil {
 			experiments.PublishCacheStats(ctx.Metrics)
+			if checkCol != nil {
+				checkCol.Report().PublishTo(ctx.Metrics)
+			}
 		}
 		if err := ctx.ExportFiles(*tracePath, *metricsPath); err != nil {
 			fatal(err)
 		}
 		if err := stopProf(); err != nil {
 			fatal(err)
+		}
+		if checkCol != nil {
+			rep := checkCol.Report()
+			fmt.Fprintln(os.Stderr, rep)
+			if !rep.OK() {
+				os.Exit(1)
+			}
 		}
 	}
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"xui/internal/check"
 	"xui/internal/experiments"
 	"xui/internal/obs"
 	"xui/internal/sim"
@@ -37,8 +38,15 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	nocache := flag.Bool("nocache", false, "disable the Tier-1 run cache, recorded instruction tapes and core pooling (affects the Tier-1 calibrations Tier-2 scenarios draw on)")
+	checkOn := flag.Bool("check", false, "run with invariant checking: assert the protocol conservation laws on every delivery, print the check report, exit nonzero on violations")
 	flag.Parse()
 	experiments.SetCaching(!*nocache)
+
+	var checkCol *check.Collector
+	if *checkOn {
+		checkCol = check.NewCollector()
+		experiments.SetChecking(checkCol)
+	}
 
 	stopProf, err := obs.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
@@ -87,10 +95,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
 		os.Exit(2)
 	}
+	if checkCol != nil && ctx != nil && ctx.Metrics != nil {
+		checkCol.Report().PublishTo(ctx.Metrics)
+	}
 	if err := ctx.ExportFiles(*tracePath, *metricsPath); err != nil {
 		fatal(err)
 	}
 	if err := stopProf(); err != nil {
 		fatal(err)
+	}
+	if checkCol != nil {
+		rep := checkCol.Report()
+		fmt.Fprintln(os.Stderr, rep)
+		if !rep.OK() {
+			os.Exit(1)
+		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"os"
 	"runtime"
 
+	"xui/internal/check"
 	"xui/internal/cpu"
 	"xui/internal/experiments"
 	"xui/internal/isa"
@@ -44,9 +45,16 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for any grid sweeps experiments run; results are identical at any value")
 	nocache := flag.Bool("nocache", false, "disable the Tier-1 run cache, recorded instruction tapes and core pooling; every run is computed fresh (rows are identical either way)")
+	checkOn := flag.Bool("check", false, "run with invariant checking: assert the pipeline/protocol invariants on every delivery, print the check report, exit nonzero on violations")
 	flag.Parse()
 	experiments.SetWorkers(*workers)
 	experiments.SetCaching(!*nocache)
+
+	var checkCol *check.Collector
+	if *checkOn {
+		checkCol = check.NewCollector()
+		experiments.SetChecking(checkCol)
+	}
 
 	stopProf, err := obs.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
@@ -58,11 +66,21 @@ func main() {
 		experiments.SetObservability(ctx)
 	}
 	finish := func() {
+		if checkCol != nil && ctx != nil && ctx.Metrics != nil {
+			checkCol.Report().PublishTo(ctx.Metrics)
+		}
 		if err := ctx.ExportFiles(*chrome, *metricsPath); err != nil {
 			fatal(err)
 		}
 		if err := stopProf(); err != nil {
 			fatal(err)
+		}
+		if checkCol != nil {
+			rep := checkCol.Report()
+			fmt.Fprintln(os.Stderr, rep)
+			if !rep.OK() {
+				os.Exit(1)
+			}
 		}
 	}
 
@@ -141,7 +159,14 @@ func main() {
 			return cpu.Interrupt{Vector: 1, SkipNotification: *skipNotif, Handler: experiments.TinyHandler()}
 		})
 	}
+	var cc *check.CoreChecker
+	if checkCol != nil {
+		cc = check.WrapCore(checkCol, c, "tier1")
+	}
 	res := c.Run(*uops, *uops*500)
+	if cc != nil {
+		cc.FinishCore()
+	}
 
 	fmt.Printf("workload=%s strategy=%s uops=%d\n", prog.Name(), strat, res.CommittedProgram)
 	fmt.Printf("cycles=%d IPC=%.2f squashed(program)=%d squashed(intr)=%d\n",

@@ -1,0 +1,340 @@
+package check
+
+import (
+	"fmt"
+
+	"xui/internal/apic"
+	"xui/internal/core"
+	"xui/internal/cpu"
+	"xui/internal/isa"
+	"xui/internal/kernel"
+	"xui/internal/lpm"
+	"xui/internal/mem"
+	"xui/internal/netsim"
+	"xui/internal/sim"
+	"xui/internal/uintr"
+	"xui/internal/urt"
+)
+
+// FaultClass names one adversarial schedule the injector can impose — the
+// failure modes the paper reasons about in §4.2 (misprediction squash of
+// in-flight interrupt microcode), §4.5 (receiver descheduled mid-delivery)
+// and §5.4/§6 (wire jitter, ring-full bursts, spurious timer fires).
+type FaultClass string
+
+const (
+	// SquashReinject forces mispredict squashes through in-flight tracked
+	// interrupt microcode with re-injection enabled: every interrupt must
+	// survive (absorbed; degradation = tier1_reinjections).
+	SquashReinject FaultClass = "squash-reinject"
+	// SquashNoReinject is the same schedule with the §4.2 re-injection
+	// state machine ablated: interrupts are lost, which the checker
+	// surfaces as the tier1_lost counter (and would flag as the
+	// lost-interrupt invariant were re-injection enabled).
+	SquashNoReinject FaultClass = "squash-noreinject"
+	// Deschedule takes the receiver off-core at seeded times while senders
+	// keep posting: the SN bit must suppress notifications and the kernel
+	// slow path must repost on reschedule (absorbed; degradation =
+	// reposts/uinv_traps/deschedules).
+	Deschedule FaultClass = "deschedule"
+	// WireJitter adds seeded latency to every departing notification IPI
+	// (absorbed; degradation = jitter_cycles).
+	WireJitter FaultClass = "wire-jitter"
+	// RingBurst slams packet bursts larger than the NIC ring into an
+	// interrupt-driven l3fwd (absorbed; degradation = ring_dropped).
+	RingBurst FaultClass = "ring-burst"
+	// SpuriousKBT fires the KB_Timer early/spuriously, bypassing the
+	// programmed deadline: the timer wheel must pop nothing early and
+	// still fire every timer (absorbed; degradation = spurious_fires).
+	SpuriousKBT FaultClass = "spurious-kbt"
+)
+
+// FaultClasses returns every injectable class, in a fixed order.
+func FaultClasses() []FaultClass {
+	return []FaultClass{SquashReinject, SquashNoReinject, Deschedule, WireJitter, RingBurst, SpuriousKBT}
+}
+
+// FaultResult is the outcome of one injected run.
+type FaultResult struct {
+	Class       FaultClass
+	Seed        uint64
+	Report      Report
+	Fingerprint string // deterministic digest: same seed ⇒ identical string
+}
+
+// Absorbed reports that every invariant held (the degradation, if any, is
+// visible in Report.Counters).
+func (r FaultResult) Absorbed() bool { return r.Report.OK() }
+
+// Detected returns the names of invariants that flagged the fault.
+func (r FaultResult) Detected() []string { return r.Report.Invariants() }
+
+// RunFault executes one fault class under a fresh collector. Runs are
+// deterministic: the same (class, seed) yields an identical Fingerprint
+// and Report.
+func RunFault(class FaultClass, seed uint64) (FaultResult, error) {
+	res := FaultResult{Class: class, Seed: seed}
+	col := NewCollector()
+	var fp string
+	switch class {
+	case SquashReinject:
+		fp = runSquash(col, seed, true)
+	case SquashNoReinject:
+		fp = runSquash(col, seed, false)
+	case Deschedule:
+		fp = runDeschedule(col, seed)
+	case WireJitter:
+		fp = runWireJitter(col, seed)
+	case RingBurst:
+		fp = runRingBurst(col, seed)
+	case SpuriousKBT:
+		fp = runSpuriousKBT(col, seed)
+	default:
+		return res, fmt.Errorf("check: unknown fault class %q", class)
+	}
+	res.Report = col.Report()
+	res.Fingerprint = fp
+	return res, nil
+}
+
+// Simulated addresses for the Tier-1 scenarios' shared structures.
+const (
+	injUPIDAddr  = 0xF000_0000
+	injStackAddr = 0xE000_0000
+)
+
+func injUcode() cpu.UcodeSet {
+	return cpu.UcodeSet{
+		Notification: uintr.NotificationRoutine(injUPIDAddr),
+		Delivery:     uintr.DeliveryRoutine(injStackAddr),
+		Uiret:        uintr.UiretRoutine(injStackAddr),
+	}
+}
+
+// injBranchyStream: DRAM-missing loads each feeding a mispredicted branch,
+// so branches resolve hundreds of cycles after fetch — the adversarial
+// stream for squashing in-flight interrupt microcode (§4.2).
+func injBranchyStream(n int) isa.Stream {
+	ops := make([]isa.MicroOp, 0, 2*n)
+	addr := uint64(0x4000_0000)
+	for i := 0; i < n; i++ {
+		addr += 1 << 16 // always cold
+		ops = append(ops,
+			isa.MicroOp{Class: isa.Load, Addr: addr, BoundaryStart: true},
+			isa.MicroOp{Class: isa.Branch, Dep1: 1, Taken: true, Mispredict: true, BoundaryStart: true},
+		)
+	}
+	return isa.NewSliceStream("inj-branchy", ops)
+}
+
+func injHandler() []isa.MicroOp {
+	return []isa.MicroOp{
+		{Class: isa.IntAlu, BoundaryStart: true},
+		{Class: isa.Store, Addr: 0x9100, Dep1: 1, BoundaryStart: true},
+	}
+}
+
+// runSquash drives tracked delivery through a mispredict storm. Interrupt
+// arrival times are seeded so the microcode is regularly in flight when a
+// branch resolves and squashes it.
+func runSquash(col *Collector, seed uint64, reinject bool) string {
+	rng := sim.NewRNG(seed)
+	cfg := cpu.DefaultConfig()
+	cfg.Strategy = cpu.Tracked
+	cfg.TrackedReinject = reinject
+	cfg.Ucode = injUcode()
+	const pairs = 6000
+	port := &cpu.PrivatePort{H: mem.NewHierarchy(mem.Config{}), SharedCost: mem.LatCrossCore}
+	c := cpu.New(cfg, injBranchyStream(pairs), port)
+	cc := WrapCore(col, c, "inject/squash")
+	at := uint64(0)
+	const n = 24
+	for i := 0; i < n; i++ {
+		at += 500 + rng.Uint64()%3000
+		c.ScheduleInterrupt(at, cpu.Interrupt{
+			Vector: 1, SkipNotification: true, Handler: injHandler(), Tag: "inj",
+		})
+	}
+	res := c.Run(2*pairs, 20_000_000)
+	cc.FinishCore()
+	return fmt.Sprintf("cycles=%d prog=%d intr=%d arrived=%d done=%d lost=%d reinj=%d",
+		res.Cycles, res.CommittedProgram, len(res.Interrupts),
+		cc.arrived, cc.completed, cc.lost, cc.reinjections)
+}
+
+// runDeschedule sends UIPIs at a receiver that the kernel repeatedly takes
+// off-core mid-stream: SN must suppress notifications and every captured
+// interrupt must be reposted on reschedule (§4.5 slow path).
+func runDeschedule(col *Collector, seed uint64) string {
+	rng := sim.NewRNG(seed)
+	s := sim.New(seed)
+	m, err := core.NewMachine(s, 2, core.TrackedIPI)
+	if err != nil {
+		panic(err)
+	}
+	mc := Attach(col, m, "inject/desched")
+	k := kernel.New(m)
+	recv := k.NewThread()
+	delivered := 0
+	k.RegisterHandler(recv, func(sim.Time, uintr.Vector, core.Mechanism) { delivered++ })
+	k.ScheduleOn(recv, 1)
+	idx, err := k.RegisterSender(recv, 3)
+	if err != nil {
+		panic(err)
+	}
+	const sends = 120
+	at := sim.Time(0)
+	for i := 0; i < sends; i++ {
+		at += sim.Time(500 + rng.Uint64()%2500)
+		s.After(at, func(sim.Time) {
+			if err := m.SendUIPI(0, k.UITT(), idx); err != nil {
+				panic(err)
+			}
+		})
+	}
+	// The fault: five deschedule/reschedule pulses at seeded times, each
+	// landing somewhere inside the send stream (including mid-delivery).
+	for i := 0; i < 5; i++ {
+		off := sim.Time(rng.Uint64() % uint64(at))
+		gap := sim.Time(2000 + rng.Uint64()%20000)
+		s.After(off, func(sim.Time) { k.Deschedule(recv) })
+		s.After(off+gap, func(sim.Time) { k.ScheduleOn(recv, 1) })
+	}
+	s.Run()
+	mc.Finish()
+	return fmt.Sprintf("delivered=%d %s", delivered, mc.Fingerprint())
+}
+
+// runWireJitter adds seeded latency to every notification IPI departure.
+func runWireJitter(col *Collector, seed uint64) string {
+	rng := sim.NewRNG(seed)
+	s := sim.New(seed)
+	m, err := core.NewMachine(s, 2, core.TrackedIPI)
+	if err != nil {
+		panic(err)
+	}
+	mc := Attach(col, m, "inject/jitter")
+	var jitterTotal uint64
+	m.ExtraSendLatency = func(int) sim.Time {
+		j := rng.Uint64() % 800
+		jitterTotal += j
+		return sim.Time(j)
+	}
+	k := kernel.New(m)
+	recv := k.NewThread()
+	delivered := 0
+	k.RegisterHandler(recv, func(sim.Time, uintr.Vector, core.Mechanism) { delivered++ })
+	k.ScheduleOn(recv, 1)
+	idx, err := k.RegisterSender(recv, 5)
+	if err != nil {
+		panic(err)
+	}
+	const sends = 150
+	at := sim.Time(0)
+	for i := 0; i < sends; i++ {
+		at += sim.Time(400 + rng.Uint64()%2000)
+		s.After(at, func(sim.Time) {
+			if err := m.SendUIPI(0, k.UITT(), idx); err != nil {
+				panic(err)
+			}
+		})
+	}
+	s.Run()
+	mc.Finish()
+	col.Count("inject/jitter_cycles", jitterTotal)
+	return fmt.Sprintf("delivered=%d jitter=%d %s", delivered, jitterTotal, mc.Fingerprint())
+}
+
+// runRingBurst drives an interrupt-mode l3fwd with a steady load plus
+// seeded bursts far beyond the RingSize descriptor ring.
+func runRingBurst(col *Collector, seed uint64) string {
+	rng := sim.NewRNG(seed)
+	s := sim.New(seed)
+	m, err := core.NewMachine(s, 1, core.TrackedIPI)
+	if err != nil {
+		panic(err)
+	}
+	mc := Attach(col, m, "inject/burst")
+	v := m.Cores[0]
+	table := lpm.GenerateTable(2000, seed)
+	nic := netsim.NewNIC(s, 0)
+	l3, err := netsim.NewL3Fwd(s, table, []*netsim.NIC{nic}, v, netsim.InterruptMode)
+	if err != nil {
+		panic(err)
+	}
+	const vec, gsi = uint8(0x30), 0
+	m.IOAPIC.Program(gsi, apic.Redirection{Dest: 0, Vector: vec})
+	v.APIC.EnableForwarding(vec)
+	v.APIC.ActivateVector(vec)
+	nic.OnAssert = func() { _ = m.IOAPIC.Assert(gsi) }
+	v.Handler = func(now sim.Time, _ uintr.Vector, _ core.Mechanism) { l3.HandleInterrupt(now) }
+	gen := netsim.StartGenerator(s, nic, 2000, seed+1)
+	// The fault: four bursts, each 3× the ring, at seeded instants.
+	var id uint64 = 1 << 32
+	for i := 0; i < 4; i++ {
+		off := sim.Time(100_000 + rng.Uint64()%1_500_000)
+		s.After(off, func(now sim.Time) {
+			for j := 0; j < 3*netsim.RingSize; j++ {
+				id++
+				nic.Inject(netsim.Packet{ID: id, Arrived: now, DstIP: uint32(rng.Uint64())})
+			}
+		})
+	}
+	s.RunUntil(2_000_000)
+	gen.Stop()
+	l3.Stop()
+	s.Run()
+	mc.Finish()
+	col.Count("inject/ring_dropped", nic.Dropped)
+	if nic.Dropped == 0 {
+		col.Violate("injection-ineffective", s.Now(), "inject/burst",
+			"burst fault injected but the NIC dropped nothing")
+	}
+	return fmt.Sprintf("fwd=%d drop=%d recv=%d %s", l3.Forwarded, nic.Dropped, nic.Received, mc.Fingerprint())
+}
+
+// runSpuriousKBT arms a timer wheel and fires the KB_Timer spuriously at
+// seeded times that do not match any programmed deadline.
+func runSpuriousKBT(col *Collector, seed uint64) string {
+	rng := sim.NewRNG(seed)
+	s := sim.New(seed)
+	m, err := core.NewMachine(s, 1, core.TrackedIPI)
+	if err != nil {
+		panic(err)
+	}
+	mc := Attach(col, m, "inject/kbt")
+	k := kernel.New(m)
+	th := k.NewThread()
+	var w *urt.TimerWheel
+	k.RegisterHandler(th, func(now sim.Time, _ uintr.Vector, _ core.Mechanism) {
+		w.HandleExpiry(now)
+	})
+	k.ScheduleOn(th, 0)
+	v := m.Cores[0]
+	v.KBT.Enable(3)
+	w, err = urt.NewTimerWheel(s, v.KBT)
+	if err != nil {
+		panic(err)
+	}
+	AttachWheel(col, w, "inject/kbt/wheel")
+	const timers = 40
+	fired := 0
+	for i := 0; i < timers; i++ {
+		w.After(sim.Time(1000+rng.Uint64()%400_000), func(sim.Time) { fired++ })
+	}
+	// The fault: spurious hardware fires at seeded instants, bypassing the
+	// programmed deadline (and the KBTimer's own Fired accounting).
+	const spurious = 8
+	for i := 0; i < spurious; i++ {
+		off := sim.Time(500 + rng.Uint64()%400_000)
+		s.After(off, func(now sim.Time) { v.KBT.Fire(now, 3) })
+	}
+	s.Run()
+	mc.Finish()
+	col.Count("inject/spurious_fires", spurious)
+	if fired != timers {
+		col.Violate("wheel-armed", s.Now(), "inject/kbt",
+			"%d of %d software timers fired under spurious interrupts", fired, timers)
+	}
+	return fmt.Sprintf("fired=%d wheelFired=%d %s", fired, w.Fired, mc.Fingerprint())
+}

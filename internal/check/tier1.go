@@ -1,0 +1,273 @@
+package check
+
+import (
+	"xui/internal/cpu"
+	"xui/internal/sim"
+)
+
+// CoreChecker asserts the Tier-1 pipeline invariants through the
+// cpu.IntrObserver lifecycle, wrapping (and forwarding to) any observer
+// already attached, so checking composes with observability.
+//
+// Invariants asserted, by name:
+//
+//   - tier1-occupancy: ROB/IQ/LQ/SQ occupancies stay inside the Table 3
+//     capacity bounds at every delivery event.
+//   - tier1-exclusive: delivery lifecycles never overlap.
+//   - tier1-conservation: accepted interrupts = completed (uiret) + lost +
+//     at most one in flight, checked at FinishCore. A loss the model failed
+//     to report would break this — the silent-divergence detector.
+//   - lost-interrupt: an interrupt was lost although TrackedReinject is
+//     enabled — the §4.2 hazard the re-injection state machine exists to
+//     prevent. With the ablation (reinject off) losses are expected and
+//     surface as the tier1_lost degradation counter instead.
+//   - tier1-timeline: per-record phase timestamps are monotonic
+//     (arrive ≤ inject ≤ first-commit ≤ … ≤ uiret).
+type CoreChecker struct {
+	col   *Collector
+	c     *cpu.Core
+	inner cpu.IntrObserver
+	name  string
+
+	robMax, iqMax, lqMax, sqMax int
+
+	arrived      uint64
+	deferred     uint64
+	completed    uint64
+	lost         uint64
+	reinjections uint64
+	delivering   bool
+	checks       uint64
+}
+
+// WrapCore attaches a checker to the core, preserving any observer already
+// installed. Call FinishCore when the run ends.
+func WrapCore(col *Collector, c *cpu.Core, name string) *CoreChecker {
+	cfg := c.Config()
+	cc := &CoreChecker{
+		col:    col,
+		c:      c,
+		inner:  c.Observer(),
+		name:   name,
+		robMax: cfg.ROBSize,
+		iqMax:  cfg.IQSize,
+		lqMax:  cfg.LQSize,
+		sqMax:  cfg.SQSize,
+	}
+	c.SetObserver(cc)
+	return cc
+}
+
+func (cc *CoreChecker) violate(inv string, format string, args ...any) {
+	cc.col.Violate(inv, sim.Time(cc.c.Cycle()), cc.name, format, args...)
+}
+
+// occupancy asserts tier1-occupancy at the current cycle.
+func (cc *CoreChecker) occupancy() {
+	cc.checks++
+	rob, iq, lq, sq := cc.c.Occupancy()
+	if rob < 0 || rob > cc.robMax {
+		cc.violate("tier1-occupancy", "ROB occupancy %d outside [0,%d]", rob, cc.robMax)
+	}
+	if iq < 0 || iq > cc.iqMax {
+		cc.violate("tier1-occupancy", "IQ occupancy %d outside [0,%d]", iq, cc.iqMax)
+	}
+	if lq < 0 || lq > cc.lqMax {
+		cc.violate("tier1-occupancy", "LQ occupancy %d outside [0,%d]", lq, cc.lqMax)
+	}
+	if sq < 0 || sq > cc.sqMax {
+		cc.violate("tier1-occupancy", "SQ occupancy %d outside [0,%d]", sq, cc.sqMax)
+	}
+}
+
+// IntrArrive implements cpu.IntrObserver.
+func (cc *CoreChecker) IntrArrive(cycle uint64, tag string, vector uint8, strategy string) {
+	cc.arrived++
+	cc.checks++
+	if cc.delivering {
+		cc.violate("tier1-exclusive", "interrupt %q accepted while another delivery is in flight", tag)
+	}
+	cc.delivering = true
+	cc.occupancy()
+	if cc.inner != nil {
+		cc.inner.IntrArrive(cycle, tag, vector, strategy)
+	}
+}
+
+// IntrDeferred implements cpu.IntrObserver.
+func (cc *CoreChecker) IntrDeferred(cycle uint64) {
+	cc.deferred++
+	cc.occupancy()
+	if cc.inner != nil {
+		cc.inner.IntrDeferred(cycle)
+	}
+}
+
+// IntrSquash implements cpu.IntrObserver.
+func (cc *CoreChecker) IntrSquash(startCycle, endCycle uint64, squashed int) {
+	cc.occupancy()
+	if cc.inner != nil {
+		cc.inner.IntrSquash(startCycle, endCycle, squashed)
+	}
+}
+
+// IntrDrain implements cpu.IntrObserver.
+func (cc *CoreChecker) IntrDrain(startCycle, endCycle uint64) {
+	cc.occupancy()
+	if cc.inner != nil {
+		cc.inner.IntrDrain(startCycle, endCycle)
+	}
+}
+
+// IntrRefill implements cpu.IntrObserver.
+func (cc *CoreChecker) IntrRefill(startCycle, endCycle uint64) {
+	cc.occupancy()
+	if cc.inner != nil {
+		cc.inner.IntrRefill(startCycle, endCycle)
+	}
+}
+
+// IntrInject implements cpu.IntrObserver.
+func (cc *CoreChecker) IntrInject(cycle uint64, reinjection bool) {
+	if reinjection {
+		cc.reinjections++
+	}
+	cc.occupancy()
+	if cc.inner != nil {
+		cc.inner.IntrInject(cycle, reinjection)
+	}
+}
+
+// IntrFirstCommit implements cpu.IntrObserver.
+func (cc *CoreChecker) IntrFirstCommit(cycle uint64) {
+	cc.occupancy()
+	if cc.inner != nil {
+		cc.inner.IntrFirstCommit(cycle)
+	}
+}
+
+// IntrNotifDone implements cpu.IntrObserver.
+func (cc *CoreChecker) IntrNotifDone(cycle uint64) {
+	cc.occupancy()
+	if cc.inner != nil {
+		cc.inner.IntrNotifDone(cycle)
+	}
+}
+
+// IntrDeliveryDone implements cpu.IntrObserver.
+func (cc *CoreChecker) IntrDeliveryDone(cycle uint64) {
+	cc.occupancy()
+	if cc.inner != nil {
+		cc.inner.IntrDeliveryDone(cycle)
+	}
+}
+
+// IntrHandlerStart implements cpu.IntrObserver.
+func (cc *CoreChecker) IntrHandlerStart(cycle uint64) {
+	cc.occupancy()
+	if cc.inner != nil {
+		cc.inner.IntrHandlerStart(cycle)
+	}
+}
+
+// IntrHandlerDone implements cpu.IntrObserver.
+func (cc *CoreChecker) IntrHandlerDone(cycle uint64) {
+	cc.occupancy()
+	if cc.inner != nil {
+		cc.inner.IntrHandlerDone(cycle)
+	}
+}
+
+// IntrUiret implements cpu.IntrObserver.
+func (cc *CoreChecker) IntrUiret(cycle uint64) {
+	cc.completed++
+	cc.checks++
+	if !cc.delivering {
+		cc.violate("tier1-exclusive", "uiret with no delivery in flight")
+	}
+	cc.delivering = false
+	cc.occupancy()
+	if cc.inner != nil {
+		cc.inner.IntrUiret(cycle)
+	}
+}
+
+// IntrLost implements cpu.IntrObserver.
+func (cc *CoreChecker) IntrLost(cycle uint64) {
+	cc.lost++
+	cc.checks++
+	if !cc.delivering {
+		cc.violate("tier1-exclusive", "interrupt lost with no delivery in flight")
+	}
+	cc.delivering = false
+	if cc.inner != nil {
+		cc.inner.IntrLost(cycle)
+	}
+}
+
+// FinishCore runs the end-of-run invariants over the core's interrupt
+// records and flushes counters. Call exactly once per run, after Run
+// returns and before the records are reset.
+func (cc *CoreChecker) FinishCore() {
+	cc.checks++
+	inFlight := cc.arrived - cc.completed - cc.lost
+	if cc.completed+cc.lost > cc.arrived || inFlight > 1 {
+		cc.violate("tier1-conservation",
+			"arrived %d ≠ completed %d + lost %d + in-flight ≤ 1", cc.arrived, cc.completed, cc.lost)
+	}
+	reinject := cc.c.Config().TrackedReinject
+	for i, rec := range cc.c.Records() {
+		cc.checks++
+		if rec.Lost {
+			if reinject {
+				cc.violate("lost-interrupt",
+					"record %d (%q): interrupt lost although TrackedReinject is enabled (§4.2 hazard)", i, rec.Tag)
+			}
+			continue
+		}
+		if rec.UiretDone == 0 {
+			continue // still in flight at run end
+		}
+		phases := [...]struct {
+			name string
+			at   uint64
+		}{
+			{"arrive", rec.Arrive},
+			{"inject", rec.InjectStart},
+			{"first-commit", rec.FirstUcodeCommit},
+			{"notif-done", rec.NotifDone},
+			{"delivery-done", rec.DeliveryDone},
+			{"handler-start", rec.HandlerStart},
+			{"handler-done", rec.HandlerDone},
+			{"uiret", rec.UiretDone},
+		}
+		last, lastName := uint64(0), ""
+		for _, p := range phases {
+			if p.at == 0 {
+				continue // phase skipped (e.g. notification-less delivery)
+			}
+			if p.at < last {
+				cc.violate("tier1-timeline",
+					"record %d (%q): %s@%d before %s@%d", i, rec.Tag, p.name, p.at, lastName, last)
+			}
+			last, lastName = p.at, p.name
+		}
+	}
+	cc.col.AddChecks(cc.checks)
+	cc.checks = 0
+	flush := func(name string, n uint64) { cc.col.Count(cc.name+"/"+name, n) }
+	flush("tier1_arrived", cc.arrived)
+	flush("tier1_deferred", cc.deferred)
+	flush("tier1_completed", cc.completed)
+	flush("tier1_lost", cc.lost)
+	flush("tier1_reinjections", cc.reinjections)
+}
+
+// Detach restores the observer that was installed before WrapCore. Use it
+// after FinishCore when the core outlives the checked run (pooled rigs),
+// so a stale checker never rides into the next run.
+func (cc *CoreChecker) Detach() {
+	cc.c.SetObserver(cc.inner)
+}
+
+var _ cpu.IntrObserver = (*CoreChecker)(nil)

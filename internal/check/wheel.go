@@ -1,0 +1,28 @@
+package check
+
+import (
+	"strings"
+
+	"xui/internal/sim"
+	"xui/internal/urt"
+)
+
+// AttachWheel points a TimerWheel's Check hook at its Validate method so
+// every mutation (After, Cancel, HandleExpiry) is invariant-checked. The
+// invariant name is the prefix of Validate's error ("wheel-heap" or
+// "wheel-armed").
+func AttachWheel(col *Collector, w *urt.TimerWheel, name string) {
+	w.Check = func(now sim.Time) {
+		col.AddChecks(1)
+		err := w.Validate(now)
+		if err == nil {
+			return
+		}
+		msg := err.Error()
+		inv, detail := "wheel-heap", msg
+		if i := strings.Index(msg, ": "); i > 0 {
+			inv, detail = msg[:i], msg[i+2:]
+		}
+		col.Violate(inv, now, name, "%s", detail)
+	}
+}

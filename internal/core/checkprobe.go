@@ -1,0 +1,41 @@
+package core
+
+import (
+	"xui/internal/sim"
+	"xui/internal/uintr"
+)
+
+// CheckProbe receives the Tier-2 protocol events an invariant checker needs
+// to replay the UIPI conservation laws alongside the model: every senduipi,
+// notification acknowledge, UIRR post, delivery start/end, and kernel-path
+// interrupt. Implementations live in internal/check; all hooks are behind
+// nil guards so a detached machine pays nothing (see BenchmarkCheckDisabled).
+type CheckProbe interface {
+	// Senduipi fires after the sender-side protocol ran for UITT entry idx.
+	// upid/vec identify the target (upid is nil when the entry was invalid),
+	// notify reports whether an IPI departed, and premerged whether the
+	// vector's PIR bit was already set before this post (coalesced send).
+	Senduipi(now sim.Time, sender, idx int, upid *uintr.UPID, vec uintr.Vector, notify, premerged bool)
+	// NotifyAck fires when notification processing on core drained pir out
+	// of the running thread's UPID.
+	NotifyAck(now sim.Time, core int, pir uint64)
+	// Posted fires when a vector is recognised into core's UIRR; merged
+	// reports that the bit was already set (same vector coalesced).
+	Posted(now sim.Time, core int, vector uintr.Vector, mech Mechanism, merged bool)
+	// DeliverStart fires when delivery microcode begins for a vector;
+	// DeliverEnd when the microcode completes (uiret point, handler about
+	// to run).
+	DeliverStart(now sim.Time, core int, vector uintr.Vector, mech Mechanism, cost sim.Time)
+	DeliverEnd(now sim.Time, core int, vector uintr.Vector, mech Mechanism)
+	// KernelIntr fires when a vector takes the kernel path on core
+	// (ordinary interrupt, UINV miss, forwarded slow path, or KB_Timer trap).
+	KernelIntr(now sim.Time, core int, vector uint8)
+}
+
+// SetCheck attaches a probe to the machine and every core (nil detaches).
+func (m *Machine) SetCheck(p CheckProbe) {
+	m.Check = p
+	for _, v := range m.Cores {
+		v.Check = p
+	}
+}

@@ -75,6 +75,10 @@ type VCore struct {
 	// core (set by Machine.Observe); obsNS is the "vcore<ID>/" prefix.
 	Obs   *obs.Context
 	obsNS string
+
+	// Check, when non-nil, receives protocol events for invariant checking
+	// (set by Machine.SetCheck).
+	Check CheckProbe
 }
 
 // RaiseInterrupt implements apic.Sink for conventional vectors.
@@ -88,6 +92,9 @@ func (v *VCore) RaiseInterrupt(now sim.Time, vector uint8) {
 			v.Obs.Trace.Instant(obs.Tier2Pid, uint32(v.ID), "upid.ack", "notify", uint64(now), nil)
 			v.Obs.Metrics.Inc(v.obsNS + "upid_acks")
 		}
+		if v.Check != nil {
+			v.Check.NotifyAck(now, v.ID, pir)
+		}
 		for pir != 0 {
 			vec := highestVector(pir)
 			pir &^= 1 << vec
@@ -96,6 +103,9 @@ func (v *VCore) RaiseInterrupt(now sim.Time, vector uint8) {
 		return
 	}
 	// Slow path / ordinary kernel interrupt.
+	if v.Check != nil {
+		v.Check.KernelIntr(now, v.ID, vector)
+	}
 	if v.OnKernelInterrupt != nil {
 		v.OnKernelInterrupt(now, vector)
 	}
@@ -122,6 +132,9 @@ func (v *VCore) RaiseForwardedSlow(now sim.Time, vector uint8) {
 			map[string]any{"vector": vector})
 		v.Obs.Metrics.Inc(v.obsNS + "forwarded_slow")
 	}
+	if v.Check != nil {
+		v.Check.KernelIntr(now, v.ID, vector)
+	}
 	if v.OnKernelInterrupt != nil {
 		v.OnKernelInterrupt(now, vector)
 	}
@@ -135,6 +148,9 @@ func (v *VCore) kbFire(now sim.Time, vector uintr.Vector) {
 		if v.Obs != nil {
 			v.Obs.Trace.Instant(obs.Tier2Pid, uint32(v.ID), "kb_timer.trap", "kbtimer", uint64(now), nil)
 			v.Obs.Metrics.Inc(v.obsNS + "kbtimer_traps")
+		}
+		if v.Check != nil {
+			v.Check.KernelIntr(now, v.ID, uint8(vector))
 		}
 		if v.OnKernelInterrupt != nil {
 			v.OnKernelInterrupt(now, uint8(vector))
@@ -150,8 +166,12 @@ func (v *VCore) kbFire(now sim.Time, vector uintr.Vector) {
 
 // post recognises a user vector into UIRR and attempts delivery.
 func (v *VCore) post(now sim.Time, vector uintr.Vector, mech Mechanism) {
+	merged := v.uirr&(1<<vector) != 0
 	v.uirr |= 1 << vector
 	v.uirrMech[vector] = mech
+	if v.Check != nil {
+		v.Check.Posted(now, v.ID, vector, mech, merged)
+	}
 	v.tryDeliver(now)
 }
 
@@ -173,11 +193,17 @@ func (v *VCore) tryDeliver(now sim.Time) {
 		v.Obs.Metrics.Inc(v.obsNS + "delivered/" + mech.String())
 		v.Obs.Metrics.Observe(v.obsNS+"delivery_cost", uint64(cost))
 	}
+	if v.Check != nil {
+		v.Check.DeliverStart(now, v.ID, vec, mech, cost)
+	}
 	v.UIF = false // delivery clears the flag until uiret
 	v.delivering = true
 	v.Sim.After(cost, func(t sim.Time) {
 		v.delivering = false
 		v.UIF = true // uiret
+		if v.Check != nil {
+			v.Check.DeliverEnd(t, v.ID, vec, mech)
+		}
 		if v.Handler != nil {
 			v.Handler(t, vec, mech)
 		}
@@ -229,6 +255,13 @@ type Machine struct {
 	IOAPIC *apic.IOAPIC
 	Cores  []*VCore
 	Costs  Costs
+
+	// Check, when non-nil, receives protocol events for invariant checking
+	// (set by SetCheck, which also attaches it to every core).
+	Check CheckProbe
+	// ExtraSendLatency, when non-nil, adds wire latency to each departing
+	// notification IPI — the fault injector's wire-jitter knob.
+	ExtraSendLatency func(sender int) sim.Time
 }
 
 // IcrOffset is when, within a senduipi execution, the ICR write completes
@@ -281,14 +314,29 @@ func (m *Machine) SendUIPI(sender int, uitt *uintr.UITT, idx int) error {
 		src.Obs.Trace.Instant(obs.Tier2Pid, uint32(src.ID), "senduipi", "send", uint64(m.Sim.Now()), nil)
 		src.Obs.Metrics.Inc(src.obsNS + "senduipi")
 	}
+	var entry uintr.UITTEntry
+	premerged := false
+	if m.Check != nil {
+		// Snapshot the target before the post so the probe can tell a fresh
+		// PIR bit from a coalesced one.
+		entry, _ = uitt.Lookup(idx)
+		premerged = entry.UPID != nil && entry.UPID.PIR&(1<<entry.Vector) != 0
+	}
 	notify, ndst, nv, err := uitt.Senduipi(idx)
 	if err != nil {
 		return err
 	}
+	if m.Check != nil {
+		m.Check.Senduipi(m.Sim.Now(), sender, idx, entry.UPID, entry.Vector, notify, premerged)
+	}
 	if !notify {
 		return nil
 	}
-	m.Sim.After(IcrOffset, func(sim.Time) {
+	delay := IcrOffset
+	if m.ExtraSendLatency != nil {
+		delay += m.ExtraSendLatency(sender)
+	}
+	m.Sim.After(delay, func(sim.Time) {
 		// ICR written: the message is on the bus.
 		if err := src.APIC.SendIPI(ndst, nv); err != nil {
 			panic(fmt.Sprintf("core: UIPI to unknown APIC %d", ndst))

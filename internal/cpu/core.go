@@ -253,6 +253,19 @@ func (c *Core) Cycle() uint64 { return c.cycle }
 // Records returns the per-interrupt instrumentation collected so far.
 func (c *Core) Records() []IntrRecord { return c.records }
 
+// Config returns the configuration the core is currently running.
+func (c *Core) Config() Config { return c.cfg }
+
+// Observer returns the attached interrupt observer (nil when none).
+func (c *Core) Observer() IntrObserver { return c.obsv }
+
+// Occupancy reports the current structure occupancies: in-flight ROB
+// entries and issue/load/store-queue entries. Used by the invariant
+// checker to assert the Table 3 capacity bounds hold every delivery.
+func (c *Core) Occupancy() (rob, iq, lq, sq int) {
+	return int(c.tail - c.head), c.iqCount, c.lqCount, c.sqCount
+}
+
 // ScheduleInterrupt presents intr to the core at absolute cycle at.
 func (c *Core) ScheduleInterrupt(at uint64, intr Interrupt) {
 	// Insert keeping sorted order (arrivals are few and mostly appended).

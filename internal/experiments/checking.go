@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"sync/atomic"
+
+	"xui/internal/check"
+	"xui/internal/core"
+	"xui/internal/cpu"
+)
+
+// Package-wide invariant checking, mirroring the observability sink: cmd
+// binaries (the -check flag) and the test suite install a collector here
+// and every receiver core and Tier-2 machine built afterwards is checked.
+// The default (nil) costs one atomic load per construction and nothing per
+// event. The pointer is atomic because parallel sweep workers build
+// machines concurrently; they all report into the one mutex-protected
+// collector.
+var checkCol atomic.Pointer[check.Collector]
+
+// SetChecking installs col as the package-wide invariant collector for
+// everything built afterwards; nil disables. Call it only between
+// experiment runs, never while a sweep is in flight.
+func SetChecking(col *check.Collector) {
+	if col == nil {
+		checkCol.Store(nil)
+		return
+	}
+	checkCol.Store(col)
+}
+
+// Checking returns the active collector, nil when disabled.
+func Checking() *check.Collector { return checkCol.Load() }
+
+// checkCore wraps a freshly built Tier-1 receiver with the invariant
+// checker when checking is on. Returns nil when off; finishCore is
+// nil-safe, so callers bracket unconditionally.
+func checkCore(c *cpu.Core, name string) *check.CoreChecker {
+	col := checkCol.Load()
+	if col == nil {
+		return nil
+	}
+	return check.WrapCore(col, c, name)
+}
+
+// finishCore runs the checker's end-of-run invariants and detaches it,
+// restoring whatever observer was installed before the wrap (pooled rigs
+// must never carry a stale checker into their next run).
+func finishCore(cc *check.CoreChecker) {
+	if cc != nil {
+		cc.FinishCore()
+		cc.Detach()
+	}
+}
+
+// checkMachine attaches the invariant checker to a freshly built Tier-2
+// machine when checking is on. The checker rides in Machine.Check;
+// finishMachine recovers it from there, so no bookkeeping threads through
+// the experiment bodies.
+func checkMachine(m *core.Machine, name string) {
+	if col := checkCol.Load(); col != nil {
+		check.Attach(col, m, name)
+	}
+}
+
+// finishMachine runs the end-of-run invariants for a machine checked by
+// checkMachine. Call once per machine when its run ends.
+func finishMachine(m *core.Machine) {
+	if mc, ok := m.Check.(*check.MachineChecker); ok {
+		mc.Finish()
+	}
+}

@@ -72,6 +72,7 @@ func Duet(iters int) DuetResult {
 	recvCfg.Ucode = Ucode()
 	receiver := cpu.New(recvCfg, NewEndlessRdtsc(), &systemPort{sys: sys, core: 1})
 	observeCore(receiver)
+	rcc := checkCore(receiver, "tier1/duet")
 
 	var starts, icrs []uint64
 	sender.OnProgramCommit = func(pos, cycle uint64) {
@@ -95,6 +96,7 @@ func Duet(iters int) DuetResult {
 		receiver.RunCycles(64)
 	}
 	receiver.RunCycles(20000) // drain the final delivery
+	finishCore(rcc)
 
 	res := DuetResult{Sends: len(icrs)}
 	recs := receiver.Records()

@@ -42,12 +42,13 @@ func observeCore(c *cpu.Core) {
 	c.SetObserver(obs.NewPipeline(obsCtx.Trace, obsCtx.Metrics, obs.Tier1Pid, tid))
 }
 
-// maybeObserve attaches the active context to a freshly built Tier-2
-// machine.
+// maybeObserve attaches the active observability context and, when
+// checking is on, the invariant checker to a freshly built Tier-2 machine.
 func maybeObserve(m *core.Machine) {
 	if obsCtx != nil {
 		m.Observe(obsCtx)
 	}
+	checkMachine(m, "tier2")
 }
 
 // SnapshotObserved imports a machine's end-of-run accounting (per-category
@@ -57,4 +58,5 @@ func SnapshotObserved(m *core.Machine) {
 	if obsCtx != nil {
 		m.SnapshotMetrics(obsCtx.Metrics)
 	}
+	finishMachine(m)
 }

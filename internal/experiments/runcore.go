@@ -108,10 +108,12 @@ func releaseRig(r *rig) {
 // run (schedules interrupts, installs commit hooks) before it starts.
 func runReceiver(cfg cpu.Config, prog isa.Stream, uops, maxCycles uint64, setup func(c *cpu.Core, port *cpu.PrivatePort)) cpu.Result {
 	r := acquireRig(cfg, prog)
+	cc := checkCore(r.core, "tier1")
 	if setup != nil {
 		setup(r.core, r.port)
 	}
 	res := r.core.Run(uops, maxCycles)
+	finishCore(cc)
 	releaseRig(r)
 	return res
 }

@@ -53,6 +53,13 @@ type Queue struct {
 
 	draining bool
 
+	// Sent/Delivered/Dropped count messages. Wakeups counts notification
+	// events, whose meaning is per-mechanism: for UIPI/TrackedIPI it is
+	// every senduipi executed (hardware coalescing via the ON bit happens
+	// below this count, visible in Bus.Sent); for BusyPoll and Signal it is
+	// only empty→non-empty transitions that actually schedule a drain —
+	// a Send landing while the consumer is still draining is picked up by
+	// the in-flight drain and wakes nobody.
 	Sent, Delivered, Dropped, Wakeups uint64
 }
 
@@ -115,13 +122,17 @@ func (q *Queue) Send(payload []byte) bool {
 	case core.BusyPoll:
 		// The consumer is spinning on the ring's head line: it observes
 		// the write after the cache-to-cache transfer. Spinning cycles are
-		// charged continuously between messages.
-		if wasEmpty {
+		// charged continuously between messages. The ring can be observed
+		// empty while the final dequeue's completion is still in flight
+		// (draining set): that completion re-checks the ring and delivers
+		// this message, so scheduling another drain would only no-op —
+		// and inflate Wakeups.
+		if wasEmpty && !q.draining {
 			q.Wakeups++
 			q.sim.After(sim.Time(core.PollingNotifyCost), q.drain)
 		}
 	case core.Signal:
-		if wasEmpty && q.k != nil {
+		if wasEmpty && !q.draining && q.k != nil {
 			q.Wakeups++
 			q.m.Cores[q.prodCore].Account.Charge("signal-send", core.SyscallCost)
 			q.sim.After(core.SyscallCost, func(sim.Time) {

@@ -158,6 +158,67 @@ func TestCostAccounting(t *testing.T) {
 	}
 }
 
+// TestDrainWindowInterleaving pins the busy-poll drain window: a Send landing
+// at ANY cycle offset around the final dequeue's completion must be delivered
+// exactly once — either picked up by the in-flight drain's completion step or
+// by a freshly scheduled one — and Wakeups must count only the transitions
+// that actually scheduled a drain.
+func TestDrainWindowInterleaving(t *testing.T) {
+	// First message: drain scheduled at PollingNotifyCost, dequeue completes
+	// at PollingNotifyCost+DequeueCost. Sweep the second Send across every
+	// offset in a window spanning well past that completion.
+	completion := sim.Time(core.PollingNotifyCost) + DequeueCost
+	for off := sim.Time(0); off <= completion+5; off++ {
+		s, _, q := newQ(t, core.BusyPoll, 8)
+		var deliveredAt []sim.Time
+		q.OnMessage = func(now sim.Time, _ Message) { deliveredAt = append(deliveredAt, now) }
+		q.Send([]byte("a"))
+		sendOff := off
+		s.After(sendOff, func(sim.Time) { q.Send([]byte("b")) })
+		s.Run()
+		if len(deliveredAt) != 2 {
+			t.Fatalf("offset %d: delivered %d messages, want 2", sendOff, len(deliveredAt))
+		}
+		if q.Len() != 0 || q.draining {
+			t.Fatalf("offset %d: ring len %d draining %v after Run", sendOff, q.Len(), q.draining)
+		}
+		// Wakeups: 1 while the first drain is still live (it absorbs the
+		// second message), 2 once it has fully completed. At the exact
+		// completion cycle the Send event fires first (scheduled earlier,
+		// FIFO tie-break) and is still absorbed.
+		want := uint64(1)
+		if sendOff > completion {
+			want = 2
+		}
+		if q.Wakeups != want {
+			t.Errorf("offset %d: wakeups = %d, want %d", sendOff, q.Wakeups, want)
+		}
+	}
+}
+
+// TestWakeupsSemantics pins the per-mechanism Wakeups contract: UIPI counts
+// every senduipi (coalescing is the bus's business), busy-poll and signal
+// count only empty transitions that scheduled a drain.
+func TestWakeupsSemantics(t *testing.T) {
+	burst := func(mech core.Mechanism) (*Queue, uint64) {
+		s, m, q := newQ(t, mech, 64)
+		for i := 0; i < 5; i++ {
+			q.Send([]byte{byte(i)})
+		}
+		s.Run()
+		return q, m.Bus.Sent
+	}
+	if q, bus := burst(core.TrackedIPI); q.Wakeups != 5 || bus != 1 {
+		t.Errorf("uipi: wakeups=%d (want 5, one per senduipi), bus=%d (want 1, ON-coalesced)", q.Wakeups, bus)
+	}
+	if q, _ := burst(core.BusyPoll); q.Wakeups != 1 {
+		t.Errorf("busy-poll: wakeups=%d, want 1 (single empty transition)", q.Wakeups)
+	}
+	if q, _ := burst(core.Signal); q.Wakeups != 1 {
+		t.Errorf("signal: wakeups=%d, want 1 (single empty transition)", q.Wakeups)
+	}
+}
+
 // Property: no message is ever lost or reordered below capacity, for any
 // payload set and any supported mechanism.
 func TestNoLossProperty(t *testing.T) {

@@ -93,6 +93,25 @@ func New(m *core.Machine) *Kernel {
 // UITT returns the process's sender table.
 func (k *Kernel) UITT() *uintr.UITT { return &k.uitt }
 
+// CheckProbe is the kernel-side extension of core.CheckProbe: a machine
+// probe that also implements this interface receives scheduling and repost
+// events. It is discovered by type assertion on M.Check at event time, so
+// kernels and probes can be attached in any order.
+type CheckProbe interface {
+	// Scheduled fires after t lands on coreID; reposted reports that a
+	// captured notification was re-sent as a self-IPI.
+	Scheduled(now sim.Time, thread, coreID int, reposted bool)
+	// Descheduled fires after t left coreID (SN set, KB_Timer saved).
+	Descheduled(now sim.Time, thread, coreID int)
+}
+
+func (k *Kernel) checkProbe() CheckProbe {
+	if p, ok := k.M.Check.(CheckProbe); ok {
+		return p
+	}
+	return nil
+}
+
 // NewThread creates a descheduled kernel thread.
 func (k *Kernel) NewThread() *Thread {
 	t := &Thread{ID: len(k.threads), kern: k, coreID: -1}
@@ -196,6 +215,7 @@ func (k *Kernel) ScheduleOn(t *Thread, coreID int) {
 	t.coreID = coreID
 	k.running[coreID] = t
 
+	reposted := false
 	if t.upid != nil {
 		t.upid.NDST = uint32(coreID)
 		t.upid.Unsuppress()
@@ -207,6 +227,7 @@ func (k *Kernel) ScheduleOn(t *Thread, coreID int) {
 		}
 		if t.pendingRepost || t.upid.Pending() {
 			t.pendingRepost = false
+			reposted = true
 			// Repost as a self-UIPI through the local APIC (§3.2).
 			v.APIC.SelfIPI(core.UINV)
 		}
@@ -227,6 +248,9 @@ func (k *Kernel) ScheduleOn(t *Thread, coreID int) {
 		v.KBT.Restore(t.kbState)
 		t.kbSaved = false
 	}
+	if p := k.checkProbe(); p != nil {
+		p.Scheduled(k.Sim.Now(), t.ID, coreID, reposted)
+	}
 }
 
 // Deschedule removes t from its core: SN set (halting sender IPIs),
@@ -246,7 +270,11 @@ func (k *Kernel) Deschedule(t *Thread) {
 	v.Handler = nil
 	v.APIC.SetActiveMask([4]uint64{})
 	k.running[t.coreID] = nil
+	was := t.coreID
 	t.coreID = -1
+	if p := k.checkProbe(); p != nil {
+		p.Descheduled(k.Sim.Now(), t.ID, was)
+	}
 }
 
 // kernelInterrupt is the trap path: UIPI notifications and forwarded

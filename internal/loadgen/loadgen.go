@@ -17,7 +17,8 @@ import (
 type OpenLoop struct {
 	sim     *sim.Simulator
 	rng     *sim.RNG
-	meanGap sim.Time
+	meanGap float64 // mean inter-arrival gap in (fractional) cycles
+	carry   float64 // fractional cycles owed from previous arrivals
 	submit  func(now sim.Time, id uint64)
 	ev      *sim.Event
 	stopped bool
@@ -26,25 +27,29 @@ type OpenLoop struct {
 }
 
 // StartOpenLoop begins generating. rate is in requests per second of
-// simulated time.
+// simulated time. The offered rate is honoured exactly in expectation:
+// the mean gap is kept in fractional cycles and the fraction truncated
+// from each integer-cycle arrival is carried into the next draw, so no
+// load is lost to rounding even when the mean gap is small or below one
+// cycle (sub-cycle gaps coalesce into same-cycle arrivals).
 func StartOpenLoop(s *sim.Simulator, seed uint64, rate float64, submit func(now sim.Time, id uint64)) (*OpenLoop, error) {
 	if rate <= 0 {
 		return nil, fmt.Errorf("loadgen: non-positive rate %g", rate)
 	}
-	gap := sim.Time(float64(sim.CyclesPerSecond) / rate)
-	if gap == 0 {
-		gap = 1
+	g := &OpenLoop{
+		sim:     s,
+		rng:     sim.NewRNG(seed),
+		meanGap: float64(sim.CyclesPerSecond) / rate,
+		submit:  submit,
 	}
-	g := &OpenLoop{sim: s, rng: sim.NewRNG(seed), meanGap: gap, submit: submit}
 	g.arm()
 	return g, nil
 }
 
 func (g *OpenLoop) arm() {
-	gap := g.rng.ExpTime(g.meanGap)
-	if gap == 0 {
-		gap = 1
-	}
+	exact := g.rng.Exp(g.meanGap) + g.carry
+	gap := sim.Time(exact) // truncate; the remainder is carried forward
+	g.carry = exact - float64(gap)
 	g.ev = g.sim.After(gap, func(now sim.Time) {
 		if g.stopped {
 			return

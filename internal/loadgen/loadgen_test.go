@@ -25,6 +25,71 @@ func TestOpenLoopRate(t *testing.T) {
 	}
 }
 
+// TestOpenLoopRateAccuracy drives the generator across the Fig. 7 load grid
+// plus rates whose mean gap is small or sub-cycle, and checks the measured
+// rate against the requested one within 0.5 %. Without the fractional-carry
+// fix, truncating the mean gap to whole cycles biases the high-rate points
+// well past this bound (e.g. 3 G rps on a 2 GHz clock is off by 2–3×).
+func TestOpenLoopRateAccuracy(t *testing.T) {
+	rates := []float64{
+		25_000, 50_000, 100_000, 150_000, 200_000, 225_000, 245_000, // Fig. 7 grid
+		3_000_000,     // mean gap ≈ 667 cycles
+		30_000_000,    // mean gap ≈ 67 cycles (truncation bias ≈ 0.7 %)
+		3_000_000_000, // mean gap ≈ 0.67 cycles (sub-cycle, coalesces arrivals)
+	}
+	for _, rate := range rates {
+		wantArrivals := 400_000.0
+		horizon := sim.Time(wantArrivals / rate * float64(sim.CyclesPerSecond))
+		s := sim.New(1)
+		n := 0
+		g, err := StartOpenLoop(s, 7, rate, func(sim.Time, uint64) { n++ })
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.RunUntil(horizon)
+		g.Stop()
+		measured := float64(n) / float64(horizon) * float64(sim.CyclesPerSecond)
+		if rel := math.Abs(measured/rate - 1); rel > 0.005 {
+			t.Errorf("rate %.0f rps: measured %.0f rps (%.2f%% off, want ≤0.5%%)",
+				rate, measured, rel*100)
+		}
+	}
+}
+
+// TestOpenLoopMeanGapUnbiased replays the generator's RNG stream and checks
+// that the n-th arrival lands at floor(sum of the exact fractional gaps):
+// truncation never accumulates, so the carry loses less than one cycle over
+// the whole run.
+func TestOpenLoopMeanGapUnbiased(t *testing.T) {
+	const seed, rate = 7, 30_000_000.0
+	s := sim.New(1)
+	var last sim.Time
+	n := 0
+	g, err := StartOpenLoop(s, seed, rate, func(now sim.Time, _ uint64) {
+		last = now
+		n++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(sim.CyclesPerSecond / 100)
+	g.Stop()
+	if n < 1000 {
+		t.Fatalf("only %d arrivals", n)
+	}
+	// Replay the same RNG stream to compute the exact fractional sum.
+	rng := sim.NewRNG(seed)
+	meanGap := float64(sim.CyclesPerSecond) / rate
+	exact := 0.0
+	for i := 0; i < n; i++ {
+		exact += rng.Exp(meanGap)
+	}
+	if got, want := float64(last), exact; math.Abs(got-want) >= 1 {
+		t.Errorf("arrival %d at cycle %.0f, exact fractional sum %.3f (drift ≥ 1 cycle)",
+			n, got, want)
+	}
+}
+
 func TestOpenLoopStops(t *testing.T) {
 	s := sim.New(1)
 	n := 0

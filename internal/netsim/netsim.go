@@ -83,25 +83,27 @@ type Generator struct {
 	sim     *sim.Simulator
 	rng     *sim.RNG
 	nic     *NIC
-	meanGap sim.Time
+	meanGap float64
+	carry   float64 // fractional cycles truncated from previous gaps
 	ev      *sim.Event
 	nextID  uint64
 	stopped bool
 }
 
 // StartGenerator begins injecting packets into nic with the given mean
-// inter-arrival gap.
+// inter-arrival gap. Fractional cycles truncated from each integer-cycle
+// arrival are carried into the next draw, so the offered packet rate is
+// unbiased even at small mean gaps.
 func StartGenerator(s *sim.Simulator, nic *NIC, meanGap sim.Time, seed uint64) *Generator {
-	g := &Generator{sim: s, rng: sim.NewRNG(seed), nic: nic, meanGap: meanGap}
+	g := &Generator{sim: s, rng: sim.NewRNG(seed), nic: nic, meanGap: float64(meanGap)}
 	g.arm()
 	return g
 }
 
 func (g *Generator) arm() {
-	gap := g.rng.ExpTime(g.meanGap)
-	if gap == 0 {
-		gap = 1
-	}
+	exact := g.rng.Exp(g.meanGap) + g.carry
+	gap := sim.Time(exact)
+	g.carry = exact - float64(gap)
 	g.ev = g.sim.After(gap, func(now sim.Time) {
 		if g.stopped {
 			return

@@ -7,6 +7,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 )
 
@@ -33,11 +34,9 @@ func (h *Histogram) bucketIndex(v uint64) int {
 	if v < 1<<h.subBits {
 		return int(v)
 	}
-	// bits.Len-style exponent.
-	exp := 0
-	for x := v; x >= 1<<(h.subBits+1); x >>= 1 {
-		exp++
-	}
+	// exp is how far v must shift right to land in the top sub-bucket
+	// range [1<<subBits, 1<<(subBits+1)): bits.Len64(v) - (subBits+1).
+	exp := bits.Len64(v) - int(h.subBits) - 1
 	sub := v >> uint(exp) // in [1<<subBits, 1<<(subBits+1))
 	return (exp+1)<<h.subBits + int(sub) - (1 << h.subBits)
 }

@@ -25,6 +25,12 @@ type TimerWheel struct {
 
 	// Fired counts software-timer callbacks run.
 	Fired uint64
+
+	// Check, when non-nil, is invoked after every mutation (After, Cancel,
+	// HandleExpiry) — the invariant-checking harness points it at
+	// Validate so structural corruption is caught at the operation that
+	// introduced it.
+	Check func(now sim.Time)
 }
 
 // SWTimer is one software timer handle.
@@ -81,8 +87,16 @@ func NewTimerWheel(s *sim.Simulator, kbt *core.KBTimer) (*TimerWheel, error) {
 // HandleExpiry must be invoked from the core's user interrupt handler when
 // the KB_Timer vector fires: it runs every due software timer and re-arms
 // the hardware for the next deadline.
+//
+// Timers armed from inside a callback — including with delay 0 — are NOT
+// run by the same expiry: only timers that existed when the interrupt
+// fired are eligible, so a callback re-arming itself with After(0) yields
+// to the next expiry interrupt instead of looping forever inside this one.
+// The id cutoff implements that cleanly because same-deadline heap order
+// is by ascending id and no new timer can have a deadline before now.
 func (w *TimerWheel) HandleExpiry(now sim.Time) {
-	for len(w.heap) > 0 && w.heap[0].deadline <= now {
+	cutoff := w.next
+	for len(w.heap) > 0 && w.heap[0].deadline <= now && w.heap[0].id <= cutoff {
 		t := heap.Pop(&w.heap).(*SWTimer)
 		w.Fired++
 		if t.fn != nil {
@@ -90,9 +104,18 @@ func (w *TimerWheel) HandleExpiry(now sim.Time) {
 		}
 	}
 	w.rearm()
+	if w.Check != nil {
+		w.Check(now)
+	}
 }
 
 // After schedules fn to run delay cycles from now and returns its handle.
+//
+// A delay of zero (or any deadline not in the future) does not run fn
+// synchronously: set_timer with a past deadline fires on the next cycle
+// (§4.3), so fn runs at the next expiry interrupt after the usual delivery
+// latency — the same "fire on next expiry check" policy the kernel applies
+// to deadlines missed while descheduled.
 func (w *TimerWheel) After(delay sim.Time, fn func(now sim.Time)) *SWTimer {
 	w.next++
 	t := &SWTimer{
@@ -102,7 +125,16 @@ func (w *TimerWheel) After(delay sim.Time, fn func(now sim.Time)) *SWTimer {
 		index:    -1,
 	}
 	heap.Push(&w.heap, t)
-	w.rearm()
+	// Reprogram the hardware only when the new timer became the earliest
+	// deadline; otherwise the KB_Timer is already armed for an earlier or
+	// equal one and a redundant set_timer would just burn cycles (and, for
+	// an already-due head, push its next-cycle firing further out).
+	if t.index == 0 {
+		w.rearm()
+	}
+	if w.Check != nil {
+		w.Check(w.sim.Now())
+	}
 	return t
 }
 
@@ -112,8 +144,16 @@ func (w *TimerWheel) Cancel(t *SWTimer) bool {
 	if t == nil || t.index < 0 {
 		return false
 	}
+	wasHead := t.index == 0
 	heap.Remove(&w.heap, t.index)
-	w.rearm()
+	// Only cancelling the earliest timer changes what the hardware should
+	// be armed for (possibly to nothing at all).
+	if wasHead {
+		w.rearm()
+	}
+	if w.Check != nil {
+		w.Check(w.sim.Now())
+	}
 	return true
 }
 
@@ -132,4 +172,53 @@ func (w *TimerWheel) rearm() {
 		// timer mid-flight is a model bug worth failing loudly on.
 		panic(err)
 	}
+}
+
+// Validate checks the wheel's structural invariants and returns the first
+// violation found: the deadline heap property and index consistency
+// (wheel-heap), and hardware-arming consistency — the KB_Timer is armed iff
+// software timers are pending, for a deadline no later than the earliest of
+// them (wheel-armed). now is the current simulation time; an already-due
+// head deadline is legally programmed as now+1 (set_timer past-deadline
+// policy).
+func (w *TimerWheel) Validate(now sim.Time) error {
+	for i := range w.heap {
+		if w.heap[i].index != i {
+			return fmt.Errorf("wheel-heap: timer %d stores index %d at position %d",
+				w.heap[i].id, w.heap[i].index, i)
+		}
+		for _, c := range []int{2*i + 1, 2*i + 2} {
+			if c < len(w.heap) && w.heap.Less(c, i) {
+				return fmt.Errorf("wheel-heap: child %d (deadline %d) sorts before parent %d (deadline %d)",
+					c, w.heap[c].deadline, i, w.heap[i].deadline)
+			}
+		}
+	}
+	st := w.kbt.Save()
+	if len(w.heap) == 0 {
+		if st.Armed {
+			return fmt.Errorf("wheel-armed: KB_Timer armed for %d with no pending timers", st.Deadline)
+		}
+		return nil
+	}
+	if !st.Armed {
+		// A due head with an unarmed timer is the legal in-flight window:
+		// the one-shot already fired and its delivery to HandleExpiry (which
+		// rearms) is still in transit. An unarmed timer with a strictly
+		// future head can never self-correct.
+		if w.heap[0].deadline <= now {
+			return nil
+		}
+		return fmt.Errorf("wheel-armed: KB_Timer idle with %d pending timers (head deadline %d)",
+			len(w.heap), w.heap[0].deadline)
+	}
+	limit := w.heap[0].deadline
+	if lo := now + 1; lo > limit {
+		limit = lo
+	}
+	if st.Deadline > limit {
+		return fmt.Errorf("wheel-armed: KB_Timer programmed for %d past head deadline %d (now %d)",
+			st.Deadline, w.heap[0].deadline, now)
+	}
+	return nil
 }

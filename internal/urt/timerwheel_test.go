@@ -130,6 +130,109 @@ func TestTimerWheelTimersScheduledFromCallbacks(t *testing.T) {
 	}
 }
 
+// validatingFixture wires the wheel's Check hook to Validate so every
+// mutation is invariant-checked during the test.
+func validatingFixture(t *testing.T) (*sim.Simulator, *TimerWheel) {
+	t.Helper()
+	s, w := wheelFixture(t)
+	w.Check = func(now sim.Time) {
+		if err := w.Validate(now); err != nil {
+			t.Fatalf("at %d: %v", now, err)
+		}
+	}
+	return s, w
+}
+
+func TestTimerWheelZeroDelay(t *testing.T) {
+	// After(0) arms a deadline of "now"; set_timer clamps it to the next
+	// cycle, so the callback runs one cycle later plus delivery cost —
+	// never synchronously inside After.
+	s, w := validatingFixture(t)
+	var at sim.Time
+	inAfter := true
+	w.After(0, func(now sim.Time) {
+		if inAfter {
+			t.Fatalf("zero-delay callback ran synchronously")
+		}
+		at = now
+	})
+	inAfter = false
+	s.RunUntil(50000)
+	if want := sim.Time(1) + core.DeliveryOnlyCost; at != want {
+		t.Errorf("zero-delay timer fired at %d, want %d", at, want)
+	}
+	if w.Pending() != 0 {
+		t.Errorf("pending = %d", w.Pending())
+	}
+}
+
+func TestTimerWheelCancelLastThenAfter(t *testing.T) {
+	// Cancelling the only timer must disarm the KB_Timer; a later After
+	// must re-arm it (a stale armed deadline would fire with an empty heap,
+	// a stale idle timer would never fire the new one).
+	s, w := validatingFixture(t)
+	fired := 0
+	tm := w.After(5000, func(sim.Time) { fired += 100 })
+	if !w.Cancel(tm) {
+		t.Fatal("cancel failed")
+	}
+	if got := w.Validate(s.Now()); got != nil {
+		t.Fatalf("after cancel-last: %v", got)
+	}
+	var at sim.Time
+	w.After(8000, func(now sim.Time) { fired++; at = now })
+	s.RunUntil(100000)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want exactly the re-armed timer", fired)
+	}
+	if want := sim.Time(8000) + core.DeliveryOnlyCost; at != want {
+		t.Errorf("re-armed timer fired at %d, want %d", at, want)
+	}
+}
+
+func TestTimerWheelAfterZeroFromCallback(t *testing.T) {
+	// A callback re-arming itself with After(0) must NOT run inside the
+	// same HandleExpiry (the id cutoff defers it to the next expiry
+	// interrupt), so each iteration advances simulated time.
+	s, w := validatingFixture(t)
+	var times []sim.Time
+	var tick func(now sim.Time)
+	tick = func(now sim.Time) {
+		times = append(times, now)
+		if len(times) < 5 {
+			w.After(0, tick)
+		}
+	}
+	w.After(1000, tick)
+	s.RunUntil(200000)
+	if len(times) != 5 {
+		t.Fatalf("ran %d times, want 5", len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			t.Errorf("iteration %d did not advance time: %v", i, times)
+		}
+	}
+}
+
+func TestTimerWheelLateAfterDoesNotReprogram(t *testing.T) {
+	// Arming a later timer while an earlier one is pending must not touch
+	// the hardware deadline (head-only rearm); the earlier timer still
+	// fires on time.
+	s, w := validatingFixture(t)
+	var first sim.Time
+	w.After(10000, func(now sim.Time) { first = now })
+	w.After(90000, func(sim.Time) {})
+	st := w.kbt.Save()
+	if !st.Armed || st.Deadline != 10000 {
+		t.Fatalf("KB_Timer deadline %d armed=%v, want 10000", st.Deadline, st.Armed)
+	}
+	s.RunUntil(200000)
+	if want := sim.Time(10000) + core.DeliveryOnlyCost; first != want {
+		t.Errorf("head timer fired at %d, want %d", first, want)
+	}
+}
+
 // Property: any batch of deadlines fires completely and in deadline order.
 func TestTimerWheelProperty(t *testing.T) {
 	f := func(delays []uint16) bool {
