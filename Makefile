@@ -1,14 +1,23 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test bench bench-delta microbench race run-all sweep-profile examples check fuzz
+.PHONY: all build vet test bench bench-delta microbench race run-all sweep-profile examples check fuzz fix-annotations
 
 all: build vet test
 
 build:
 	go build ./...
 
+# Static checking: go vet plus the project-contract analyzers (xuivet:
+# determinism, nilprobe, sgoroutine, noalloc, alias — see DESIGN.md §10).
 vet:
 	go vet ./...
+	go run ./cmd/xuivet ./...
+
+# Audit the //xui: annotation inventory: lists every noalloc function,
+# aliased field and waiver, and exits nonzero on stale waivers (waivers
+# that no longer suppress anything and should be deleted).
+fix-annotations:
+	go run ./cmd/xuivet -annotations
 
 test:
 	go test ./...

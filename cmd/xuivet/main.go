@@ -1,0 +1,223 @@
+// Command xuivet runs the project-contract analyzer suite (internal/lint)
+// over the module: determinism, nilprobe, sgoroutine, noalloc and alias.
+// It exits 1 when any diagnostic (including a stale waiver) survives, so
+// `make vet` and CI treat contract violations exactly like vet findings.
+//
+// Usage:
+//
+//	xuivet [flags] [packages]
+//
+// Packages are import-path or ./dir patterns used to filter *reported*
+// diagnostics; the whole module is always loaded and type-checked (the
+// analyzers need module-wide type identity). With no patterns, or with
+// ./..., everything is reported.
+//
+// Flags:
+//
+//	-json           emit diagnostics as a JSON array instead of text
+//	-list           print the analyzer catalogue and annotation grammar
+//	-annotations    print the //xui: annotation inventory and stale waivers
+//	-determinism, -nilprobe, -sgoroutine, -noalloc, -alias
+//	                enable/disable individual analyzers (all default true)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"xui/internal/lint"
+)
+
+func main() {
+	var (
+		jsonOut  = flag.Bool("json", false, "emit diagnostics as a JSON array")
+		listOut  = flag.Bool("list", false, "print the analyzer catalogue and annotation grammar, then exit")
+		annosOut = flag.Bool("annotations", false, "print the //xui: annotation inventory and stale waivers, then exit")
+		enabled  = map[string]*bool{}
+	)
+	for _, name := range lint.AnalyzerNames() {
+		enabled[name] = flag.Bool(name, true, "run the "+name+" analyzer ("+lint.AnalyzerDoc(name)+")")
+	}
+	flag.Parse()
+
+	if *listOut {
+		printCatalogue()
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, modPath, err := lint.LoadModule(root)
+	if err != nil {
+		fatal(err)
+	}
+	suite := lint.NewSuite(lint.DefaultConfig(modPath), pkgs)
+
+	if *annosOut {
+		printAnnotations(suite, root)
+		return
+	}
+
+	on := map[string]bool{}
+	for name, v := range enabled {
+		on[name] = *v
+	}
+	diags := suite.Run(on)
+	if on["noalloc"] {
+		esc, err := suite.EscapeCheck(root, "")
+		if err != nil {
+			fatal(err)
+		}
+		diags = append(diags, esc...)
+	}
+	diags = append(diags, suite.StaleWaivers()...)
+	diags = filterByPatterns(diags, flag.Args(), root)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			rel := d
+			if r, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+				rel.Pos.Filename = r
+			}
+			fmt.Println(rel)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xuivet:", err)
+	os.Exit(2)
+}
+
+// filterByPatterns keeps diagnostics under the named package patterns.
+// Patterns ending in /... match recursively; "./..." (or no patterns)
+// matches everything.
+func filterByPatterns(diags []lint.Diagnostic, patterns []string, root string) []lint.Diagnostic {
+	if len(patterns) == 0 {
+		return diags
+	}
+	var dirs []string
+	for _, p := range patterns {
+		rec := false
+		if strings.HasSuffix(p, "/...") {
+			rec = true
+			p = strings.TrimSuffix(p, "/...")
+		}
+		if p == "." || p == "" {
+			if rec {
+				return diags
+			}
+		}
+		p = strings.TrimPrefix(p, "./")
+		dir := filepath.Join(root, filepath.FromSlash(p))
+		if rec {
+			dirs = append(dirs, dir+string(filepath.Separator))
+		} else {
+			dirs = append(dirs, dir)
+		}
+	}
+	var out []lint.Diagnostic
+	for _, d := range diags {
+		fdir := filepath.Dir(d.Pos.Filename)
+		for _, dir := range dirs {
+			if fdir == strings.TrimSuffix(dir, string(filepath.Separator)) ||
+				(strings.HasSuffix(dir, string(filepath.Separator)) && strings.HasPrefix(fdir+string(filepath.Separator), dir)) {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func printCatalogue() {
+	fmt.Println("xuivet: project-contract analyzers")
+	fmt.Println()
+	for _, name := range lint.AnalyzerNames() {
+		fmt.Printf("  %-12s %s\n", name, lint.AnalyzerDoc(name))
+	}
+	fmt.Println()
+	fmt.Println("annotation grammar (comments starting exactly with //xui:):")
+	fmt.Println("  //xui:nondet <reason>   waive a determinism diagnostic on this or the next line")
+	fmt.Println("  //xui:noalloc           (function doc) body must not heap-allocate per -gcflags=-m")
+	fmt.Println("  //xui:alloc <reason>    inside a noalloc function, waive the allocation on this or the next line")
+	fmt.Println("  //xui:aliased           (struct slice field) reslicing/truncating in place is forbidden")
+}
+
+// printAnnotations lists the module's annotation inventory: every noalloc
+// function, aliased field, and waiver, plus the waivers that no longer
+// suppress anything (run the analyzers first to know). Used by
+// `make fix-annotations` to keep the annotation set honest.
+func printAnnotations(suite *lint.Suite, root string) {
+	suite.Run(nil)
+	if _, err := suite.EscapeCheck(root, ""); err != nil {
+		fatal(err)
+	}
+
+	rel := func(p string) string {
+		if r, err := filepath.Rel(root, p); err == nil {
+			return r
+		}
+		return p
+	}
+	a := suite.Annos
+
+	fmt.Printf("//xui:noalloc functions (%d):\n", len(a.Noalloc))
+	sort.Slice(a.Noalloc, func(i, j int) bool {
+		if a.Noalloc[i].File != a.Noalloc[j].File {
+			return a.Noalloc[i].File < a.Noalloc[j].File
+		}
+		return a.Noalloc[i].Pos.Line < a.Noalloc[j].Pos.Line
+	})
+	for _, f := range a.Noalloc {
+		fmt.Printf("  %s:%d: %s\n", rel(f.File), f.Pos.Line, f.Name)
+	}
+
+	fmt.Printf("//xui:aliased fields (%d):\n", len(a.Aliased))
+	for _, f := range a.Aliased {
+		fmt.Printf("  %s:%d: %s.%s\n", rel(f.Pos.Filename), f.Pos.Line, f.Struct, f.Field)
+	}
+
+	fmt.Printf("//xui:nondet waivers (%d):\n", len(a.Nondet))
+	for _, w := range a.Nondet {
+		fmt.Printf("  %s:%d: %q\n", rel(w.File), w.Line, w.Reason)
+	}
+	fmt.Printf("//xui:alloc waivers (%d):\n", len(a.Alloc))
+	for _, w := range a.Alloc {
+		fmt.Printf("  %s:%d: %q\n", rel(w.File), w.Line, w.Reason)
+	}
+
+	stale := suite.StaleWaivers()
+	fmt.Printf("stale waivers (%d):\n", len(stale))
+	for _, d := range stale {
+		sd := d
+		sd.Pos.Filename = rel(sd.Pos.Filename)
+		fmt.Printf("  %s\n", sd)
+	}
+	if len(stale) > 0 {
+		os.Exit(1)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"xui/internal/apic"
 	"xui/internal/obs"
@@ -377,8 +378,13 @@ func (m *Machine) SnapshotMetrics(reg *obs.Registry) {
 		ns := fmt.Sprintf("vcore%d/", v.ID)
 		reg.AddCycleAccount(ns+"cycles/", v.Account)
 		reg.SetGauge(ns+"utilization", v.Busy.Utilization(now))
-		for mech, n := range v.Delivered {
-			reg.SetGauge(ns+"delivered_total/"+mech.String(), float64(n))
+		mechs := make([]Mechanism, 0, len(v.Delivered))
+		for mech := range v.Delivered {
+			mechs = append(mechs, mech)
+		}
+		sort.Slice(mechs, func(i, j int) bool { return mechs[i] < mechs[j] })
+		for _, mech := range mechs {
+			reg.SetGauge(ns+"delivered_total/"+mech.String(), float64(v.Delivered[mech]))
 		}
 	}
 }

@@ -158,6 +158,7 @@ type Core struct {
 	committedOther   uint64
 	squashedProgram  uint64 // program uops squashed (lost work)
 	squashedOther    uint64
+	//xui:aliased
 	records          []IntrRecord
 	fetchedTotal     uint64
 }
@@ -196,6 +197,8 @@ func New(cfg Config, prog isa.Stream, mp MemPort) *Core {
 //
 // The memory port is replaced, not reset: callers pooling a PrivatePort
 // reset its Hierarchy themselves (mem.Hierarchy.Reset) before reuse.
+//
+//xui:noalloc
 func (c *Core) Reset(cfg Config, prog isa.Stream, mp MemPort) {
 	if cfg.ROBSize == 0 {
 		cfg = DefaultConfig()
@@ -205,7 +208,7 @@ func (c *Core) Reset(cfg Config, prog isa.Stream, mp MemPort) {
 	c.cycle = 0
 
 	if len(c.ent) != cfg.ROBSize {
-		c.ent = make([]robEntry, cfg.ROBSize)
+		c.ent = make([]robEntry, cfg.ROBSize) //xui:alloc ROB resize; pooled resets reuse the ring at equal size
 	} else {
 		clear(c.ent)
 	}

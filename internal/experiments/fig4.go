@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"sort"
+
 	"xui/internal/cpu"
 	"xui/internal/sim"
 )
@@ -69,7 +71,12 @@ func Fig4Summary(rows []Fig4Row) map[string]float64 {
 		n[r.Config]++
 	}
 	out := map[string]float64{}
+	configs := make([]string, 0, len(sum))
 	for k := range sum {
+		configs = append(configs, k)
+	}
+	sort.Strings(configs)
+	for _, k := range configs {
 		out[k] = sum[k] / float64(n[k])
 	}
 	return out

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"xui/internal/check"
+	"xui/internal/runcache"
+	"xui/internal/sim"
+)
+
+// TestDeterministicFingerprint is the end-to-end determinism gate the
+// static determinism analyzer (internal/lint) exists to protect: a small
+// sweep, run twice in the same process with invariant checking attached
+// and the run cache disabled (so the second pass genuinely re-executes),
+// must serialize to byte-identical JSON. Any time.Now, global math/rand,
+// environment read or unordered map iteration that slips into a result
+// path shows up here as a fingerprint mismatch.
+func TestDeterministicFingerprint(t *testing.T) {
+	runcache.SetEnabled(false)
+	defer runcache.SetEnabled(true)
+	defer SetChecking(nil)
+	defer SetWorkers(0)
+	SetWorkers(4)
+
+	horizon := 2 * sim.Millisecond
+	run := func() []byte {
+		col := check.NewCollector()
+		SetChecking(col)
+		out := struct {
+			Fig4 any
+			Fig6 any
+			Fig9 any
+		}{
+			Fig4: Fig4(40000),
+			Fig6: Fig6([]float64{20}, []int{1, 4}, horizon),
+			Fig9: Fig9([]float64{0, 30}, 100),
+		}
+		rep := col.Report()
+		if rep.Violations != 0 {
+			t.Fatalf("%d invariant violations during fingerprint run: %+v", rep.Violations, rep.Items)
+		}
+		if rep.Checks == 0 {
+			t.Fatal("checking was attached but evaluated zero invariants")
+		}
+		b, err := json.Marshal(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	first := run()
+	second := run()
+	if !bytes.Equal(first, second) {
+		t.Errorf("fingerprint differs between identical in-process runs:\n  first:  %.200s\n  second: %.200s", first, second)
+	}
+}

@@ -55,6 +55,8 @@ func (s *TapeStream) Name() string { return s.name }
 // Next implements Stream. It returns ok=false past the end of the
 // tape; callers size tapes so a budgeted pipeline run never gets
 // there (see trace.Recorded's slack).
+//
+//xui:noalloc
 func (s *TapeStream) Next() (MicroOp, bool) {
 	if s.pos >= len(s.ops) {
 		return MicroOp{}, false
@@ -65,4 +67,6 @@ func (s *TapeStream) Next() (MicroOp, bool) {
 }
 
 // Reset rewinds the stream to the start of the tape.
+//
+//xui:noalloc
 func (s *TapeStream) Reset() { s.pos = 0 }

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// analyzerAlias enforces the "drop — never truncate" rule for slice fields
+// annotated //xui:aliased: their backing arrays are aliased by published
+// results (cpu.Core's records slice is handed out as Result.Interrupts),
+// so an in-place reslice like s = s[:0] makes the next run scribble over a
+// previous run's results. The only legal reset is dropping the slice
+// (s = nil) or replacing it with fresh storage.
+func analyzerAlias() *Analyzer {
+	return &Analyzer{
+		Name: "alias",
+		Doc:  "forbid reslicing/truncating //xui:aliased slice fields whose backing arrays escape into results",
+		run:  runAlias,
+	}
+}
+
+func runAlias(s *Suite, p *Package, report func(pos token.Pos, msg string)) {
+	if len(s.Annos.Aliased) == 0 {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				fa := s.aliasedField(p, lhs)
+				if fa == nil {
+					continue
+				}
+				if sl := s.resliceOf(p, as.Rhs[i], fa); sl != nil {
+					report(sl.Pos(), fmt.Sprintf(
+						"reslices //xui:aliased field %s.%s in place: its backing array is aliased by published results — drop it (= nil) or allocate fresh storage instead of truncating",
+						fa.Struct, fa.Field))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// aliasedField resolves an assignment target to an annotated field.
+func (s *Suite) aliasedField(p *Package, e ast.Expr) *FieldAnno {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if selection, ok := p.Info.Selections[sel]; ok {
+		return s.Annos.aliasedObj(selection.Obj())
+	}
+	return nil
+}
+
+// resliceOf returns the slice expression inside rhs that reslices the same
+// annotated field (directly, or via append(f[:0], ...)), if any.
+func (s *Suite) resliceOf(p *Package, rhs ast.Expr, fa *FieldAnno) *ast.SliceExpr {
+	var found *ast.SliceExpr
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		sl, ok := n.(*ast.SliceExpr)
+		if !ok || found != nil {
+			return found == nil
+		}
+		if s.aliasedField(p, sl.X) == fa {
+			found = sl
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,307 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Waiver is a line-scoped //xui:nondet or //xui:alloc comment. It waives
+// diagnostics on its own line (trailing comment) and on the next line
+// (comment above the statement). Used is set when a diagnostic was
+// actually suppressed, so stale waivers can be reported.
+type Waiver struct {
+	File   string
+	Line   int
+	Reason string
+	Used   bool
+}
+
+func (w *Waiver) covers(p token.Position) bool {
+	return w.File == p.Filename && (w.Line == p.Line || w.Line == p.Line-1)
+}
+
+// FuncAnno is a //xui:noalloc annotation on a function declaration.
+type FuncAnno struct {
+	Pkg       *Package
+	Name      string // rendered as (*T).Method or Func
+	File      string
+	Pos       token.Position
+	BodyStart int // first body line, inclusive
+	BodyEnd   int // last body line, inclusive
+	// coldLines are lines spanned by panic(...) calls inside the body:
+	// allocations there happen only on the way to a crash and are exempt.
+	coldLines map[int]bool
+}
+
+// FieldAnno is a //xui:aliased annotation on a struct field.
+type FieldAnno struct {
+	Obj    types.Object // the field's *types.Var, shared module-wide
+	Struct string
+	Field  string
+	Pos    token.Position
+}
+
+// Annotations is the module-wide table of //xui: directives.
+type Annotations struct {
+	Nondet    []*Waiver
+	Alloc     []*Waiver
+	Noalloc   []*FuncAnno
+	Aliased   []*FieldAnno
+	Malformed []Diagnostic
+}
+
+// waiveNondet reports whether a determinism diagnostic at p is covered by
+// a //xui:nondet waiver, marking the waiver used.
+func (a *Annotations) waiveNondet(p token.Position) bool {
+	for _, w := range a.Nondet {
+		if w.covers(p) {
+			w.Used = true
+			return true
+		}
+	}
+	return false
+}
+
+// waiveAlloc reports whether an escape-analysis diagnostic at p is covered
+// by a //xui:alloc waiver, marking the waiver used.
+func (a *Annotations) waiveAlloc(p token.Position) bool {
+	for _, w := range a.Alloc {
+		if w.covers(p) {
+			w.Used = true
+			return true
+		}
+	}
+	return false
+}
+
+// noallocAt returns the annotated function covering file:line, if any.
+func (a *Annotations) noallocAt(file string, line int) *FuncAnno {
+	for _, f := range a.Noalloc {
+		if f.File == file && line >= f.BodyStart && line <= f.BodyEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// aliasedObj returns the annotation for a field object, if any.
+func (a *Annotations) aliasedObj(obj types.Object) *FieldAnno {
+	if obj == nil {
+		return nil
+	}
+	for _, f := range a.Aliased {
+		if f.Obj == obj {
+			return f
+		}
+	}
+	return nil
+}
+
+const directivePrefix = "xui:"
+
+// splitDirective parses one comment into (verb, rest) when it is an
+// //xui: directive, like ("nondet", "map feeds a map, order-free").
+func splitDirective(c *ast.Comment) (verb, rest string, ok bool) {
+	text := strings.TrimPrefix(c.Text, "//")
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", "", false
+	}
+	text = strings.TrimPrefix(text, directivePrefix)
+	verb, rest, _ = strings.Cut(text, " ")
+	return verb, strings.TrimSpace(rest), true
+}
+
+func collectAnnotations(pkgs []*Package) *Annotations {
+	a := &Annotations{}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			a.collectFile(p, f)
+		}
+	}
+	return a
+}
+
+func (a *Annotations) malformed(analyzer string, pos token.Position, format string, args ...any) {
+	a.Malformed = append(a.Malformed, Diagnostic{
+		Analyzer: analyzer,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (a *Annotations) collectFile(p *Package, f *ast.File) {
+	// Which comments are legitimately attached as noalloc/aliased carriers.
+	attached := map[*ast.Comment]bool{}
+
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			for _, c := range commentList(d.Doc) {
+				verb, _, ok := splitDirective(c)
+				if !ok || verb != "noalloc" {
+					continue
+				}
+				attached[c] = true
+				a.addNoalloc(p, d, c)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					continue
+				}
+				for _, fld := range st.Fields.List {
+					for _, c := range append(commentList(fld.Doc), commentList(fld.Comment)...) {
+						verb, _, ok := splitDirective(c)
+						if !ok || verb != "aliased" {
+							continue
+						}
+						attached[c] = true
+						a.addAliased(p, ts, fld, c)
+					}
+				}
+			}
+		}
+	}
+
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			verb, rest, ok := splitDirective(c)
+			if !ok {
+				continue
+			}
+			pos := p.Fset.Position(c.Pos())
+			switch verb {
+			case "nondet", "alloc":
+				if rest == "" {
+					owner := "determinism"
+					if verb == "alloc" {
+						owner = "noalloc"
+					}
+					a.malformed(owner, pos, "//xui:%s needs a reason: //xui:%s <why this is safe>", verb, verb)
+					continue
+				}
+				w := &Waiver{File: pos.Filename, Line: pos.Line, Reason: rest}
+				if verb == "nondet" {
+					a.Nondet = append(a.Nondet, w)
+				} else {
+					a.Alloc = append(a.Alloc, w)
+				}
+			case "noalloc":
+				if !attached[c] {
+					a.malformed("noalloc", pos, "misplaced //xui:noalloc: it must be part of a function declaration's doc comment")
+				}
+			case "aliased":
+				if !attached[c] {
+					a.malformed("alias", pos, "misplaced //xui:aliased: it must annotate a struct field")
+				}
+			default:
+				a.malformed("determinism", pos, "unknown annotation //xui:%s (known: nondet, noalloc, alloc, aliased)", verb)
+			}
+		}
+	}
+}
+
+func commentList(cg *ast.CommentGroup) []*ast.Comment {
+	if cg == nil {
+		return nil
+	}
+	return cg.List
+}
+
+func (a *Annotations) addNoalloc(p *Package, d *ast.FuncDecl, c *ast.Comment) {
+	pos := p.Fset.Position(c.Pos())
+	if d.Body == nil {
+		a.malformed("noalloc", pos, "//xui:noalloc on a bodyless declaration")
+		return
+	}
+	fa := &FuncAnno{
+		Pkg:       p,
+		Name:      funcDisplayName(d),
+		File:      pos.Filename,
+		Pos:       p.Fset.Position(d.Pos()),
+		BodyStart: p.Fset.Position(d.Body.Lbrace).Line,
+		BodyEnd:   p.Fset.Position(d.Body.Rbrace).Line,
+		coldLines: map[int]bool{},
+	}
+	// Lines spanned by panic(...) calls are crash paths: allocating the
+	// panic message there is deliberate and exempt.
+	ast.Inspect(d.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+			from := p.Fset.Position(call.Pos()).Line
+			to := p.Fset.Position(call.End()).Line
+			for l := from; l <= to; l++ {
+				fa.coldLines[l] = true
+			}
+		}
+		return true
+	})
+	a.Noalloc = append(a.Noalloc, fa)
+}
+
+func (a *Annotations) addAliased(p *Package, ts *ast.TypeSpec, fld *ast.Field, c *ast.Comment) {
+	pos := p.Fset.Position(c.Pos())
+	if len(fld.Names) == 0 {
+		a.malformed("alias", pos, "//xui:aliased on an embedded field; name the field")
+		return
+	}
+	for _, name := range fld.Names {
+		obj := p.Info.Defs[name]
+		if obj == nil {
+			a.malformed("alias", pos, "//xui:aliased field %s.%s did not resolve", ts.Name.Name, name.Name)
+			continue
+		}
+		if _, ok := obj.Type().Underlying().(*types.Slice); !ok {
+			a.malformed("alias", pos, "//xui:aliased field %s.%s is not a slice", ts.Name.Name, name.Name)
+			continue
+		}
+		a.Aliased = append(a.Aliased, &FieldAnno{
+			Obj:    obj,
+			Struct: ts.Name.Name,
+			Field:  name.Name,
+			Pos:    pos,
+		})
+	}
+}
+
+func funcDisplayName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	var b strings.Builder
+	if star, ok := t.(*ast.StarExpr); ok {
+		b.WriteString("(*")
+		writeTypeName(&b, star.X)
+		b.WriteString(")")
+	} else {
+		writeTypeName(&b, t)
+	}
+	b.WriteString(".")
+	b.WriteString(d.Name.Name)
+	return b.String()
+}
+
+func writeTypeName(b *strings.Builder, e ast.Expr) {
+	switch t := e.(type) {
+	case *ast.Ident:
+		b.WriteString(t.Name)
+	case *ast.IndexExpr: // generic receiver T[P]
+		writeTypeName(b, t.X)
+	case *ast.IndexListExpr:
+		writeTypeName(b, t.X)
+	default:
+		b.WriteString("?")
+	}
+}

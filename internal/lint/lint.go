@@ -1,0 +1,247 @@
+// Package lint implements xuivet, the project-contract analyzer suite.
+//
+// The simulator's correctness rests on contracts that ordinary Go tooling
+// cannot see: byte-identical determinism per seed (the runcache/sweep/check
+// stack replays and memoizes runs on that assumption), the single-goroutine
+// discipline of the event kernel, the nil-guarded observer fast paths, the
+// zero-allocation hot loops won in earlier performance work, and the
+// "drop — never truncate" rule for slices whose backing arrays escape into
+// results. Each contract is enforced here as a named analyzer so a
+// violation is a CI failure, not a future debugging session.
+//
+// The suite is built only on the standard library (go/parser, go/ast,
+// go/types, go/importer); the one external process it runs is the Go
+// compiler itself, whose -m escape-analysis diagnostics back the noalloc
+// analyzer.
+//
+// Annotation grammar (all comments start exactly with "//xui:"):
+//
+//	//xui:nondet <reason>   waive a determinism diagnostic on this or the
+//	                        next line; the reason is mandatory
+//	//xui:noalloc           (function doc comment) the function body must
+//	                        not contain compiler-attributed heap allocations
+//	//xui:alloc <reason>    inside a //xui:noalloc function, waive the
+//	                        allocation on this or the next line (cold paths)
+//	//xui:aliased           (struct field) the slice field's backing array
+//	                        is aliased by published results; reslicing or
+//	                        truncating it in place is forbidden
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"pos"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Analyzer is one named contract check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	run  func(s *Suite, p *Package, report func(pos token.Pos, msg string))
+}
+
+// Config selects which packages each contract applies to and what the
+// probe types are called. DefaultConfig returns the project's values; the
+// fixture tests substitute their own so testdata packages exercise every
+// rule.
+type Config struct {
+	// DeterminismPkgs lists import-path prefixes under the determinism
+	// contract (time.Now, global math/rand, os.Getenv, unordered map
+	// iteration are all forbidden there).
+	DeterminismPkgs []string
+	// SingleGoroutinePkgs lists import-path prefixes under the
+	// single-goroutine contract (no go statements, channels, or sync).
+	SingleGoroutinePkgs []string
+	// ProbeTypes names the interface types whose calls must be nil-guarded
+	// (matched by type name, declared anywhere in the module).
+	ProbeTypes []string
+}
+
+// DefaultConfig returns the analyzer configuration for this module.
+// modulePath is the module's import path ("xui").
+func DefaultConfig(modulePath string) *Config {
+	det := []string{
+		"internal/sim", "internal/cpu", "internal/core", "internal/kernel",
+		"internal/apic", "internal/uintr", "internal/urt", "internal/ipc",
+		"internal/netsim", "internal/dsa", "internal/loadgen",
+		"internal/experiments",
+	}
+	cfg := &Config{ProbeTypes: []string{"Probe", "IntrObserver", "CheckProbe"}}
+	for _, p := range det {
+		cfg.DeterminismPkgs = append(cfg.DeterminismPkgs, modulePath+"/"+p)
+	}
+	// The Tier-2 event kernel and the Tier-1 cycle loop: one goroutine per
+	// simulator, concurrency is modelled with events, never spawned.
+	cfg.SingleGoroutinePkgs = []string{
+		modulePath + "/internal/sim",
+		modulePath + "/internal/cpu",
+	}
+	return cfg
+}
+
+func matchPkg(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Suite holds the loaded packages, the module-wide annotation tables, and
+// the analyzer set.
+type Suite struct {
+	Cfg   *Config
+	Pkgs  []*Package
+	Annos *Annotations
+}
+
+// NewSuite collects annotations across pkgs and prepares the analyzers.
+func NewSuite(cfg *Config, pkgs []*Package) *Suite {
+	s := &Suite{Cfg: cfg, Pkgs: pkgs}
+	s.Annos = collectAnnotations(pkgs)
+	return s
+}
+
+// Analyzers returns the five contract analyzers in a fixed order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		analyzerDeterminism(),
+		analyzerNilProbe(),
+		analyzerSingleGoroutine(),
+		analyzerNoalloc(),
+		analyzerAlias(),
+	}
+}
+
+// AnalyzerNames returns the analyzer names in their fixed order.
+func AnalyzerNames() []string {
+	var out []string
+	for _, a := range Analyzers() {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// AnalyzerDoc returns the one-line description of a named analyzer.
+func AnalyzerDoc(name string) string {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a.Doc
+		}
+	}
+	return ""
+}
+
+// Run executes the named analyzers (all when enabled is nil) over every
+// package and returns the surviving diagnostics sorted by position. Waived
+// determinism/alloc findings are dropped and their waivers marked used.
+// Malformed-annotation findings are always included.
+func (s *Suite) Run(enabled map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	on := func(name string) bool { return enabled == nil || enabled[name] }
+	for _, a := range Analyzers() {
+		if a.Name == "noalloc" {
+			continue // static half runs below; escape half is EscapeCheck
+		}
+		if !on(a.Name) {
+			continue
+		}
+		for _, p := range s.Pkgs {
+			pkg := p
+			a.run(s, pkg, func(pos token.Pos, msg string) {
+				d := Diagnostic{Analyzer: a.Name, Pos: pkg.Fset.Position(pos), Message: msg}
+				if a.Name == "determinism" && s.Annos.waiveNondet(d.Pos) {
+					return
+				}
+				out = append(out, d)
+			})
+		}
+	}
+	// Malformed or misplaced annotations are reported under the analyzer
+	// that owns the annotation kind.
+	for _, d := range s.Annos.Malformed {
+		if on(d.Analyzer) {
+			out = append(out, d)
+		}
+	}
+	sortDiags(out)
+	return out
+}
+
+// StaleWaivers returns every //xui:nondet and //xui:alloc waiver that
+// suppressed nothing in the analyses run so far — code that became clean,
+// so the waiver should be deleted. Call after Run (and EscapeCheck, for
+// alloc waivers).
+func (s *Suite) StaleWaivers() []Diagnostic {
+	var out []Diagnostic
+	for _, w := range s.Annos.Nondet {
+		if !w.Used {
+			out = append(out, Diagnostic{
+				Analyzer: "determinism",
+				Pos:      token.Position{Filename: w.File, Line: w.Line, Column: 1},
+				Message:  fmt.Sprintf("stale //xui:nondet waiver (%q): no diagnostic suppressed; delete it", w.Reason),
+			})
+		}
+	}
+	for _, w := range s.Annos.Alloc {
+		if !w.Used {
+			out = append(out, Diagnostic{
+				Analyzer: "noalloc",
+				Pos:      token.Position{Filename: w.File, Line: w.Line, Column: 1},
+				Message:  fmt.Sprintf("stale //xui:alloc waiver (%q): no allocation suppressed; delete it", w.Reason),
+			})
+		}
+	}
+	sortDiags(out)
+	return out
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i].Pos, ds[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return ds[i].Message < ds[j].Message
+	})
+}
+
+// exprString renders an expression in canonical single-line form; the
+// nil-probe guard matcher compares receivers textually through it.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var b strings.Builder
+	_ = printer.Fprint(&b, fset, e)
+	return b.String()
+}

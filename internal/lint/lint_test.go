@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDeterminismFixture(t *testing.T) {
+	s := runFixture(t, "det", "determinism")
+	// The fixture contains exactly one stale waiver (StaleWaiverHere);
+	// the two legal waivers must have been consumed.
+	stale := s.StaleWaivers()
+	if len(stale) != 1 {
+		t.Fatalf("want exactly 1 stale waiver, got %d: %v", len(stale), stale)
+	}
+	if !strings.Contains(stale[0].Message, "nothing left to waive") {
+		t.Errorf("stale waiver reason not surfaced: %s", stale[0])
+	}
+}
+
+func TestNilProbeFixture(t *testing.T) {
+	runFixture(t, "nilprobe", "nilprobe")
+}
+
+func TestSingleGoroutineFixture(t *testing.T) {
+	runFixture(t, "sg", "sgoroutine")
+}
+
+func TestAliasFixture(t *testing.T) {
+	runFixture(t, "alias", "alias")
+}
+
+// TestAnnotationValidation pins the malformed-annotation diagnostics:
+// missing reasons, misplaced function/field annotations, unknown verbs.
+func TestAnnotationValidation(t *testing.T) {
+	s, _ := loadFixture(t, "annos")
+	diags := s.Run(nil)
+	expected := []string{
+		"//xui:nondet needs a reason",
+		"//xui:alloc needs a reason",
+		"misplaced //xui:noalloc",
+		"misplaced //xui:aliased",
+		"is not a slice",
+		"unknown annotation //xui:frobnicate",
+	}
+	if len(diags) != len(expected) {
+		t.Errorf("want %d diagnostics, got %d:", len(expected), len(diags))
+		for _, d := range diags {
+			t.Logf("  %s", d)
+		}
+	}
+	for _, want := range expected {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic containing %q", want)
+		}
+	}
+	// The valid annotations in the same fixture were accepted.
+	if len(s.Annos.Noalloc) != 1 || s.Annos.Noalloc[0].Name != "ValidNoalloc" {
+		t.Errorf("valid //xui:noalloc not collected: %+v", s.Annos.Noalloc)
+	}
+	if len(s.Annos.Aliased) != 1 || s.Annos.Aliased[0].Field != "rows" {
+		t.Errorf("valid //xui:aliased not collected: %+v", s.Annos.Aliased)
+	}
+}
+
+// TestEscapeCheckFixture proves the noalloc analyzer fails when a
+// deliberate heap escape sits in a //xui:noalloc function — and only
+// then: the clean function, the panic-only path and the //xui:alloc
+// waived line all pass.
+func TestEscapeCheckFixture(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "escmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, modPath, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSuite(DefaultConfig(modPath), pkgs)
+	diags, err := s.EscapeCheck(root, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 escape diagnostic (Leaky), got %d: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if !strings.Contains(d.Message, "noalloc function Leaky") {
+		t.Errorf("diagnostic not attributed to Leaky: %s", d)
+	}
+	if !strings.Contains(d.Message, "escapes to heap") && !strings.Contains(d.Message, "moved to heap") {
+		t.Errorf("diagnostic does not carry the compiler's reason: %s", d)
+	}
+	// The //xui:alloc waiver in Waived was consumed, so nothing is stale.
+	if stale := s.StaleWaivers(); len(stale) != 0 {
+		t.Errorf("unexpected stale waivers: %v", stale)
+	}
+}
+
+// TestModuleCleanAtHEAD is the gate the tree must hold: the full analyzer
+// suite, including the compiler-backed escape check, reports nothing on
+// the module as committed.
+func TestModuleCleanAtHEAD(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks and escape-compiles the whole module")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, modPath, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSuite(DefaultConfig(modPath), pkgs)
+	for _, d := range s.Run(nil) {
+		t.Errorf("%s", d)
+	}
+	escape, err := s.EscapeCheck(root, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range escape {
+		t.Errorf("%s", d)
+	}
+	for _, d := range s.StaleWaivers() {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,396 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// analyzerNilProbe enforces the observer discipline: every call through a
+// probe-typed value (sim.Probe, cpu.IntrObserver, core.CheckProbe — any
+// interface named in Config.ProbeTypes) must be dominated by a nil check
+// on that same expression inside the same function. Probes are nil by
+// default and attached opt-in; an unguarded call is a latent nil-interface
+// panic on every unobserved run, and adding the guard is also what keeps
+// the disabled fast path at one predictable branch.
+//
+// Recognized guard shapes (checked per function, flow-insensitively along
+// the dominating block structure):
+//
+//	if x != nil { x.M() }                      // guarded branch
+//	if x == nil { return }; x.M()              // early-out
+//	if o := c.obsv; o != nil { o.M() }         // local copy
+//	switch { case x != nil: x.M() }            // cond switch
+//
+// Function literals start with no inherited guards: they may run after the
+// probe was detached.
+func analyzerNilProbe() *Analyzer {
+	return &Analyzer{
+		Name: "nilprobe",
+		Doc:  "require every call through a probe/observer interface to be nil-guarded in the same function",
+		run:  runNilProbe,
+	}
+}
+
+func runNilProbe(s *Suite, p *Package, report func(pos token.Pos, msg string)) {
+	probeNames := map[string]bool{}
+	for _, n := range s.Cfg.ProbeTypes {
+		probeNames[n] = true
+	}
+	g := &guardWalker{p: p, probeNames: probeNames, report: report}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			g.walkBlock(fd.Body.List, newGuards(nil))
+		}
+	}
+}
+
+// guards is the set of expression strings proven non-nil at the current
+// program point, layered so branch-local facts pop with their scope.
+type guards struct {
+	parent *guards
+	set    map[string]bool
+	dead   map[string]bool // invalidated (reassigned) in this layer
+}
+
+func newGuards(parent *guards) *guards {
+	return &guards{parent: parent, set: map[string]bool{}, dead: map[string]bool{}}
+}
+
+func (g *guards) has(expr string) bool {
+	for s := g; s != nil; s = s.parent {
+		if s.dead[expr] {
+			return false
+		}
+		if s.set[expr] {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *guards) add(expr string) { g.set[expr] = true; delete(g.dead, expr) }
+
+// invalidate drops facts about expr and anything rooted at it (assigning
+// to c drops c.obsv too).
+func (g *guards) invalidate(expr string) {
+	for s := g; s != nil; s = s.parent {
+		for k := range s.set {
+			if k == expr || strings.HasPrefix(k, expr+".") {
+				g.dead[k] = true
+			}
+		}
+	}
+	g.dead[expr] = true
+}
+
+type guardWalker struct {
+	p          *Package
+	probeNames map[string]bool
+	report     func(pos token.Pos, msg string)
+}
+
+// probeType reports whether t is (a pointer to) a named interface type
+// whose name is configured as a probe.
+func (w *guardWalker) probeType(t types.Type) (string, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	if _, isIface := named.Underlying().(*types.Interface); !isIface {
+		return "", false
+	}
+	name := named.Obj().Name()
+	return name, w.probeNames[name]
+}
+
+func (w *guardWalker) walkBlock(stmts []ast.Stmt, g *guards) {
+	for i := 0; i < len(stmts); i++ {
+		w.walkStmt(stmts[i], g)
+	}
+}
+
+func (w *guardWalker) walkStmt(stmt ast.Stmt, g *guards) {
+	switch s := stmt.(type) {
+	case nil:
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, g)
+		}
+		w.checkExpr(s.Cond, g)
+		pos, neg := nilGuardsInCond(w.p.Fset, s.Cond)
+		then := newGuards(g)
+		for _, e := range pos {
+			then.add(e)
+		}
+		w.walkBlock(s.Body.List, then)
+		if s.Else != nil {
+			els := newGuards(g)
+			for _, e := range neg {
+				els.add(e)
+			}
+			w.walkStmt(s.Else, els)
+		}
+		// Early-out promotion: `if x == nil { return }` proves x != nil
+		// for the rest of the enclosing block (and symmetrically).
+		if terminates(s.Body) {
+			for _, e := range neg {
+				g.add(e)
+			}
+		}
+		if s.Else != nil && terminatesStmt(s.Else) {
+			for _, e := range pos {
+				g.add(e)
+			}
+		}
+	case *ast.BlockStmt:
+		w.walkBlock(s.List, newGuards(g))
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, g)
+		}
+		if s.Cond != nil {
+			w.checkExpr(s.Cond, g)
+		}
+		body := newGuards(g)
+		pos, _ := nilGuardsInCondOpt(w.p.Fset, s.Cond)
+		for _, e := range pos {
+			body.add(e)
+		}
+		w.walkBlock(s.Body.List, body)
+		if s.Post != nil {
+			w.walkStmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		w.checkExpr(s.X, g)
+		w.walkBlock(s.Body.List, newGuards(g))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, g)
+		}
+		if s.Tag != nil {
+			w.checkExpr(s.Tag, g)
+		}
+		for _, cc := range s.Body.List {
+			clause := cc.(*ast.CaseClause)
+			cg := newGuards(g)
+			if s.Tag == nil { // switch { case x != nil: ... }
+				for _, e := range clause.List {
+					w.checkExpr(e, g)
+					pos, _ := nilGuardsInCond(w.p.Fset, e)
+					for _, ge := range pos {
+						cg.add(ge)
+					}
+				}
+			} else {
+				for _, e := range clause.List {
+					w.checkExpr(e, g)
+				}
+			}
+			w.walkBlock(clause.Body, cg)
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, g)
+		}
+		w.walkStmt(s.Assign, g)
+		for _, cc := range s.Body.List {
+			clause := cc.(*ast.CaseClause)
+			w.walkBlock(clause.Body, newGuards(g))
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			comm := cc.(*ast.CommClause)
+			cg := newGuards(g)
+			if comm.Comm != nil {
+				w.walkStmt(comm.Comm, cg)
+			}
+			w.walkBlock(comm.Body, cg)
+		}
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.checkExpr(r, g)
+		}
+		for _, l := range s.Lhs {
+			// Index/selector targets still evaluate their operands.
+			if _, ok := l.(*ast.Ident); !ok {
+				w.checkExpr(l, g)
+			}
+			g.invalidate(exprString(w.p.Fset, l))
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.checkExpr(v, g)
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		w.checkExpr(s.X, g)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.checkExpr(r, g)
+		}
+	case *ast.DeferStmt:
+		// Runs at function exit; inherited guards may no longer hold.
+		w.checkExprNoGuards(s.Call)
+	case *ast.GoStmt:
+		w.checkExprNoGuards(s.Call)
+	case *ast.SendStmt:
+		w.checkExpr(s.Chan, g)
+		w.checkExpr(s.Value, g)
+	case *ast.IncDecStmt:
+		w.checkExpr(s.X, g)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, g)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	}
+}
+
+// checkExpr flags unguarded probe calls in e. Function literals are
+// checked with a fresh (empty) guard set.
+func (w *guardWalker) checkExpr(e ast.Expr, g *guards) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.walkBlock(n.Body.List, newGuards(nil))
+			return false
+		case *ast.CallExpr:
+			w.checkCall(n, g)
+		}
+		return true
+	})
+}
+
+func (w *guardWalker) checkExprNoGuards(e ast.Expr) {
+	w.checkExpr(e, newGuards(nil))
+}
+
+func (w *guardWalker) checkCall(call *ast.CallExpr, g *guards) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// Only method calls through a value: skip qualified package calls.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if _, isPkg := w.p.Info.Uses[id].(*types.PkgName); isPkg {
+			return
+		}
+	}
+	tv, ok := w.p.Info.Types[sel.X]
+	if !ok {
+		return
+	}
+	name, isProbe := w.probeType(tv.Type)
+	if !isProbe {
+		return
+	}
+	recv := exprString(w.p.Fset, sel.X)
+	if g.has(recv) {
+		return
+	}
+	w.report(call.Pos(), fmt.Sprintf(
+		"call through probe %s (type %s) is not dominated by a nil check on %q in this function; probes are nil unless observability is attached",
+		recv, name, recv))
+}
+
+// nilGuardsInCond extracts the expressions proven non-nil when cond is
+// true (pos: `x != nil` under &&-conjunction) and when cond is false
+// (neg: `x == nil` under ||-disjunction).
+func nilGuardsInCond(fset *token.FileSet, cond ast.Expr) (pos, neg []string) {
+	var walkPos func(e ast.Expr)
+	walkPos = func(e ast.Expr) {
+		switch b := ast.Unparen(e).(type) {
+		case *ast.BinaryExpr:
+			switch b.Op {
+			case token.LAND:
+				walkPos(b.X)
+				walkPos(b.Y)
+			case token.NEQ:
+				if s, ok := nilComparand(fset, b); ok {
+					pos = append(pos, s)
+				}
+			}
+		}
+	}
+	var walkNeg func(e ast.Expr)
+	walkNeg = func(e ast.Expr) {
+		switch b := ast.Unparen(e).(type) {
+		case *ast.BinaryExpr:
+			switch b.Op {
+			case token.LOR:
+				walkNeg(b.X)
+				walkNeg(b.Y)
+			case token.EQL:
+				if s, ok := nilComparand(fset, b); ok {
+					neg = append(neg, s)
+				}
+			}
+		}
+	}
+	walkPos(cond)
+	walkNeg(cond)
+	return pos, neg
+}
+
+func nilGuardsInCondOpt(fset *token.FileSet, cond ast.Expr) (pos, neg []string) {
+	if cond == nil {
+		return nil, nil
+	}
+	return nilGuardsInCond(fset, cond)
+}
+
+// nilComparand returns the non-nil side of a comparison against nil.
+func nilComparand(fset *token.FileSet, b *ast.BinaryExpr) (string, bool) {
+	if isNilIdent(b.Y) && !isNilIdent(b.X) {
+		return exprString(fset, b.X), true
+	}
+	if isNilIdent(b.X) && !isNilIdent(b.Y) {
+		return exprString(fset, b.Y), true
+	}
+	return "", false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// terminates reports whether a block always transfers control away
+// (return, branch, panic) at its end.
+func terminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	return terminatesStmt(b.List[len(b.List)-1])
+}
+
+func terminatesStmt(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(s)
+	case *ast.IfStmt:
+		return terminates(s.Body) && s.Else != nil && terminatesStmt(s.Else)
+	}
+	return false
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// analyzerNoalloc is the static half of the zero-allocation contract: it
+// validates //xui:noalloc placement (collectAnnotations reports misuse
+// under this analyzer's name). The dynamic half is EscapeCheck, which asks
+// the real compiler: it runs `go build -gcflags=-m` over every package
+// containing an annotated function and fails on any heap allocation the
+// escape analysis attributes to an annotated body. Crash paths (lines
+// spanned by panic calls) are exempt, and deliberate cold-path allocations
+// can be waived line-by-line with //xui:alloc <reason>.
+//
+// The check is necessarily per-function: an allocation inside a callee is
+// attributed to the callee's source, so annotate the leaf functions that
+// must stay clean. The AllocsPerRun tests complement this at whole-path
+// granularity.
+func analyzerNoalloc() *Analyzer {
+	return &Analyzer{
+		Name: "noalloc",
+		Doc:  "verify //xui:noalloc functions against the compiler's -m escape-analysis diagnostics",
+		run:  func(*Suite, *Package, func(token.Pos, string)) {}, // static half lives in annotation collection; dynamic half is EscapeCheck
+	}
+}
+
+// escDiagRe matches one compiler diagnostic: path.go:line:col: message.
+var escDiagRe = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// isAllocDiag reports whether a -m message describes a heap allocation
+// site (as opposed to inlining notes or parameter-leak facts).
+func isAllocDiag(msg string) bool {
+	return strings.Contains(msg, "escapes to heap") || strings.HasPrefix(msg, "moved to heap")
+}
+
+// EscapeCheck runs the Go compiler's escape analysis over every package in
+// the suite that contains //xui:noalloc functions and returns a diagnostic
+// for each heap allocation attributed to an annotated body. moduleDir is
+// the directory go build runs in (the module root). goTool overrides the
+// go binary for tests; "" means "go".
+func (s *Suite) EscapeCheck(moduleDir, goTool string) ([]Diagnostic, error) {
+	if len(s.Annos.Noalloc) == 0 {
+		return nil, nil
+	}
+	if goTool == "" {
+		goTool = "go"
+	}
+	pkgSet := map[string]bool{}
+	for _, fa := range s.Annos.Noalloc {
+		pkgSet[fa.Pkg.Path] = true
+	}
+	var pkgs []string
+	for p := range pkgSet {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+
+	args := append([]string{"build", "-gcflags=-m"}, pkgs...)
+	cmd := exec.Command(goTool, args...)
+	cmd.Dir = moduleDir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		// The compiler exits nonzero on real build errors, not on -m
+		// diagnostics; surface those directly.
+		return nil, fmt.Errorf("lint: %s %s failed: %v\n%s", goTool, strings.Join(args, " "), err, out)
+	}
+
+	lines := strings.Split(string(out), "\n")
+
+	// First pass: map inline sites to their callees. When f is inlined, the
+	// compiler re-reports the allocations of f's body attributed to the call
+	// site's position; if the callee is itself //xui:noalloc, its own source
+	// lines are checked directly and the replayed copy would double-report
+	// (or dodge the callee's //xui:alloc waivers).
+	inlinedNoalloc := map[string]bool{}
+	for _, line := range lines {
+		m := escDiagRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		callee, ok := strings.CutPrefix(m[4], "inlining call to ")
+		if !ok {
+			continue
+		}
+		for _, fa := range s.Annos.Noalloc {
+			if callee == fa.Name || strings.HasSuffix(callee, "."+fa.Name) {
+				inlinedNoalloc[m[1]+":"+m[2]+":"+m[3]] = true
+				break
+			}
+		}
+	}
+
+	var diags []Diagnostic
+	curPkg := ""
+	for _, line := range lines {
+		if p, ok := strings.CutPrefix(line, "# "); ok {
+			curPkg = strings.TrimSpace(p)
+			continue
+		}
+		m := escDiagRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		if !isAllocDiag(m[4]) {
+			continue
+		}
+		if inlinedNoalloc[m[1]+":"+m[2]+":"+m[3]] {
+			continue
+		}
+		file, lineNo := m[1], atoi(m[2])
+		col := atoi(m[3])
+		// Compiler paths are relative to the build directory.
+		abs := file
+		if !filepath.IsAbs(file) {
+			abs = filepath.Join(moduleDir, file)
+		}
+		fa := s.Annos.noallocAt(abs, lineNo)
+		if fa == nil {
+			continue
+		}
+		// Inlining replays a function's source positions when compiling its
+		// importers; the per-function contract is judged in the function's
+		// own package compile, where positions are not context-shifted.
+		if curPkg != "" && fa.Pkg.Path != curPkg {
+			continue
+		}
+		if fa.coldLines[lineNo] {
+			continue
+		}
+		pos := token.Position{Filename: abs, Line: lineNo, Column: col}
+		if s.Annos.waiveAlloc(pos) {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Analyzer: "noalloc",
+			Pos:      pos,
+			Message:  fmt.Sprintf("heap allocation in //xui:noalloc function %s: %s (fix it, or waive a cold path with //xui:alloc <reason>)", fa.Name, m[4]),
+		})
+	}
+	sortDiags(diags)
+	return diags, nil
+}
+
+func atoi(s string) int {
+	n, _ := strconv.Atoi(s)
+	return n
+}

@@ -1,0 +1,39 @@
+// Package escfix is the escape-analysis fixture for the noalloc analyzer.
+// Leaky carries a deliberate heap escape inside a //xui:noalloc function;
+// the analyzer must flag exactly that line and nothing else: Clean
+// allocates nothing, ColdPanic only allocates on its crash path, and
+// Waived declares its allocation with //xui:alloc.
+package escfix
+
+import "fmt"
+
+var sink []int
+
+//xui:noalloc
+func Clean(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+//xui:noalloc
+func Leaky(n int) []int {
+	buf := make([]int, n) // deliberate heap escape
+	return buf
+}
+
+//xui:noalloc
+func ColdPanic(x int) int {
+	if x < 0 {
+		panic(fmt.Sprintf("escfix: negative %d", x))
+	}
+	return x * 2
+}
+
+//xui:noalloc
+func Waived(n int) {
+	//xui:alloc deliberate refill path, amortised over many calls
+	sink = make([]int, n)
+}

@@ -1,0 +1,45 @@
+// Package alias exercises the alias-safety analyzer: //xui:aliased slice
+// fields may be dropped or replaced, never resliced in place.
+package alias
+
+type Record struct{ N int }
+
+type Core struct {
+	// records is handed out to published results and must be dropped,
+	// never truncated.
+	//xui:aliased
+	records []Record
+	scratch []Record // unannotated: reslicing is allowed
+}
+
+func (c *Core) BadTruncate() {
+	c.records = c.records[:0] // want `reslices //xui:aliased field Core\.records in place`
+}
+
+func (c *Core) BadShrink(n int) {
+	c.records = c.records[:n] // want `reslices //xui:aliased field Core\.records`
+}
+
+func (c *Core) BadAppendReuse(r Record) {
+	c.records = append(c.records[:0], r) // want `reslices //xui:aliased field Core\.records`
+}
+
+func (c *Core) GoodDrop() {
+	c.records = nil
+}
+
+func (c *Core) GoodFresh(n int) {
+	c.records = make([]Record, 0, n)
+}
+
+func (c *Core) GoodAppend(r Record) {
+	c.records = append(c.records, r)
+}
+
+func (c *Core) GoodOtherField() {
+	c.scratch = c.scratch[:0]
+}
+
+func (c *Core) GoodReadOnly() []Record {
+	return c.records[:len(c.records):len(c.records)] // not an assignment back into the field
+}

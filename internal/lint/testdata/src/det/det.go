@@ -1,0 +1,80 @@
+// Package det exercises the determinism analyzer: wall-clock reads, the
+// global math/rand stream, environment lookups and unordered map
+// iteration are flagged; explicitly seeded generators, the
+// collect-then-sort idiom and //xui:nondet-waived lines are not.
+package det
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+func Clock() int64 {
+	t := time.Now() // want `time\.Now in a simulation package`
+	return t.UnixNano()
+}
+
+func WaivedClock() time.Time {
+	return time.Now() //xui:nondet wall-clock timing is reported to the operator, never fed into the model
+}
+
+func GlobalRand() int {
+	return rand.Intn(10) // want `global rand\.Intn uses the shared process-wide stream`
+}
+
+func GlobalFloat() float64 {
+	return rand.Float64() // want `global rand\.Float64`
+}
+
+func SeededRand() int {
+	r := rand.New(rand.NewSource(42)) // constructors are fine: explicit seed
+	return r.Intn(10)                 // method on *rand.Rand is fine
+}
+
+func Env() (string, bool) {
+	home := os.Getenv("HOME") // want `os\.Getenv in a simulation package`
+	_, ok := os.LookupEnv("TERM") // want `os\.LookupEnv in a simulation package`
+	return home, ok
+}
+
+func MapRows(m map[string]int) []string {
+	var rows []string
+	for k, v := range m { // want `ranges over a map in nondeterministic order`
+		rows = append(rows, fmt.Sprintf("%s=%d", k, v))
+	}
+	return rows
+}
+
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // collect-then-sort idiom: allowed
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func WaivedSum(m map[string]int) int {
+	n := 0
+	//xui:nondet integer accumulation is order-independent
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func SliceRange(xs []int) int { // slices iterate in order: fine
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+func StaleWaiverHere() int {
+	//xui:nondet nothing left to waive on the next line
+	return 1
+}

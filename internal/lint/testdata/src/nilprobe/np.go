@@ -1,0 +1,107 @@
+// Package nilprobe exercises the nil-guard analyzer: calls through a
+// probe-typed value must be dominated by a nil check on the same
+// expression in the same function.
+package nilprobe
+
+type Probe interface {
+	Fired(now uint64)
+}
+
+type Engine struct {
+	probe Probe
+	on    bool
+}
+
+func (e *Engine) BadDirect() {
+	e.probe.Fired(1) // want `call through probe e\.probe .* not dominated by a nil check`
+}
+
+func (e *Engine) Guarded() {
+	if e.probe != nil {
+		e.probe.Fired(2)
+	}
+}
+
+func (e *Engine) EarlyOut() {
+	if e.probe == nil {
+		return
+	}
+	e.probe.Fired(3)
+}
+
+func (e *Engine) LocalCopy() {
+	if p := e.probe; p != nil {
+		p.Fired(4)
+	}
+}
+
+func (e *Engine) LocalUnguarded() {
+	p := e.probe
+	p.Fired(5) // want `call through probe p .* not dominated by a nil check`
+}
+
+func (e *Engine) WrongGuard(other *Engine) {
+	if other.probe != nil {
+		e.probe.Fired(6) // want `not dominated by a nil check`
+	}
+}
+
+func (e *Engine) ElseBranch() {
+	if e.probe == nil {
+		e.on = false
+	} else {
+		e.probe.Fired(7)
+	}
+}
+
+func (e *Engine) DeferredClosure() {
+	if e.probe != nil {
+		defer func() {
+			e.probe.Fired(8) // want `not dominated by a nil check`
+		}()
+	}
+}
+
+func (e *Engine) GuardInvalidated() {
+	if e.probe != nil {
+		e.probe = nil
+		e.probe.Fired(9) // want `not dominated by a nil check`
+	}
+}
+
+func (e *Engine) CondSwitch() {
+	switch {
+	case e.probe != nil:
+		e.probe.Fired(10)
+	default:
+	}
+}
+
+func (e *Engine) AndChain() {
+	if e.on && e.probe != nil {
+		e.probe.Fired(11)
+	}
+}
+
+func (e *Engine) OrEarlyOut() {
+	if !e.on || e.probe == nil {
+		return
+	}
+	e.probe.Fired(12)
+}
+
+func (e *Engine) GuardedLoop(n int) {
+	if e.probe == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		e.probe.Fired(uint64(i))
+	}
+}
+
+func (e *Engine) PanicOut() {
+	if e.probe == nil {
+		panic("nilprobe: no probe")
+	}
+	e.probe.Fired(13)
+}

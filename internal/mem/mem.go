@@ -179,6 +179,8 @@ func NewHierarchy(cfg Config) *Hierarchy {
 // indistinguishable from a freshly built one. It is meant for isolated
 // hierarchies (NewHierarchy): on a System-attached hierarchy it would
 // also empty the *shared* LLC under the other cores.
+//
+//xui:noalloc
 func (h *Hierarchy) Reset() {
 	h.l1.reset()
 	h.l2.reset()

@@ -37,6 +37,8 @@ func NewRegistry() *Registry {
 func (r *Registry) Enabled() bool { return r != nil }
 
 // Add increments counter name by n.
+//
+//xui:noalloc
 func (r *Registry) Add(name string, n uint64) {
 	if r == nil {
 		return
@@ -47,6 +49,8 @@ func (r *Registry) Add(name string, n uint64) {
 }
 
 // Inc increments counter name by one.
+//
+//xui:noalloc
 func (r *Registry) Inc(name string) { r.Add(name, 1) }
 
 // Counter returns the current value of a counter (0 if never written).
@@ -60,6 +64,8 @@ func (r *Registry) Counter(name string) uint64 {
 }
 
 // SetGauge records the latest value of gauge name.
+//
+//xui:noalloc
 func (r *Registry) SetGauge(name string, v float64) {
 	if r == nil {
 		return
@@ -80,6 +86,8 @@ func (r *Registry) Gauge(name string) float64 {
 }
 
 // Observe records one observation into histogram name.
+//
+//xui:noalloc
 func (r *Registry) Observe(name string, v uint64) {
 	if r == nil {
 		return
@@ -87,7 +95,7 @@ func (r *Registry) Observe(name string, v uint64) {
 	r.mu.Lock()
 	h := r.hists[name]
 	if h == nil {
-		h = stats.NewHistogram()
+		h = stats.NewHistogram() //xui:alloc first observation of a name allocates its histogram
 		r.hists[name] = h
 	}
 	h.Record(v)

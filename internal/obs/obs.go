@@ -108,6 +108,7 @@ func (t *Tracer) Dropped() uint64 {
 	return t.dropped
 }
 
+//xui:noalloc
 func (t *Tracer) add(e event) {
 	limit := t.MaxEvents
 	if limit == 0 {

@@ -146,6 +146,8 @@ func (s *Simulator) Pending() int { return len(s.queue) }
 // ---- event pool -----------------------------------------------------------
 
 // alloc takes an Event from the free list, refilling from slab storage.
+//
+//xui:noalloc
 func (s *Simulator) alloc() *Event {
 	if n := len(s.free); n > 0 {
 		e := s.free[n-1]
@@ -154,7 +156,7 @@ func (s *Simulator) alloc() *Event {
 		return e
 	}
 	if len(s.slab) == 0 {
-		s.slab = make([]Event, eventSlabSize)
+		s.slab = make([]Event, eventSlabSize) //xui:alloc slab refill, amortised over eventSlabSize events
 	}
 	e := &s.slab[0]
 	s.slab = s.slab[1:]
@@ -257,6 +259,8 @@ func (s *Simulator) heapRemove(i int) {
 
 // Schedule queues fn to run at absolute time when. Scheduling in the past
 // panics: that is always a model bug.
+//
+//xui:noalloc
 func (s *Simulator) Schedule(when Time, fn Handler) *Event {
 	if when < s.now {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", when, s.now))
@@ -276,12 +280,16 @@ func (s *Simulator) Schedule(when Time, fn Handler) *Event {
 }
 
 // After queues fn to run delay cycles from now.
+//
+//xui:noalloc
 func (s *Simulator) After(delay Time, fn Handler) *Event {
 	return s.Schedule(s.now+delay, fn)
 }
 
 // Every queues fn to run every period cycles, first firing after period.
 // Use Cancel on the returned event to stop the series.
+//
+//xui:noalloc
 func (s *Simulator) Every(period Time, fn Handler) *Event {
 	if period == 0 {
 		panic("sim: zero period")
@@ -294,6 +302,8 @@ func (s *Simulator) Every(period Time, fn Handler) *Event {
 // Cancel removes an event from the queue and recycles its storage.
 // Cancelling an already-fired, already-cancelled or nil event is a no-op.
 // For periodic events, the series stops.
+//
+//xui:noalloc
 func (s *Simulator) Cancel(e *Event) {
 	if e == nil || e.stopped {
 		return
@@ -310,6 +320,8 @@ func (s *Simulator) Cancel(e *Event) {
 
 // Step dispatches the single earliest event. It reports false when the queue
 // is empty.
+//
+//xui:noalloc
 func (s *Simulator) Step() bool {
 	for len(s.queue) > 0 {
 		e := s.heapPopMin()
