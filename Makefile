@@ -24,14 +24,17 @@ test:
 
 # Regenerate the committed perf baseline: per-experiment wall times at one
 # worker (so the numbers are comparable across machines with different core
-# counts) plus sim hot-loop ns/op and allocs/op and run-cache statistics.
+# counts), sim hot-loop ns/op and allocs/op, run-cache statistics, and the
+# aggregate latency-histogram tails (simulated cycles, machine-independent).
 bench:
 	go run ./cmd/xuibench -exp all -quick -j 1 -benchjson BENCH_sweep.json
 
 # Time the current tree against the committed baseline without touching it:
-# prints per-experiment wall-time deltas (negative = faster than committed).
+# prints per-experiment wall-time and tail-latency deltas (negative = better
+# than committed) and exits nonzero when total wall time or any aggregate
+# p99 regresses by more than 10%.
 bench-delta:
-	go run ./cmd/xuibench -exp all -quick -j 1 -benchjson /tmp/xuibench_delta.json -benchbase BENCH_sweep.json
+	go run ./cmd/xuibench -exp all -quick -j 1 -benchjson /tmp/xuibench_delta.json -benchbase BENCH_sweep.json -benchgate 10
 
 microbench:
 	go test -run '^$$' -bench=. -benchmem ./...

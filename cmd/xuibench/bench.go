@@ -5,20 +5,29 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
 	"xui/internal/experiments"
+	"xui/internal/obs"
+	"xui/internal/report"
 	"xui/internal/sim"
 )
 
+// benchSchema identifies the perf-record layout. /2 added the Tails
+// section (aggregate latency-histogram percentiles); /1 records parse as
+// a /2 record with no tails, so old baselines keep working.
+const benchSchema = "xuibench-bench/2"
+
 // benchRecord is the machine-readable perf record -benchjson emits: wall
-// time per experiment at the configured worker count, plus ns/op and
-// allocs/op microbenchmarks of the simulation kernel's hot loops. Committed
-// baselines (BENCH_sweep.json) let perf regressions show up in review as
-// JSON diffs.
+// time per experiment at the configured worker count, ns/op and allocs/op
+// microbenchmarks of the simulation kernel's hot loops, and the tail
+// percentiles of the aggregate latency histograms. Committed baselines
+// (BENCH_sweep.json) let perf regressions show up in review as JSON diffs
+// and let -benchgate fail the build on them.
 type benchRecord struct {
-	Schema      string       `json:"schema"` // "xuibench-bench/1"
+	Schema      string       `json:"schema"` // benchSchema
 	Workers     int          `json:"workers"`
 	GOMAXPROCS  int          `json:"gomaxprocs"`
 	GoOS        string       `json:"goos"`
@@ -28,6 +37,10 @@ type benchRecord struct {
 	TotalMs     float64      `json:"totalMs"`
 	Experiments []expTiming  `json:"experiments"`
 	HotLoops    []hotLoopRow `json:"hotLoops"`
+	// Tails carries the run's aggregate latency-histogram percentiles
+	// (simulated cycles, deterministic across worker counts) so the perf
+	// trajectory tracks tail latency alongside wall time.
+	Tails []tailRow `json:"tails,omitempty"`
 	// Cache reports what the run-redundancy layer absorbed: per-cache
 	// hit/miss/dedup counts and the tape registry's footprint.
 	Cache experiments.CacheStatsSnapshot `json:"cache"`
@@ -45,22 +58,62 @@ type hotLoopRow struct {
 	BytesPerOp  int64   `json:"bytesPerOp"`
 }
 
+// tailRow is one aggregate latency histogram's digest in the perf record.
+// Values are simulated cycles: exact-integer bucket outputs, byte-identical
+// at any -j, so a delta against the baseline is a real model change.
+type tailRow struct {
+	Name  string `json:"name"`
+	Count uint64 `json:"count"`
+	P50   uint64 `json:"p50"`
+	P99   uint64 `json:"p99"`
+	P999  uint64 `json:"p999"`
+	Max   uint64 `json:"max"`
+}
+
+// benchTailNames is the fixed set of aggregate histograms the record
+// tracks, in output order.
+var benchTailNames = []string{
+	obs.AggDeliveryLatency,
+	obs.AggEndToEndLatency,
+	obs.AggHandlerOccupancy,
+	obs.AggNotifToCommit,
+	obs.AggTier2DeliveryWait,
+}
+
+// collectTails reads the aggregate latency histograms out of the registry;
+// histograms that never observed a value are omitted.
+func collectTails(reg *obs.Registry) []tailRow {
+	if !reg.Enabled() {
+		return nil
+	}
+	var out []tailRow
+	for _, n := range benchTailNames {
+		s := reg.HistogramSummary(n)
+		if s.Count == 0 {
+			continue
+		}
+		out = append(out, tailRow{Name: n, Count: s.Count, P50: s.P50, P99: s.P99, P999: s.P999, Max: s.Max})
+	}
+	return out
+}
+
 // runBenchJSON runs the selected experiments (printing their normal output)
-// while timing each, benchmarks the sim hot loops, and writes the record.
-// With basePath set it also prints per-experiment wall-time deltas against
-// the committed baseline record (the Makefile's bench-delta target).
-func runBenchJSON(path, basePath, name string, order []string, runners map[string]func(bool), quick bool, workers int) error {
+// while timing each, benchmarks the sim hot loops, collects the aggregate
+// latency tails, and writes the record. Experiment payloads also feed the
+// unified report when one was requested. With basePath set it prints
+// per-experiment wall-time and tail-latency deltas against the committed
+// baseline record (the Makefile's bench-delta target), and with gatePct > 0
+// it errors when total wall time or any tail p99 regresses past the gate.
+func runBenchJSON(path, basePath string, gatePct float64, name string, order []string, runners map[string]func(bool) any, rep *report.Doc, reg *obs.Registry, quick bool, workers int) error {
 	selected := order
 	if name != "all" {
-		run, ok := runners[name]
-		if !ok {
+		if _, ok := runners[name]; !ok {
 			return fmt.Errorf("unknown experiment %q", name)
 		}
 		selected = []string{name}
-		_ = run
 	}
 	rec := benchRecord{
-		Schema:     "xuibench-bench/1",
+		Schema:     benchSchema,
 		Workers:    workers,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		GoOS:       runtime.GOOS,
@@ -71,7 +124,10 @@ func runBenchJSON(path, basePath, name string, order []string, runners map[strin
 	total := time.Now()
 	for _, n := range selected {
 		start := time.Now()
-		runners[n](quick)
+		payload := runners[n](quick)
+		if rep != nil {
+			rep.AddResult(n, payload)
+		}
 		rec.Experiments = append(rec.Experiments, expTiming{
 			Name:   n,
 			WallMs: float64(time.Since(start).Microseconds()) / 1000,
@@ -79,6 +135,7 @@ func runBenchJSON(path, basePath, name string, order []string, runners map[strin
 	}
 	rec.TotalMs = float64(time.Since(total).Microseconds()) / 1000
 	rec.HotLoops = benchHotLoops()
+	rec.Tails = collectTails(reg)
 	rec.Cache = experiments.CacheStats()
 
 	f, err := os.Create(path)
@@ -95,14 +152,17 @@ func runBenchJSON(path, basePath, name string, order []string, runners map[strin
 		return err
 	}
 	if basePath != "" {
-		return printBenchDelta(rec, basePath)
+		return printBenchDelta(rec, basePath, gatePct)
 	}
 	return nil
 }
 
 // printBenchDelta compares a fresh record against a committed baseline and
-// prints per-experiment wall-time deltas (negative = faster than baseline).
-func printBenchDelta(rec benchRecord, basePath string) error {
+// prints per-experiment wall-time deltas (negative = faster than baseline)
+// plus tail-latency deltas for the aggregate histograms. With gatePct > 0
+// it returns an error when the total wall time or any tail p99 regresses
+// by more than that percentage — the bench-delta regression gate.
+func printBenchDelta(rec benchRecord, basePath string, gatePct float64) error {
 	raw, err := os.ReadFile(basePath)
 	if err != nil {
 		return err
@@ -125,9 +185,46 @@ func printBenchDelta(rec benchRecord, basePath string) error {
 		}
 		fmt.Printf("%-12s %8.1fms %8.1fms %+7.1f%%\n", e.Name, b, e.WallMs, 100*(e.WallMs-b)/b)
 	}
+	var wallPct float64
 	if base.TotalMs > 0 {
-		fmt.Printf("%-12s %8.1fms %8.1fms %+7.1f%%\n", "total", base.TotalMs, rec.TotalMs,
-			100*(rec.TotalMs-base.TotalMs)/base.TotalMs)
+		wallPct = 100 * (rec.TotalMs - base.TotalMs) / base.TotalMs
+		fmt.Printf("%-12s %8.1fms %8.1fms %+7.1f%%\n", "total", base.TotalMs, rec.TotalMs, wallPct)
+	}
+
+	baseTails := make(map[string]tailRow, len(base.Tails))
+	for _, t := range base.Tails {
+		baseTails[t.Name] = t
+	}
+	var regressions []string
+	if len(rec.Tails) > 0 {
+		fmt.Printf("\ntail-latency deltas (simulated cycles)\n")
+		fmt.Printf("%-26s %10s %10s %8s %10s\n", "histogram", "base p99", "now p99", "delta", "max")
+		for _, t := range rec.Tails {
+			b, ok := baseTails[t.Name]
+			if !ok || b.P99 == 0 {
+				// schema/1 baselines carry no tails: show the fresh values
+				// and leave the gate to the next baseline refresh.
+				fmt.Printf("%-26s %10s %8dcy %8s %8dcy\n", t.Name, "-", t.P99, "new", t.Max)
+				continue
+			}
+			pct := 100 * (float64(t.P99) - float64(b.P99)) / float64(b.P99)
+			fmt.Printf("%-26s %8dcy %8dcy %+7.1f%% %8dcy\n", t.Name, b.P99, t.P99, pct, t.Max)
+			if gatePct > 0 && pct > gatePct {
+				regressions = append(regressions,
+					fmt.Sprintf("%s p99 %+.1f%% (%d -> %d cycles)", t.Name, pct, b.P99, t.P99))
+			}
+		}
+	}
+	if gatePct > 0 {
+		if base.TotalMs > 0 && wallPct > gatePct {
+			regressions = append(regressions,
+				fmt.Sprintf("total wall time %+.1f%% (%.1f -> %.1f ms)", wallPct, base.TotalMs, rec.TotalMs))
+		}
+		if len(regressions) > 0 {
+			return fmt.Errorf("bench gate (>%.0f%% regression) failed:\n  %s",
+				gatePct, strings.Join(regressions, "\n  "))
+		}
+		fmt.Printf("\nbench gate: ok (no regression above %.0f%%)\n", gatePct)
 	}
 	return nil
 }

@@ -13,12 +13,15 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"xui/internal/check"
 	"xui/internal/experiments"
 	"xui/internal/obs"
 	"xui/internal/plot"
+	"xui/internal/report"
 	"xui/internal/sim"
+	"xui/internal/stats"
 )
 
 func fatal(err error) {
@@ -38,6 +41,8 @@ func main() {
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for the grid-experiment sweeps; results are identical at any value")
 	benchJSON := flag.String("benchjson", "", "time each experiment and the sim hot loops, writing a machine-readable perf record to this file")
 	benchBase := flag.String("benchbase", "", "with -benchjson: committed baseline record to print per-experiment wall-time deltas against")
+	benchGate := flag.Float64("benchgate", 0, "with -benchjson and -benchbase: exit nonzero when total wall time or any latency-histogram p99 regresses by more than this percentage")
+	reportPath := flag.String("report", "", "write a unified schema-versioned run report (experiment rows, latency histograms, cache/check/sweep stats) to this file")
 	nocache := flag.Bool("nocache", false, "disable the Tier-1 run cache, recorded instruction tapes and core pooling; every run is computed fresh (rows are identical either way)")
 	checkOn := flag.Bool("check", false, "run with invariant checking: assert the protocol conservation laws on every delivery, print the check report, exit nonzero on violations")
 	flag.Parse()
@@ -58,18 +63,59 @@ func main() {
 	if *tracePath != "" || *metricsPath != "" {
 		ctx = &obs.Context{}
 		if *tracePath != "" {
-			ctx.Trace = obs.NewTracer()
+			// Traces stream to disk incrementally: bounded memory, valid
+			// JSON even if the run is cut short.
+			tr, err := obs.StreamFile(*tracePath)
+			if err != nil {
+				fatal(err)
+			}
+			ctx.Trace = tr
 		}
 		if *metricsPath != "" {
 			ctx.Metrics = obs.NewRegistry()
 		}
+	}
+	if *reportPath != "" || *benchJSON != "" {
+		// Reports and bench records read the aggregate latency histograms
+		// out of the registry, so make sure one is installed.
+		if ctx == nil {
+			ctx = &obs.Context{}
+		}
+		if ctx.Metrics == nil {
+			ctx.Metrics = obs.NewRegistry()
+		}
+	}
+	if ctx != nil {
 		experiments.SetObservability(ctx)
 	}
+
+	var rep *report.Doc
+	if *reportPath != "" {
+		rep = report.New("xuibench")
+		rep.Experiment = strings.ToLower(*exp)
+		rep.Quick = *quick
+		rep.Workers = *workers
+		rep.CacheOn = !*nocache
+	}
+	start := time.Now()
 	finish := func() {
 		if ctx != nil && ctx.Metrics != nil {
 			experiments.PublishCacheStats(ctx.Metrics)
 			if checkCol != nil {
 				checkCol.Report().PublishTo(ctx.Metrics)
+			}
+		}
+		if rep != nil {
+			if checkCol != nil {
+				cr := checkCol.Report()
+				rep.Checks = &cr
+			}
+			cs := experiments.CacheStats()
+			rep.Cache = &cs
+			rep.AttachContext(ctx, *tracePath)
+			rep.WallMs = float64(time.Since(start).Microseconds()) / 1000
+			if err := rep.WriteFile(*reportPath); err != nil {
+				fatal(err)
 			}
 		}
 		if err := ctx.ExportFiles(*tracePath, *metricsPath); err != nil {
@@ -79,9 +125,9 @@ func main() {
 			fatal(err)
 		}
 		if checkCol != nil {
-			rep := checkCol.Report()
-			fmt.Fprintln(os.Stderr, rep)
-			if !rep.OK() {
+			cr := checkCol.Report()
+			fmt.Fprintln(os.Stderr, cr)
+			if !cr.OK() {
 				os.Exit(1)
 			}
 		}
@@ -93,7 +139,7 @@ func main() {
 		return
 	}
 
-	runners := map[string]func(bool){
+	runners := map[string]func(bool) any{
 		"table2":      runTable2,
 		"fig2":        runFig2,
 		"fig4":        runFig4,
@@ -111,38 +157,53 @@ func main() {
 	}
 	order := []string{"table2", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "worstcase", "section2", "section35", "ablations", "multiworker", "duet"}
 
+	// runExp executes one experiment, feeding its row payload into the
+	// unified report when one was requested.
+	runExp := func(n string) {
+		payload := runners[n](*quick)
+		if rep != nil {
+			rep.AddResult(n, payload)
+		}
+	}
+
 	name := strings.ToLower(*exp)
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, *benchBase, name, order, runners, *quick, *workers); err != nil {
+		if err := runBenchJSON(*benchJSON, *benchBase, *benchGate, name, order, runners, rep, ctx.RegistryOrNil(), *quick, *workers); err != nil {
+			finish()
 			fatal(err)
 		}
 		finish()
 		return
 	}
 	if *jsonOut {
-		emitJSON(name, order, *quick)
+		out := emitJSON(name, order, *quick)
+		if rep != nil {
+			for n, d := range out {
+				rep.AddResult(n, d)
+			}
+		}
 		finish()
 		return
 	}
 	if name == "all" {
 		for _, n := range order {
-			runners[n](*quick)
+			runExp(n)
 		}
 		finish()
 		return
 	}
-	run, ok := runners[name]
-	if !ok {
+	if _, ok := runners[name]; !ok {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from %s or all\n", name, strings.Join(order, ", "))
 		os.Exit(2)
 	}
-	run(*quick)
+	runExp(name)
 	finish()
 }
 
 // emitJSON prints the selected experiments' typed rows as one JSON object
 // keyed by experiment name, for downstream tooling and plotting scripts.
-func emitJSON(name string, order []string, quick bool) {
+// The same map is returned so a -report document can embed it.
+func emitJSON(name string, order []string, quick bool) map[string]any {
 	horizon := 100 * sim.Millisecond
 	uops := uint64(300000)
 	if quick {
@@ -213,13 +274,14 @@ func emitJSON(name string, order []string, quick bool) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	return out
 }
 
 func header(s string) {
 	fmt.Printf("\n%s\n%s\n", s, strings.Repeat("=", len(s)))
 }
 
-func runTable2(bool) {
+func runTable2(bool) any {
 	header("Table 2 — Key performance metrics of UIPIs (cycles)")
 	got := experiments.Table2()
 	paper := experiments.PaperTable2()
@@ -230,9 +292,18 @@ func runTable2(bool) {
 	row("senduipi", got.Senduipi, paper.Senduipi)
 	row("clui", got.Clui, paper.Clui)
 	row("stui", got.Stui, paper.Stui)
+	fmt.Printf("\ndelivery distributions (cycles, from the instrumented stock-UIPI run):\n")
+	dist := func(n string, s stats.Summary) {
+		fmt.Printf("%-16s p50=%-6d p99=%-6d p99.9=%-6d max=%d\n", n, s.P50, s.P99, s.P999, s.Max)
+	}
+	dist("arrive→delivery", got.Delivery.Delivery)
+	dist("handler", got.Delivery.Handler)
+	dist("arrive→commit", got.Delivery.NotifToCommit)
+	dist("arrive→uiret", got.Delivery.EndToEnd)
+	return map[string]any{"simulated": got, "paper": paper}
 }
 
-func runFig2(bool) {
+func runFig2(bool) any {
 	header("Figure 2 — UIPI latency timeline (cycles from senduipi start)")
 	got := experiments.Fig2()
 	paper := experiments.PaperFig2()
@@ -243,9 +314,10 @@ func runFig2(bool) {
 	row("notification+delivery done", got.DeliveryDone, paper.DeliveryDone)
 	fmt.Printf("%-28s %10.0f %10s\n", "handler starts", got.HandlerStart, "-")
 	row("uiret", got.UiretCost, paper.UiretCost)
+	return map[string]any{"simulated": got, "paper": paper}
 }
 
-func runFig4(quick bool) {
+func runFig4(quick bool) any {
 	header("Figure 4 — Receiver overhead, periodic 5 µs interrupts")
 	uops := uint64(400000)
 	if quick {
@@ -259,9 +331,10 @@ func runFig4(quick bool) {
 	avg := experiments.Fig4Summary(rows)
 	fmt.Printf("\naverages: UIPI=%.0f tracked=%.0f kb_timer=%.0f (paper: 645 / 231 / 105)\n",
 		avg["UIPI SW Timer"], avg["xUI (SW Timer + Tracking)"], avg["xUI (KB_Timer + Tracking)"])
+	return map[string]any{"rows": rows, "averages": avg}
 }
 
-func runFig5(quick bool) {
+func runFig5(quick bool) any {
 	header("Figure 5 — Preemption overhead vs. quantum (matmul, base64)")
 	quanta := []float64{2, 5, 10, 25, 50}
 	uops := uint64(200000)
@@ -275,9 +348,10 @@ func runFig5(quick bool) {
 		fmt.Printf("%-9s %-14s %8gµs %9.2f%%\n", r.Workload, r.Method, r.QuantumUs, r.OverheadPct)
 	}
 	fmt.Println("\npaper anchors at 5 µs: safepoints 1.2-1.5 %, polling 8.5-11 %, UIPI between")
+	return rows
 }
 
-func runFig6(quick bool) {
+func runFig6(quick bool) any {
 	header("Figure 6 — The cost of a timer core")
 	periods := []float64{5, 10, 20, 50, 100}
 	cores := []int{1, 2, 4, 8, 16, 22, 26}
@@ -293,9 +367,10 @@ func runFig6(quick bool) {
 		fmt.Printf("%-12s %7gµs %6d %9.1f%% %6d\n", r.Method, r.PeriodUs, r.AppCores, 100*r.TimerUtil, r.TicksLate)
 	}
 	fmt.Printf("\nrdtsc-spin capacity at 5 µs: %d app cores (paper: 22)\n", experiments.Fig6SpinCapacity(5))
+	return rows
 }
 
-func runFig7(quick bool) {
+func runFig7(quick bool) any {
 	header("Figure 7 — RocksDB on Aspen: tail latency vs. offered load")
 	loads := []float64{25_000, 50_000, 100_000, 150_000, 200_000, 215_000, 225_000, 235_000, 245_000}
 	horizon := 250 * sim.Millisecond
@@ -304,18 +379,21 @@ func runFig7(quick bool) {
 		horizon = 80 * sim.Millisecond
 	}
 	rows := experiments.Fig7(loads, horizon)
-	fmt.Printf("%-14s %10s %10s %10s %11s %10s\n", "config", "offered", "achieved", "GET p99", "GET p99.9", "SCAN p99")
+	fmt.Printf("%-14s %10s %10s %10s %11s %10s %18s\n",
+		"config", "offered", "achieved", "GET p99", "GET p99.9", "SCAN p99", "deliv p50/p99/p99.9")
 	for _, r := range rows {
-		fmt.Printf("%-14s %10.0f %10.0f %8.1fµs %9.1fµs %8.0fµs\n",
-			r.Config, r.OfferedRPS, r.AchievedRPS, r.GetP99Us, r.GetP999Us, r.ScanP99Us)
+		fmt.Printf("%-14s %10.0f %10.0f %8.1fµs %9.1fµs %8.0fµs %6d/%d/%dcy\n",
+			r.Config, r.OfferedRPS, r.AchievedRPS, r.GetP99Us, r.GetP999Us, r.ScanP99Us,
+			r.DelivP50Cy, r.DelivP99Cy, r.DelivP999Cy)
 	}
 	cap := experiments.Fig7Capacity(rows, 300)
 	fmt.Printf("\ncapacity at 300 µs GET-p99 SLO: uipi=%.0f xui=%.0f (+%.1f%%; paper: +10%%)\n",
 		cap["uipi-sw-timer"], cap["xui-kbtimer"],
 		100*(cap["xui-kbtimer"]/cap["uipi-sw-timer"]-1))
+	return map[string]any{"rows": rows, "capacity": cap}
 }
 
-func runFig8(quick bool) {
+func runFig8(quick bool) any {
 	header("Figure 8 — l3fwd efficiency: polling vs. xUI device interrupts")
 	nics := []int{1, 2, 4, 8}
 	loads := []float64{10, 20, 40, 60, 80}
@@ -326,17 +404,18 @@ func runFig8(quick bool) {
 		horizon = 10 * sim.Millisecond
 	}
 	rows := experiments.Fig8(nics, loads, horizon)
-	fmt.Printf("%-5s %5s %6s %7s %7s %7s %7s %12s %9s %6s\n",
-		"mode", "nics", "load", "net", "poll", "notify", "free", "pps", "p95", "drops")
+	fmt.Printf("%-5s %5s %6s %7s %7s %7s %7s %12s %9s %6s %16s\n",
+		"mode", "nics", "load", "net", "poll", "notify", "free", "pps", "p95", "drops", "deliv p50/p99")
 	for _, r := range rows {
-		fmt.Printf("%-5s %5d %5.0f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%% %12.0f %7.2fµs %6d\n",
+		fmt.Printf("%-5s %5d %5.0f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%% %12.0f %7.2fµs %6d %10d/%dcy\n",
 			r.Mode, r.NICs, r.LoadPct, r.NetPct, r.PollPct, r.NotifyPct, r.FreePct,
-			r.ThroughputPPS, r.P95Us, r.Dropped)
+			r.ThroughputPPS, r.P95Us, r.Dropped, r.DelivP50Cy, r.DelivP99Cy)
 	}
 	fmt.Println("\npaper anchors: polling free=0 always; xUI ≈45% free at 40% load/1 queue; throughput parity")
+	return rows
 }
 
-func runFig9(quick bool) {
+func runFig9(quick bool) any {
 	header("Figure 9 — DSA response delivery: free cycles and latency")
 	noises := []float64{0, 10, 20, 30, 40, 50}
 	requests := 2000
@@ -351,27 +430,32 @@ func runFig9(quick bool) {
 			r.Class, r.Method, r.NoisePct, r.FreePct, r.NotifyUs, r.RequestUs)
 	}
 	fmt.Println("\npaper anchors: xUI within 0.2 µs of spinning; ≈75% free cycles for 2 µs class")
+	return rows
 }
 
-func runWorstCase(quick bool) {
+func runWorstCase(quick bool) any {
 	header("§6.1 — Maximum interrupt latency (SP-dependent load chain)")
 	chains := []int{5, 10, 20, 35, 50, 60}
 	if quick {
 		chains = []int{10, 50}
 	}
 	rows := experiments.WorstCase(chains)
-	fmt.Printf("%-10s %12s %12s\n", "chain", "tracked", "flush")
+	fmt.Printf("%-10s %12s %12s %16s %14s\n", "chain", "tracked", "flush", "tracked p50/p99", "flush p50/p99")
 	for _, r := range rows {
-		fmt.Printf("%-10d %12d %12d\n", r.ChainLen, r.TrackedCycles, r.FlushCycles)
+		fmt.Printf("%-10d %12d %12d %10d/%dcy %8d/%dcy\n",
+			r.ChainLen, r.TrackedCycles, r.FlushCycles,
+			r.TrackedDist.P50, r.TrackedDist.P99, r.FlushDist.P50, r.FlushDist.P99)
 	}
 	fmt.Println("\npaper: ≈7000 cycles worst case for tracking at 50+ loads, ≈10x the flush latency")
+	return rows
 }
 
-func runSection35(bool) {
+func runSection35(bool) any {
 	header("\u00a73.5 \u2014 Deconstructing the microarchitecture (strategy detectors)")
 	fmt.Println("pointer-chase detector: delivery latency vs. receiver working set")
 	fmt.Printf("%12s %12s %12s\n", "working set", "flush", "drain")
-	for _, r := range experiments.S35PointerChase([]int{8, 64, 1024, 16384, 131072}) {
+	chase := experiments.S35PointerChase([]int{8, 64, 1024, 16384, 131072})
+	for _, r := range chase {
 		fmt.Printf("%10dKB %10.0fcy %10.0fcy\n", r.WorkingSetKB, r.FlushCycles, r.DrainCycles)
 	}
 	lin := experiments.S35Linearity([]int{5, 10, 20, 40})
@@ -381,28 +465,33 @@ func runSection35(bool) {
 	}
 	fmt.Printf("  slope %.0f uops/interrupt, correlation r=%.4f\n", lin.PerIntr, lin.Correlation)
 	fmt.Println("\npaper: latency independent of in-flight work + exactly-linear flushed uops => flush strategy")
+	return map[string]any{"pointerChase": chase, "linearity": lin}
 }
 
-func runAblations(quick bool) {
+func runAblations(quick bool) any {
 	header("Ablations — design-choice studies beyond the paper's figures")
 	horizon := 150 * sim.Millisecond
 	if quick {
 		horizon = 50 * sim.Millisecond
 	}
-	fmt.Print(experiments.FormatAblations(horizon))
+	out := experiments.FormatAblations(horizon)
+	fmt.Print(out)
+	return out
 }
 
-func runMultiWorker(quick bool) {
+func runMultiWorker(quick bool) any {
 	header("Multi-worker scaling — Aspen work stealing under xUI preemption")
 	horizon := 150 * sim.Millisecond
 	if quick {
 		horizon = 50 * sim.Millisecond
 	}
-	fmt.Print(experiments.FormatMultiWorker(horizon))
+	out := experiments.FormatMultiWorker(horizon)
+	fmt.Print(out)
 	fmt.Println("\nall arrivals target worker 0; stealing spreads them across cores")
+	return out
 }
 
-func runDuet(quick bool) {
+func runDuet(quick bool) any {
 	header("Duet — lockstep two-core co-simulation cross-check (no Table 2 shortcuts)")
 	iters := 40
 	if quick {
@@ -415,9 +504,10 @@ func runDuet(quick bool) {
 	fmt.Printf("mean end-to-end    %7.0f cycles (paper tight-loop: ≈1100 incl. handler)\n", r.MeanEndToEnd)
 	fmt.Println("\npaced round trips run cheaper than the tight loop: the sender's window")
 	fmt.Println("drains between sends and the receiver's caches stay warm")
+	return r
 }
 
-func runSection2(bool) {
+func runSection2(bool) any {
 	header("§2 — Costs of existing user-level notification mechanisms")
 	r := experiments.Section2()
 	fmt.Printf("signal delivery:        %6.0f cycles (paper ≈4800 = 2.4 µs)\n", r.SignalCycles)
@@ -427,6 +517,7 @@ func runSection2(bool) {
 	fmt.Printf("positive poll:          %6.0f cycles (paper ≈100)\n", r.PollPositiveCycles)
 	fmt.Printf("tight-loop poll tax:    %6.1f %% (paper: up to ≈50%% on linpack2)\n", r.TightLoopPollPct)
 	fmt.Printf("loop-check geomean:     %6.1f %% (Go proposal measured ≈7%%)\n", r.LoopPollGeomeanPct)
+	return r
 }
 
 // emitPlots renders the shape of the curve figures as terminal charts.

@@ -13,10 +13,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"xui/internal/check"
 	"xui/internal/experiments"
 	"xui/internal/obs"
+	"xui/internal/report"
 	"xui/internal/sim"
 )
 
@@ -35,6 +37,7 @@ func main() {
 	period := flag.Float64("period", 5, "timer: preemption period in µs")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event / Perfetto JSON trace of the run to this file")
 	metricsPath := flag.String("metrics", "", "write a metrics-registry JSON snapshot of the run to this file")
+	reportPath := flag.String("report", "", "write a unified schema-versioned run report (scenario rows, latency histograms, cache/check/sweep stats) to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	nocache := flag.Bool("nocache", false, "disable the Tier-1 run cache, recorded instruction tapes and core pooling (affects the Tier-1 calibrations Tier-2 scenarios draw on)")
@@ -53,18 +56,32 @@ func main() {
 		fatal(err)
 	}
 	var ctx *obs.Context
-	if *tracePath != "" || *metricsPath != "" {
+	if *tracePath != "" || *metricsPath != "" || *reportPath != "" {
 		ctx = &obs.Context{}
 		if *tracePath != "" {
-			ctx.Trace = obs.NewTracer()
+			// Traces stream to disk incrementally: bounded memory, valid
+			// JSON even if the run is cut short.
+			tr, err := obs.StreamFile(*tracePath)
+			if err != nil {
+				fatal(err)
+			}
+			ctx.Trace = tr
 		}
-		if *metricsPath != "" {
+		if *metricsPath != "" || *reportPath != "" {
 			ctx.Metrics = obs.NewRegistry()
 		}
 		experiments.SetObservability(ctx)
 	}
+	var rep *report.Doc
+	if *reportPath != "" {
+		rep = report.New("xuisim")
+		rep.Experiment = *scenario
+		rep.CacheOn = !*nocache
+	}
+	start := time.Now()
 
 	horizon := sim.Time(*ms) * sim.Millisecond
+	var payload any
 	switch *scenario {
 	case "rocksdb":
 		rows := experiments.Fig7([]float64{*load}, horizon)
@@ -73,30 +90,49 @@ func main() {
 			fmt.Printf("%-14s %10.0f %8.1fµs %9.1fµs %8.0fµs\n",
 				r.Config, r.AchievedRPS, r.GetP99Us, r.GetP999Us, r.ScanP99Us)
 		}
+		payload = rows
 	case "l3fwd":
 		rows := experiments.Fig8([]int{*nics}, []float64{*load}, horizon)
 		for _, r := range rows {
 			fmt.Printf("%-5s net=%5.1f%% poll=%5.1f%% notify=%4.1f%% free=%5.1f%% tput=%.0fpps p95=%.2fµs drops=%d\n",
 				r.Mode, r.NetPct, r.PollPct, r.NotifyPct, r.FreePct, r.ThroughputPPS, r.P95Us, r.Dropped)
 		}
+		payload = rows
 	case "dsa":
 		rows := experiments.Fig9([]float64{*noise}, 2000)
 		for _, r := range rows {
 			fmt.Printf("%-5s %-14s free=%5.1f%% notify=%7.3fµs request=%6.2fµs\n",
 				r.Class, r.Method, r.FreePct, r.NotifyUs, r.RequestUs)
 		}
+		payload = rows
 	case "timer":
 		rows := experiments.Fig6([]float64{*period}, []int{*cores}, horizon)
 		for _, r := range rows {
 			fmt.Printf("%-12s util=%5.1f%% late=%d\n", r.Method, 100*r.TimerUtil, r.TicksLate)
 		}
-		fmt.Printf("rdtsc-spin capacity at %gµs: %d cores\n", *period, experiments.Fig6SpinCapacity(*period))
+		spin := experiments.Fig6SpinCapacity(*period)
+		fmt.Printf("rdtsc-spin capacity at %gµs: %d cores\n", *period, spin)
+		payload = map[string]any{"rows": rows, "spinCapacity": spin}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
 		os.Exit(2)
 	}
 	if checkCol != nil && ctx != nil && ctx.Metrics != nil {
 		checkCol.Report().PublishTo(ctx.Metrics)
+	}
+	if rep != nil {
+		rep.AddResult(*scenario, payload)
+		if checkCol != nil {
+			cr := checkCol.Report()
+			rep.Checks = &cr
+		}
+		cs := experiments.CacheStats()
+		rep.Cache = &cs
+		rep.AttachContext(ctx, *tracePath)
+		rep.WallMs = float64(time.Since(start).Microseconds()) / 1000
+		if err := rep.WriteFile(*reportPath); err != nil {
+			fatal(err)
+		}
 	}
 	if err := ctx.ExportFiles(*tracePath, *metricsPath); err != nil {
 		fatal(err)

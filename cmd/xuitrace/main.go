@@ -16,12 +16,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"xui/internal/check"
 	"xui/internal/cpu"
 	"xui/internal/experiments"
 	"xui/internal/isa"
 	"xui/internal/obs"
+	"xui/internal/report"
 	"xui/internal/trace"
 )
 
@@ -41,6 +43,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	chrome := flag.String("chrome", "", "write a Chrome trace-event / Perfetto JSON trace to this file (with -period 0, traces the Fig. 2 scenario)")
 	metricsPath := flag.String("metrics", "", "write a metrics-registry JSON snapshot to this file")
+	reportPath := flag.String("report", "", "write a unified schema-versioned run report (run stats, latency digests, cache/check counters) to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for any grid sweeps experiments run; results are identical at any value")
@@ -61,13 +64,33 @@ func main() {
 		fatal(err)
 	}
 	var ctx *obs.Context
-	if *chrome != "" || *metricsPath != "" {
+	if *chrome != "" || *metricsPath != "" || *reportPath != "" {
 		ctx = obs.NewContext()
 		experiments.SetObservability(ctx)
 	}
+	var rep *report.Doc
+	if *reportPath != "" {
+		rep = report.New("xuitrace")
+		rep.Workers = *workers
+		rep.CacheOn = !*nocache
+	}
+	start := time.Now()
 	finish := func() {
 		if checkCol != nil && ctx != nil && ctx.Metrics != nil {
 			checkCol.Report().PublishTo(ctx.Metrics)
+		}
+		if rep != nil {
+			if checkCol != nil {
+				cr := checkCol.Report()
+				rep.Checks = &cr
+			}
+			cs := experiments.CacheStats()
+			rep.Cache = &cs
+			rep.AttachContext(ctx, *chrome)
+			rep.WallMs = float64(time.Since(start).Microseconds()) / 1000
+			if err := rep.WriteFile(*reportPath); err != nil {
+				fatal(err)
+			}
 		}
 		if err := ctx.ExportFiles(*chrome, *metricsPath); err != nil {
 			fatal(err)
@@ -89,6 +112,10 @@ func main() {
 		// scenario (senduipi loop sender offset + flush-strategy receiver
 		// on the rdtsc measurement loop).
 		r := experiments.TracedFig2(ctx)
+		if rep != nil {
+			rep.Experiment = "fig2-trace"
+			rep.AddResult("fig2", r)
+		}
 		finish()
 		fmt.Printf("traced the Fig. 2 scenario to %s (%d events; arrive=%.0f deliveryDone=%.0f)\n",
 			*chrome, ctx.Trace.Len(), r.Arrive, r.DeliveryDone)
@@ -98,6 +125,10 @@ func main() {
 	if *timeline {
 		r := experiments.Fig2()
 		p := experiments.PaperFig2()
+		if rep != nil {
+			rep.Experiment = "timeline"
+			rep.AddResult("fig2", map[string]any{"simulated": r, "paper": p})
+		}
 		fmt.Println("UIPI latency timeline (cycles from senduipi start):")
 		fmt.Printf("  arrive            %6.0f   (paper %4.0f)\n", r.Arrive, p.Arrive)
 		fmt.Printf("  first notif event %6.0f   (paper %4.0f)\n", r.FirstNotif, p.FirstNotif)
@@ -184,6 +215,20 @@ func main() {
 		}
 		fmt.Printf("interrupts: %d delivered of %d; mean delivery latency %.0f cycles; %.2f reinjections/intr\n",
 			delivered, len(res.Interrupts), lat/float64(delivered), reinj/float64(delivered))
+	}
+	if rep != nil {
+		rep.Experiment = "run"
+		rep.AddResult("run", map[string]any{
+			"workload":        prog.Name(),
+			"strategy":        strat.String(),
+			"cycles":          res.Cycles,
+			"ipc":             res.IPC,
+			"committed":       res.CommittedProgram,
+			"squashedProgram": res.SquashedProgram,
+			"squashedOther":   res.SquashedOther,
+			"interrupts":      len(res.Interrupts),
+			"latency":         res.LatencyDigest(),
+		})
 	}
 	finish()
 }

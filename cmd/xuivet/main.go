@@ -15,6 +15,8 @@
 // Flags:
 //
 //	-json           emit diagnostics as a JSON array instead of text
+//	-report FILE    write a unified schema-versioned run report (per-analyzer
+//	                diagnostic counts and the diagnostics themselves)
 //	-list           print the analyzer catalogue and annotation grammar
 //	-annotations    print the //xui: annotation inventory and stale waivers
 //	-determinism, -nilprobe, -sgoroutine, -noalloc, -alias
@@ -31,11 +33,13 @@ import (
 	"strings"
 
 	"xui/internal/lint"
+	"xui/internal/report"
 )
 
 func main() {
 	var (
 		jsonOut  = flag.Bool("json", false, "emit diagnostics as a JSON array")
+		repPath  = flag.String("report", "", "write a unified schema-versioned run report (per-analyzer diagnostic counts and the diagnostics) to this file")
 		listOut  = flag.Bool("list", false, "print the analyzer catalogue and annotation grammar, then exit")
 		annosOut = flag.Bool("annotations", false, "print the //xui: annotation inventory and stale waivers, then exit")
 		enabled  = map[string]*bool{}
@@ -84,6 +88,11 @@ func main() {
 	diags = append(diags, suite.StaleWaivers()...)
 	diags = filterByPatterns(diags, flag.Args(), root)
 
+	if *repPath != "" {
+		if err := writeReport(*repPath, diags, on); err != nil {
+			fatal(err)
+		}
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -110,6 +119,30 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "xuivet:", err)
 	os.Exit(2)
+}
+
+// writeReport emits the unified run report: per-analyzer diagnostic counts
+// (zero entries included for every enabled analyzer, so a clean run still
+// records what ran) plus the diagnostics themselves.
+func writeReport(path string, diags []lint.Diagnostic, on map[string]bool) error {
+	counts := map[string]int{}
+	for name, enabled := range on {
+		if enabled {
+			counts[name] = 0
+		}
+	}
+	for _, d := range diags {
+		counts[d.Analyzer]++
+	}
+	if diags == nil {
+		diags = []lint.Diagnostic{}
+	}
+	d := report.New("xuivet")
+	d.Experiment = "lint"
+	d.AddResult("counts", counts)
+	d.AddResult("diagnostics", diags)
+	d.AddResult("total", len(diags))
+	return d.WriteFile(path)
 }
 
 // filterByPatterns keeps diagnostics under the named package patterns.

@@ -72,6 +72,18 @@ type VCore struct {
 	// Delivered counts user-level deliveries by mechanism.
 	Delivered map[Mechanism]uint64
 
+	// DelivLat is the always-on recognise→delivery-complete latency
+	// histogram: cycles from a vector first entering UIRR to its delivery
+	// routine finishing, including time held by a cleared UIF and queueing
+	// behind other deliveries — the distribution behind the Fig. 7/8 tail
+	// story. Always recorded (independent of Obs) so reports carry tails
+	// even when tracing is off.
+	DelivLat *stats.Histogram
+	// postedAt remembers when each UIRR vector was first recognised;
+	// coalesced posts keep the oldest timestamp so the histogram reflects
+	// the longest-waiting notification.
+	postedAt [64]sim.Time
+
 	// Obs, when non-nil, receives trace spans and live metrics for this
 	// core (set by Machine.Observe); obsNS is the "vcore<ID>/" prefix.
 	Obs   *obs.Context
@@ -170,6 +182,9 @@ func (v *VCore) post(now sim.Time, vector uintr.Vector, mech Mechanism) {
 	merged := v.uirr&(1<<vector) != 0
 	v.uirr |= 1 << vector
 	v.uirrMech[vector] = mech
+	if !merged {
+		v.postedAt[vector] = now
+	}
 	if v.Check != nil {
 		v.Check.Posted(now, v.ID, vector, mech, merged)
 	}
@@ -188,6 +203,7 @@ func (v *VCore) tryDeliver(now sim.Time) {
 	cost := v.Costs.Receiver(mech)
 	v.Account.Charge(CatNotify, uint64(cost))
 	v.Delivered[mech]++
+	v.DelivLat.Record(uint64(now + cost - v.postedAt[vec]))
 	if v.Obs != nil {
 		v.Obs.Trace.Span(obs.Tier2Pid, uint32(v.ID), "deliver:"+mech.String(), "delivery",
 			uint64(now), uint64(now+cost), map[string]any{"vector": uint8(vec)})
@@ -292,6 +308,7 @@ func NewMachine(s *sim.Simulator, n int, ipiMech Mechanism) (*Machine, error) {
 			UIF:       true,
 			Account:   stats.NewCycleAccount(),
 			Delivered: make(map[Mechanism]uint64),
+			DelivLat:  stats.NewHistogram(),
 		}
 		l, err := m.Bus.NewLocalAPIC(uint32(i), v)
 		if err != nil {
@@ -346,6 +363,18 @@ func (m *Machine) SendUIPI(sender int, uitt *uintr.UITT, idx int) error {
 	return nil
 }
 
+// DeliveryLatency merges every core's recognise→delivery-complete
+// histogram into one machine-wide distribution. Merging in core order over
+// order-independent histogram state makes the result deterministic for a
+// given simulated run regardless of host scheduling.
+func (m *Machine) DeliveryLatency() *stats.Histogram {
+	h := stats.NewHistogram()
+	for _, v := range m.Cores {
+		h.Merge(v.DelivLat)
+	}
+	return h
+}
+
 // Observe attaches an observability context to the machine: every core gets
 // a named thread under Tier2Pid, live counters/spans flow into ctx, and the
 // event kernel reports scheduling activity through a sim probe. A nil ctx
@@ -378,6 +407,7 @@ func (m *Machine) SnapshotMetrics(reg *obs.Registry) {
 		ns := fmt.Sprintf("vcore%d/", v.ID)
 		reg.AddCycleAccount(ns+"cycles/", v.Account)
 		reg.SetGauge(ns+"utilization", v.Busy.Utilization(now))
+		reg.MergeHistogram(obs.AggTier2DeliveryWait, v.DelivLat)
 		mechs := make([]Mechanism, 0, len(v.Delivered))
 		for mech := range v.Delivered {
 			mechs = append(mechs, mech)

@@ -1,0 +1,57 @@
+package cpu
+
+import "xui/internal/stats"
+
+// LatencyDigest summarises the latency distributions of a Result's
+// delivered interrupts. All fields are cycle-valued histogram summaries
+// built from the exact per-interrupt timestamps in Result.Interrupts, so
+// the digest is fully deterministic: it depends only on the simulated run,
+// never on worker scheduling or caching.
+type LatencyDigest struct {
+	// Delivery is arrive → delivery-routine committed (vector accepted and
+	// CPU state switched; the Table 2 "delivery cost" path).
+	Delivery stats.Summary
+	// Handler is handler start → handler done (handler occupancy).
+	Handler stats.Summary
+	// NotifToCommit is arrive → first microcode commit (how quickly the
+	// notification made forward progress, the paper's injection-latency
+	// lens on squash-vs-drain strategies).
+	NotifToCommit stats.Summary
+	// EndToEnd is arrive → uiret committed (full user-visible latency).
+	EndToEnd stats.Summary
+}
+
+// LatencyDigest distils the per-interrupt timestamp records into
+// log-bucketed histogram summaries. Interrupts that never completed a
+// phase (lost, or cut off at the cycle limit) are excluded from that
+// phase's histogram, mirroring how the figure pipelines treat partial
+// records.
+func (r Result) LatencyDigest() LatencyDigest {
+	deliv := stats.NewHistogram()
+	handler := stats.NewHistogram()
+	notif := stats.NewHistogram()
+	e2e := stats.NewHistogram()
+	for _, ir := range r.Interrupts {
+		if ir.Lost {
+			continue
+		}
+		if ir.DeliveryDone >= ir.Arrive && ir.DeliveryDone > 0 {
+			deliv.Record(ir.DeliveryDone - ir.Arrive)
+		}
+		if ir.HandlerDone >= ir.HandlerStart && ir.HandlerDone > 0 {
+			handler.Record(ir.HandlerDone - ir.HandlerStart)
+		}
+		if ir.FirstUcodeCommit >= ir.Arrive && ir.FirstUcodeCommit > 0 {
+			notif.Record(ir.FirstUcodeCommit - ir.Arrive)
+		}
+		if ir.UiretDone >= ir.Arrive && ir.UiretDone > 0 {
+			e2e.Record(ir.UiretDone - ir.Arrive)
+		}
+	}
+	return LatencyDigest{
+		Delivery:      deliv.Summarize(),
+		Handler:       handler.Summarize(),
+		NotifToCommit: notif.Summarize(),
+		EndToEnd:      e2e.Summarize(),
+	}
+}

@@ -37,6 +37,15 @@ type Fig7Row struct {
 	GetP999Us   float64
 	ScanP99Us   float64
 	Completed   uint64
+
+	// Interrupt delivery-latency percentiles (cycles, recognise →
+	// delivery complete) across all machine cores: the preemption
+	// mechanism's own tail under the same load the request tails above
+	// are measured at. Exact integers from the order-independent
+	// histogram, so rows are byte-identical at any worker count.
+	DelivP50Cy  uint64
+	DelivP99Cy  uint64
+	DelivP999Cy uint64
 }
 
 // Fig7 sweeps offered load for each configuration. The workload is the
@@ -129,6 +138,10 @@ func fig7Point(cfg Fig7Config, rps float64, horizon sim.Time) Fig7Row {
 	if h := rec.Class("SCAN"); h != nil {
 		row.ScanP99Us = sim.Time(h.Percentile(99)).Micros()
 	}
+	dl := m.DeliveryLatency()
+	row.DelivP50Cy = dl.Percentile(50)
+	row.DelivP99Cy = dl.Percentile(99)
+	row.DelivP999Cy = dl.Percentile(99.9)
 	return row
 }
 

@@ -22,6 +22,12 @@ type Fig8Row struct {
 	ThroughputPPS float64
 	P95Us         float64
 	Dropped       uint64
+
+	// Interrupt delivery-latency percentiles (cycles, recognise →
+	// delivery complete) on the forwarding core; zero in poll mode.
+	DelivP50Cy  uint64
+	DelivP99Cy  uint64
+	DelivP999Cy uint64
 }
 
 // Fig8 sweeps load for each queue count and both modes over the given
@@ -110,6 +116,7 @@ func fig8Point(mode netsim.Mode, nq int, loadPct float64, horizon sim.Time) Fig8
 	for _, n := range nics {
 		dropped += n.Dropped
 	}
+	dl := m.DeliveryLatency()
 	return Fig8Row{
 		Mode:          mode.String(),
 		NICs:          nq,
@@ -121,5 +128,8 @@ func fig8Point(mode netsim.Mode, nq int, loadPct float64, horizon sim.Time) Fig8
 		ThroughputPPS: float64(l3.Forwarded+l3.NoRoute) / horizon.Seconds(),
 		P95Us:         sim.Time(l3.Latency.Percentile(95)).Micros(),
 		Dropped:       dropped,
+		DelivP50Cy:    dl.Percentile(50),
+		DelivP99Cy:    dl.Percentile(99),
+		DelivP999Cy:   dl.Percentile(99.9),
 	}
 }

@@ -29,13 +29,21 @@ func TestDeterministicFingerprint(t *testing.T) {
 		col := check.NewCollector()
 		SetChecking(col)
 		out := struct {
-			Fig4 any
-			Fig6 any
-			Fig9 any
+			Fig4   any
+			Fig6   any
+			Fig9   any
+			Fig7   any
+			Table2 any
 		}{
 			Fig4: Fig4(40000),
 			Fig6: Fig6([]float64{20}, []int{1, 4}, horizon),
 			Fig9: Fig9([]float64{0, 30}, 100),
+			// Fig7 and Table2 carry the delivery-latency percentile
+			// columns (exact-integer histogram outputs); including them
+			// extends the fingerprint to the streaming-observability
+			// histograms.
+			Fig7:   Fig7([]float64{20000}, horizon),
+			Table2: Table2(),
 		}
 		rep := col.Report()
 		if rep.Violations != 0 {

@@ -17,6 +17,11 @@ type Table2Result struct {
 	Senduipi     float64
 	Clui         float64
 	Stui         float64
+
+	// Delivery summarises the full latency distributions behind the mean
+	// costs above, from the same instrumented stock-UIPI run: the paper's
+	// Table 2 reports means, the distributions show the tails.
+	Delivery cpu.LatencyDigest
 }
 
 // PaperTable2 is the paper's measured row, for side-by-side reporting.
@@ -99,5 +104,6 @@ func Table2() Table2Result {
 		Senduipi:     send,
 		Clui:         uintr.CluiCost,
 		Stui:         uintr.StuiCost,
+		Delivery:     rIntr.LatencyDigest(),
 	}
 }

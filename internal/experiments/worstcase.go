@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"xui/internal/cpu"
+	"xui/internal/stats"
 	"xui/internal/trace"
 )
 
@@ -13,6 +14,13 @@ type WorstCaseRow struct {
 	ChainLen      int
 	TrackedCycles uint64 // arrival → delivery complete, tracked
 	FlushCycles   uint64 // same, flush (squashes the chain)
+
+	// TrackedDist and FlushDist are the full delivery-latency
+	// distributions over the probed arrival phases: the max above is the
+	// paper's headline, the spread shows how pathological the worst phase
+	// is relative to the median.
+	TrackedDist stats.Summary
+	FlushDist   stats.Summary
 }
 
 // WorstCase sweeps the load-chain length. The paper observes ≈7000 cycles
@@ -27,17 +35,30 @@ func WorstCase(chainLens []int) []WorstCaseRow {
 	for _, n := range chainLens {
 		jobs = append(jobs, job{cpu.Tracked, n}, job{cpu.Flush, n})
 	}
-	lats := runGrid("worstcase", jobs, func(_ int, j job) uint64 {
+	lats := runGrid("worstcase", jobs, func(_ int, j job) wcLatency {
 		return worstCaseLatency(j.strategy, j.n)
 	})
 	rows := make([]WorstCaseRow, len(chainLens))
 	for i, n := range chainLens {
-		rows[i] = WorstCaseRow{ChainLen: n, TrackedCycles: lats[2*i], FlushCycles: lats[2*i+1]}
+		rows[i] = WorstCaseRow{
+			ChainLen:      n,
+			TrackedCycles: lats[2*i].max,
+			FlushCycles:   lats[2*i+1].max,
+			TrackedDist:   lats[2*i].dist,
+			FlushDist:     lats[2*i+1].dist,
+		}
 	}
 	return rows
 }
 
-func worstCaseLatency(s cpu.Strategy, chainLen int) uint64 {
+// wcLatency is one strategy's delivery-latency measurement at one chain
+// length: the worst arrival phase plus the distribution across phases.
+type wcLatency struct {
+	max  uint64
+	dist stats.Summary
+}
+
+func worstCaseLatency(s cpu.Strategy, chainLen int) wcLatency {
 	// An SP write every chainLen hops ties RSP to a chain of that length.
 	// It is a worst-*case* study: deliver several interrupts at different
 	// chain phases and report the maximum delivery latency observed.
@@ -51,14 +72,17 @@ func worstCaseLatency(s cpu.Strategy, chainLen int) uint64 {
 				})
 			}
 		})
+	h := stats.NewHistogram()
 	var max uint64
 	for _, r := range res.Interrupts {
 		if r.DeliveryDone == 0 {
 			continue
 		}
-		if d := r.DeliveryDone - r.Arrive; d > max {
+		d := r.DeliveryDone - r.Arrive
+		h.Record(d)
+		if d > max {
 			max = d
 		}
 	}
-	return max
+	return wcLatency{max: max, dist: h.Summarize()}
 }

@@ -102,6 +102,25 @@ func (r *Registry) Observe(name string, v uint64) {
 	r.mu.Unlock()
 }
 
+// MergeHistogram folds a complete histogram into the registry histogram
+// name, creating it on first use. stats.Histogram merge is associative and
+// commutative, so registry state after merging per-core or per-worker
+// partials is identical regardless of contribution order — the property
+// that keeps report fingerprints stable across -j 1 and -j N.
+func (r *Registry) MergeHistogram(name string, h *stats.Histogram) {
+	if r == nil || h == nil {
+		return
+	}
+	r.mu.Lock()
+	dst := r.hists[name]
+	if dst == nil {
+		dst = stats.NewHistogram()
+		r.hists[name] = dst
+	}
+	dst.Merge(h)
+	r.mu.Unlock()
+}
+
 // HistogramSummary returns the digest of histogram name, a zero Summary if
 // it does not exist.
 func (r *Registry) HistogramSummary(name string) stats.Summary {

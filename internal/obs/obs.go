@@ -13,7 +13,7 @@
 // workers (internal/sweep) can share the single sink a CLI run installs;
 // each individual Simulator remains single-threaded.
 //
-// Conventions
+// # Conventions
 //
 // Trace timestamps are simulated cycles of the 2 GHz machine and are
 // converted to fractional microseconds at export time (the unit the Chrome
@@ -51,8 +51,22 @@ const (
 )
 
 // DefaultMaxEvents bounds a Tracer's buffered event count so that tracing a
-// long Tier-2 horizon cannot exhaust memory; past the cap, events are
-// counted but dropped. Raise Tracer.MaxEvents for deep captures.
+// long Tier-2 horizon cannot exhaust memory. What happens past the cap
+// depends on the tracer's mode:
+//
+//   - Buffered (the default): further events are counted in Dropped() and
+//     discarded. The loss is never silent — Export appends a final
+//     "trace_dropped" metadata event plus otherData.droppedEvents, and
+//     Context.ExportFiles publishes an "obs/dropped" counter into the
+//     metrics registry.
+//   - Streaming (StreamTo/StreamFile): there is no cap. MaxEvents is
+//     ignored; resident memory is bounded by the chunk size and every
+//     event reaches the stream (the mode long captures should use).
+//   - Flight recorder (SetFlightRecorder): the buffer is a ring of the
+//     last MaxEvents events; older events are overwritten, counted in
+//     Overwritten() and surfaced as otherData.overwrittenEvents.
+//
+// Raise Tracer.MaxEvents for deep buffered captures, or stream instead.
 const DefaultMaxEvents = 1 << 21
 
 // event is one Chrome trace-event record. Timestamps are kept in cycles
@@ -73,22 +87,35 @@ type event struct {
 // concurrent use: each Simulator is single-threaded, but the sweep engine
 // (internal/sweep) fans independent runs across worker goroutines that all
 // record into the one tracer the CLI installed.
+//
+// A tracer operates in one of three modes (see DefaultMaxEvents for the
+// overflow semantics of each): buffered (record then Export), streaming
+// (StreamTo/StreamFile: events flow to an io.Writer in bounded-memory
+// chunks as they are recorded), or flight recorder (SetFlightRecorder:
+// a ring retaining the last N events around a point of interest).
 type Tracer struct {
-	// MaxEvents caps the buffer; zero means DefaultMaxEvents.
+	// MaxEvents caps the buffer; zero means DefaultMaxEvents. Ignored in
+	// streaming mode. In flight-recorder mode it is the ring size.
 	MaxEvents int
 
 	mu      sync.Mutex
 	events  []event
 	dropped uint64
+
+	stream  *streamState // non-nil: streaming mode
+	ring    bool         // flight-recorder mode
+	ringAt  int          // next ring slot to overwrite once full
+	wrapped uint64       // ring-mode events overwritten
+	closed  bool         // Close called; further events are dropped
 }
 
-// NewTracer returns an empty tracer with the default event cap.
+// NewTracer returns an empty buffered tracer with the default event cap.
 func NewTracer() *Tracer { return &Tracer{} }
 
 // Enabled reports whether events will be recorded.
 func (t *Tracer) Enabled() bool { return t != nil }
 
-// Len returns the number of buffered events.
+// Len returns the number of resident (buffered, not yet flushed) events.
 func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
@@ -98,7 +125,8 @@ func (t *Tracer) Len() int {
 	return len(t.events)
 }
 
-// Dropped returns the number of events discarded after the cap was hit.
+// Dropped returns the number of events discarded after the buffered-mode
+// cap was hit (or recorded after Close).
 func (t *Tracer) Dropped() uint64 {
 	if t == nil {
 		return 0
@@ -106,6 +134,17 @@ func (t *Tracer) Dropped() uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.dropped
+}
+
+// Overwritten returns the number of flight-recorder events overwritten by
+// newer ones (zero outside ring mode).
+func (t *Tracer) Overwritten() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.wrapped
 }
 
 //xui:noalloc
@@ -116,6 +155,30 @@ func (t *Tracer) add(e event) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.closed {
+		t.dropped++
+		return
+	}
+	if t.stream != nil {
+		t.events = append(t.events, e)
+		if len(t.events) >= t.stream.chunk {
+			t.flushLocked() // cold path: serialisation lives off the recording path
+		}
+		return
+	}
+	if t.ring {
+		if len(t.events) < limit {
+			t.events = append(t.events, e)
+			return
+		}
+		t.events[t.ringAt] = e
+		t.ringAt++
+		if t.ringAt == limit {
+			t.ringAt = 0
+		}
+		t.wrapped++
+		return
+	}
 	if len(t.events) >= limit {
 		t.dropped++
 		return
@@ -185,7 +248,11 @@ func cyclesToUs(cy uint64) float64 { return float64(cy) / CyclesPerMicrosecond }
 
 // Export writes the buffered events as a Chrome trace-event JSON object
 // ({"traceEvents": [...]}), loadable by Perfetto and chrome://tracing. A
-// nil tracer exports an empty (still valid) trace.
+// nil tracer exports an empty (still valid) trace. Dropped or overwritten
+// events are never silent: the export ends with a "trace_dropped" /
+// "trace_overwritten" metadata event carrying the count, in addition to
+// the otherData fields. Streaming tracers are exported by Close, not
+// Export (the events already went to their writer).
 func (t *Tracer) Export(w io.Writer) error {
 	out := struct {
 		TraceEvents     []jsonEvent    `json:"traceEvents"`
@@ -195,8 +262,10 @@ func (t *Tracer) Export(w io.Writer) error {
 	if t != nil {
 		t.mu.Lock()
 		defer t.mu.Unlock()
-		out.TraceEvents = make([]jsonEvent, 0, len(t.events))
-		for _, e := range t.events {
+		if t.stream != nil {
+			return fmt.Errorf("obs: Export on a streaming tracer; use Close to finalise the stream")
+		}
+		emit := func(e event) {
 			je := jsonEvent{
 				Name: e.name,
 				Cat:  e.cat,
@@ -216,8 +285,31 @@ func (t *Tracer) Export(w io.Writer) error {
 			}
 			out.TraceEvents = append(out.TraceEvents, je)
 		}
+		out.TraceEvents = make([]jsonEvent, 0, len(t.events)+2)
+		if t.ring && t.wrapped > 0 {
+			// Unroll the ring into chronological order: the oldest
+			// retained event sits at the next overwrite position.
+			for _, e := range t.events[t.ringAt:] {
+				emit(e)
+			}
+			for _, e := range t.events[:t.ringAt] {
+				emit(e)
+			}
+		} else {
+			for _, e := range t.events {
+				emit(e)
+			}
+		}
+		if t.dropped > 0 || t.wrapped > 0 {
+			out.OtherData = map[string]any{}
+		}
 		if t.dropped > 0 {
-			out.OtherData = map[string]any{"droppedEvents": t.dropped}
+			out.OtherData["droppedEvents"] = t.dropped
+			emit(event{name: "trace_dropped", ph: 'M', args: map[string]any{"count": t.dropped}})
+		}
+		if t.wrapped > 0 {
+			out.OtherData["overwrittenEvents"] = t.wrapped
+			emit(event{name: "trace_overwritten", ph: 'M', args: map[string]any{"count": t.wrapped}})
 		}
 	}
 	enc := json.NewEncoder(w)
@@ -267,12 +359,25 @@ func (c *Context) RegistryOrNil() *Registry {
 }
 
 // ExportFiles writes the context's trace and metrics snapshot to the given
-// paths; an empty path skips that export. A nil context is a no-op.
+// paths; an empty path skips that export. A streaming tracer is finalised
+// with Close instead (its events already went to the stream), and any
+// event loss is published as the "obs/dropped" / "obs/overwritten"
+// counters before the metrics snapshot is taken. A nil context is a no-op.
 func (c *Context) ExportFiles(tracePath, metricsPath string) error {
 	if c == nil {
 		return nil
 	}
-	if tracePath != "" {
+	if d := c.Trace.Dropped(); d > 0 {
+		c.Metrics.Add("obs/dropped", d)
+	}
+	if ov := c.Trace.Overwritten(); ov > 0 {
+		c.Metrics.Add("obs/overwritten", ov)
+	}
+	if c.Trace.Streaming() {
+		if err := c.Trace.Close(); err != nil {
+			return err
+		}
+	} else if tracePath != "" {
 		if err := c.Trace.ExportFile(tracePath); err != nil {
 			return err
 		}

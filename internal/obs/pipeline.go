@@ -44,6 +44,20 @@ func NewPipeline(tr *Tracer, reg *Registry, pid, tid uint32) *Pipeline {
 
 const catIntr = "interrupt"
 
+// Aggregate histogram names shared by every observed Tier-1 core. Unlike
+// the per-core "cpu<tid>/" namespace (whose tids are assigned in worker
+// completion order and therefore vary across -j N), these keys are fixed,
+// and histogram merge order-independence makes their contents byte-identical
+// across worker counts — they are the tail-latency columns consumed by
+// xuibench -benchjson and run reports.
+const (
+	AggDeliveryLatency   = "cpu/delivery_latency"
+	AggHandlerOccupancy  = "cpu/handler_occupancy"
+	AggNotifToCommit     = "cpu/notif_to_first_commit"
+	AggEndToEndLatency   = "cpu/e2e_latency"
+	AggTier2DeliveryWait = "tier2/delivery_latency"
+)
+
 // IntrArrive implements cpu.IntrObserver.
 func (p *Pipeline) IntrArrive(cycle uint64, tag string, vector uint8, strategy string) {
 	p.arrive, p.tag, p.strategy = cycle, tag, strategy
@@ -103,6 +117,7 @@ func (p *Pipeline) IntrInject(cycle uint64, reinjection bool) {
 func (p *Pipeline) IntrFirstCommit(cycle uint64) {
 	p.Trace.Instant(p.Pid, p.Tid, "first-ucode-commit", catIntr, cycle, nil)
 	p.Metrics.Observe(p.ns+"first_commit_latency", cycle-p.arrive)
+	p.Metrics.Observe(AggNotifToCommit, cycle-p.arrive)
 }
 
 // IntrNotifDone implements cpu.IntrObserver: the notification-processing
@@ -121,6 +136,7 @@ func (p *Pipeline) IntrDeliveryDone(cycle uint64) {
 	}
 	p.Trace.Span(p.Pid, p.Tid, "delivery", catIntr, start, cycle, nil)
 	p.Metrics.Observe(p.ns+"delivery_latency", cycle-p.arrive)
+	p.Metrics.Observe(AggDeliveryLatency, cycle-p.arrive)
 }
 
 // IntrHandlerStart implements cpu.IntrObserver.
@@ -129,6 +145,7 @@ func (p *Pipeline) IntrHandlerStart(cycle uint64) { p.handlerHi = cycle }
 // IntrHandlerDone implements cpu.IntrObserver.
 func (p *Pipeline) IntrHandlerDone(cycle uint64) {
 	p.Trace.Span(p.Pid, p.Tid, "handler", catIntr, p.handlerHi, cycle, nil)
+	p.Metrics.Observe(AggHandlerOccupancy, cycle-p.handlerHi)
 	p.handlerHi = cycle
 }
 
@@ -141,6 +158,7 @@ func (p *Pipeline) IntrUiret(cycle uint64) {
 	p.Trace.Span(p.Pid, p.Tid, "uiret", catIntr, start, cycle, nil)
 	p.Metrics.Inc(p.ns + "delivered")
 	p.Metrics.Observe(p.ns+"e2e_latency", cycle-p.arrive)
+	p.Metrics.Observe(AggEndToEndLatency, cycle-p.arrive)
 }
 
 // IntrLost implements cpu.IntrObserver: the TrackedReinject ablation

@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomHist builds a histogram from n draws of the given generator,
+// returning the histogram and the raw values.
+func randomHist(rng *rand.Rand, n int) (*Histogram, []uint64) {
+	h := NewHistogram()
+	vals := make([]uint64, n)
+	for i := range vals {
+		// Span many octaves so merges cross bucket-array lengths.
+		v := uint64(rng.Int63n(1 << uint(1+rng.Intn(40))))
+		vals[i] = v
+		h.Record(v)
+	}
+	return h, vals
+}
+
+// histEqual compares complete histogram state, not just the summary:
+// bucket arrays may differ in trailing-zero length after merges of
+// different shapes, which is still the same logical state.
+func histEqual(a, b *Histogram) bool {
+	if a.count != b.count || a.sum != b.sum || a.Min() != b.Min() || a.max != b.max {
+		return false
+	}
+	long, short := a.buckets, b.buckets
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	for i, c := range long {
+		var sc uint64
+		if i < len(short) {
+			sc = short[i]
+		}
+		if c != sc {
+			return false
+		}
+	}
+	return true
+}
+
+func cloneHist(h *Histogram) *Histogram {
+	c := NewHistogram()
+	c.Merge(h)
+	return c
+}
+
+// TestMergeAssociative pins (A∪B)∪C == A∪(B∪C) on complete histogram
+// state for randomized inputs — the property that makes any merge tree a
+// parallel sweep produces equivalent to the serial one.
+func TestMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		a, _ := randomHist(rng, 1+rng.Intn(200))
+		b, _ := randomHist(rng, 1+rng.Intn(200))
+		c, _ := randomHist(rng, 1+rng.Intn(200))
+
+		left := cloneHist(a)
+		left.Merge(b)
+		left.Merge(c)
+
+		bc := cloneHist(b)
+		bc.Merge(c)
+		right := cloneHist(a)
+		right.Merge(bc)
+
+		if !histEqual(left, right) {
+			t.Fatalf("trial %d: (A∪B)∪C != A∪(B∪C):\n left  %+v\n right %+v",
+				trial, left.Summarize(), right.Summarize())
+		}
+		if !reflect.DeepEqual(left.Summarize(), right.Summarize()) {
+			t.Fatalf("trial %d: summaries differ: %+v vs %+v",
+				trial, left.Summarize(), right.Summarize())
+		}
+	}
+}
+
+// TestMergeCommutative pins A∪B == B∪A on complete state.
+func TestMergeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		a, _ := randomHist(rng, 1+rng.Intn(300))
+		b, _ := randomHist(rng, 1+rng.Intn(300))
+
+		ab := cloneHist(a)
+		ab.Merge(b)
+		ba := cloneHist(b)
+		ba.Merge(a)
+
+		if !histEqual(ab, ba) {
+			t.Fatalf("trial %d: A∪B != B∪A", trial)
+		}
+	}
+}
+
+// TestMergeOrderIndependent is the determinism contract the streaming
+// observability layer leans on: recording the same multiset of values in
+// any order, split across any number of shards merged in any order, must
+// produce bit-identical state — including the sum, which is why the sum is
+// an exact integer rather than a float.
+func TestMergeOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	_, vals := randomHist(rng, 2000)
+
+	// Reference: record serially in order.
+	ref := NewHistogram()
+	for _, v := range vals {
+		ref.Record(v)
+	}
+
+	for trial := 0; trial < 20; trial++ {
+		// Shuffle and shard into 1..8 partial histograms, merge in a
+		// shuffled order.
+		perm := rng.Perm(len(vals))
+		shards := 1 + rng.Intn(8)
+		parts := make([]*Histogram, shards)
+		for i := range parts {
+			parts[i] = NewHistogram()
+		}
+		for i, pi := range perm {
+			parts[i%shards].Record(vals[pi])
+		}
+		merged := NewHistogram()
+		for _, si := range rng.Perm(shards) {
+			merged.Merge(parts[si])
+		}
+		if !histEqual(ref, merged) {
+			t.Fatalf("trial %d (%d shards): sharded merge differs from serial recording:\n serial %+v\n merged %+v",
+				trial, shards, ref.Summarize(), merged.Summarize())
+		}
+		if ref.Mean() != merged.Mean() {
+			t.Fatalf("trial %d: mean differs: %v vs %v", trial, ref.Mean(), merged.Mean())
+		}
+	}
+}
+
+// BenchmarkHistogramRecord guards the zero-allocation recording hot path
+// (bucket growth is amortized into the first few operations).
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(uint64(i) & 0xfffff)
+	}
+}

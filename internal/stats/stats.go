@@ -15,11 +15,19 @@ import (
 // of HdrHistogram: values are bucketed with sub-bucket resolution so that
 // percentile queries are accurate to a few percent across many orders of
 // magnitude. Values are unitless; experiments record cycles.
+//
+// All state is exact integers (bucket counts, count, sum, min, max), which
+// makes the histogram's merge operation associative and commutative: any
+// partition of a set of observations, recorded in any order and merged in
+// any order, produces bit-identical state and therefore byte-identical
+// summaries. This is the property that lets parallel sweep workers and the
+// run cache share histograms without perturbing report fingerprints
+// (TestMergeOrderIndependent in this package pins it).
 type Histogram struct {
 	subBits uint // sub-buckets per power of two = 1<<subBits
 	buckets []uint64
 	count   uint64
-	sum     float64
+	sum     uint64 // exact integer sum; order-independent unlike a float
 	min     uint64
 	max     uint64
 }
@@ -56,19 +64,21 @@ func (h *Histogram) bucketLow(i int) uint64 {
 func (h *Histogram) Record(v uint64) { h.RecordN(v, 1) }
 
 // RecordN adds n observations of value v.
+//
+//xui:noalloc
 func (h *Histogram) RecordN(v uint64, n uint64) {
 	if n == 0 {
 		return
 	}
 	i := h.bucketIndex(v)
 	if i >= len(h.buckets) {
-		nb := make([]uint64, i+1)
+		nb := make([]uint64, i+1) //xui:alloc bucket-array growth is amortized-cold: at most 64<<subBits slots ever
 		copy(nb, h.buckets)
 		h.buckets = nb
 	}
 	h.buckets[i] += n
 	h.count += n
-	h.sum += float64(v) * float64(n)
+	h.sum += v * n
 	if v < h.min {
 		h.min = v
 	}
@@ -80,12 +90,14 @@ func (h *Histogram) RecordN(v uint64, n uint64) {
 // Count returns the number of recorded observations.
 func (h *Histogram) Count() uint64 { return h.count }
 
-// Mean returns the arithmetic mean of recorded values, 0 when empty.
+// Mean returns the arithmetic mean of recorded values, 0 when empty. The
+// division happens once at query time over exact integer totals, so the
+// mean is identical no matter how the observations were partitioned.
 func (h *Histogram) Mean() float64 {
 	if h.count == 0 {
 		return 0
 	}
-	return h.sum / float64(h.count)
+	return float64(h.sum) / float64(h.count)
 }
 
 // Min returns the smallest recorded value, 0 when empty.
@@ -133,7 +145,10 @@ func (h *Histogram) Percentile(p float64) uint64 {
 	return h.max
 }
 
-// Merge adds all observations of other into h.
+// Merge adds all observations of other into h. Because every field is an
+// exact integer, Merge is associative and commutative: merging any
+// permutation of any partition of the same observations yields identical
+// state, so percentile queries are byte-identical across -j 1 and -j N.
 func (h *Histogram) Merge(other *Histogram) {
 	if other == nil || other.count == 0 {
 		return

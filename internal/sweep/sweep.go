@@ -116,6 +116,13 @@ func RunOpts[J, R any](jobs []J, opts Options, fn func(i int, job J) R) ([]R, er
 		}
 	}
 
+	// Shared metric names are precomputed once (see the per-worker comment
+	// below for why building them inline is too hot).
+	jobUsKey := "sweep/" + name + "/job_us"       // per-job wall-time histogram
+	etaKey := "sweep/" + name + "/eta_ms"         // projected remaining wall time
+	progressKey := name + "/progress"             // jobs-done counter track
+	jobsDoneKey := "sweep/" + name + "/jobs_done" // jobs-done registry counter
+
 	// runJob isolates one job so a panic unwinds only that job's frame.
 	runJob := func(worker, idx int) {
 		defer func() {
@@ -128,8 +135,9 @@ func RunOpts[J, R any](jobs []J, opts Options, fn func(i int, job J) R) ([]R, er
 		}()
 		start := time.Since(epoch)
 		results[idx] = fn(idx, jobs[idx])
+		end := time.Since(epoch)
+		metrics.Observe(jobUsKey, uint64((end - start).Microseconds()))
 		if tracer.Enabled() {
-			end := time.Since(epoch)
 			tracer.Span(obs.SweepPid, uint32(worker), fmt.Sprintf("%s[%d]", name, idx), "sweep",
 				hostCycles(start), hostCycles(end), nil)
 		}
@@ -139,7 +147,6 @@ func RunOpts[J, R any](jobs []J, opts Options, fn func(i int, job J) R) ([]R, er
 	// fmt.Sprintf inside the claim loop allocated on every job, which
 	// showed up once the jobs themselves stopped allocating (pooled cores,
 	// taped streams).
-	jobsDoneKey := "sweep/" + name + "/jobs_done"
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(worker int) {
@@ -161,12 +168,21 @@ func RunOpts[J, R any](jobs []J, opts Options, fn func(i int, job J) R) ([]R, er
 				runJob(worker, idx)
 				completed++
 				n := int(done.Add(1))
+				elapsed := time.Since(epoch)
 				if tracer.Enabled() {
-					tracer.Counter(obs.SweepPid, counterKey,
-						hostCycles(time.Since(epoch)), float64(completed))
+					at := hostCycles(elapsed)
+					tracer.Counter(obs.SweepPid, counterKey, at, float64(completed))
+					// Overall progress track: jobs done out of len(jobs),
+					// so long sweeps are legible at a glance in the viewer.
+					tracer.Counter(obs.SweepPid, progressKey, at, float64(n))
 				}
 				metrics.Inc(jobsDoneKey)
 				metrics.Inc(workerKey)
+				if rem := len(jobs) - n; rem > 0 {
+					metrics.SetGauge(etaKey, float64(elapsed.Milliseconds())*float64(rem)/float64(n))
+				} else {
+					metrics.SetGauge(etaKey, 0)
+				}
 				if opts.OnProgress != nil {
 					progMu.Lock()
 					opts.OnProgress(n, len(jobs))
@@ -176,6 +192,7 @@ func RunOpts[J, R any](jobs []J, opts Options, fn func(i int, job J) R) ([]R, er
 		}(w)
 	}
 	wg.Wait()
+	metrics.SetGauge("sweep/"+name+"/wall_ms", float64(time.Since(epoch).Milliseconds()))
 
 	if len(panics) > 0 {
 		// Re-raise the lowest-indexed panic so failures are deterministic
