@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test bench bench-delta microbench race run-all sweep-profile examples check fuzz fix-annotations
+.PHONY: all build vet test bench bench-delta bench-gate-tier1 microbench race run-all sweep-profile examples check fuzz fix-annotations
 
 all: build vet test
 
@@ -35,6 +35,15 @@ bench:
 # p99 regresses by more than 10%.
 bench-delta:
 	go run ./cmd/xuibench -exp all -quick -j 1 -benchjson /tmp/xuibench_delta.json -benchbase BENCH_sweep.json -benchgate 10
+
+# CI perf gate on the Tier-1-bound subset: the experiments dominated by
+# the cycle-stepped pipeline (the fast engine's beneficiaries), timed at
+# one worker against the committed baseline. The gate compares matched
+# sums — only the experiments this run executed — so the subset gates
+# like-for-like against the full-sweep baseline, and fails the build on
+# a >10% matched wall-time or tail-p99 regression.
+bench-gate-tier1:
+	go run ./cmd/xuibench -exp fig4,fig5,section2,section35,ablations,worstcase -quick -j 1 -benchjson /tmp/xuibench_tier1.json -benchbase BENCH_sweep.json -benchgate 10
 
 microbench:
 	go test -run '^$$' -bench=. -benchmem ./...

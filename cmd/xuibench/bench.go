@@ -9,10 +9,14 @@ import (
 	"testing"
 	"time"
 
+	"xui/internal/cpu"
 	"xui/internal/experiments"
+	"xui/internal/isa"
+	"xui/internal/mem"
 	"xui/internal/obs"
 	"xui/internal/report"
 	"xui/internal/sim"
+	"xui/internal/trace"
 )
 
 // benchSchema identifies the perf-record layout. /2 added the Tails
@@ -104,14 +108,7 @@ func collectTails(reg *obs.Registry) []tailRow {
 // per-experiment wall-time and tail-latency deltas against the committed
 // baseline record (the Makefile's bench-delta target), and with gatePct > 0
 // it errors when total wall time or any tail p99 regresses past the gate.
-func runBenchJSON(path, basePath string, gatePct float64, name string, order []string, runners map[string]func(bool) any, rep *report.Doc, reg *obs.Registry, quick bool, workers int) error {
-	selected := order
-	if name != "all" {
-		if _, ok := runners[name]; !ok {
-			return fmt.Errorf("unknown experiment %q", name)
-		}
-		selected = []string{name}
-	}
+func runBenchJSON(path, basePath string, gatePct float64, selected []string, runners map[string]func(bool) any, rep *report.Doc, reg *obs.Registry, quick bool, workers int) error {
 	rec := benchRecord{
 		Schema:     benchSchema,
 		Workers:    workers,
@@ -160,7 +157,7 @@ func runBenchJSON(path, basePath string, gatePct float64, name string, order []s
 // printBenchDelta compares a fresh record against a committed baseline and
 // prints per-experiment wall-time deltas (negative = faster than baseline)
 // plus tail-latency deltas for the aggregate histograms. With gatePct > 0
-// it returns an error when the total wall time or any tail p99 regresses
+// it returns an error when the matched wall time or any tail p99 regresses
 // by more than that percentage — the bench-delta regression gate.
 func printBenchDelta(rec benchRecord, basePath string, gatePct float64) error {
 	raw, err := os.ReadFile(basePath)
@@ -177,18 +174,25 @@ func printBenchDelta(rec benchRecord, basePath string, gatePct float64) error {
 	}
 	fmt.Printf("\nwall-time deltas vs %s (workers: base %d, now %d)\n", basePath, base.Workers, rec.Workers)
 	fmt.Printf("%-12s %10s %10s %8s\n", "experiment", "base", "now", "delta")
+	// The wall gate compares matched sums — base and fresh times summed
+	// over only the experiments this run executed — so gating a subset
+	// (the CI Tier-1 gate) against a full-sweep baseline compares like
+	// with like instead of a subset total against the whole sweep.
+	var baseSum, recSum float64
 	for _, e := range rec.Experiments {
 		b, ok := baseMs[e.Name]
 		if !ok || b == 0 {
 			fmt.Printf("%-12s %10s %8.1fms %8s\n", e.Name, "-", e.WallMs, "new")
 			continue
 		}
+		baseSum += b
+		recSum += e.WallMs
 		fmt.Printf("%-12s %8.1fms %8.1fms %+7.1f%%\n", e.Name, b, e.WallMs, 100*(e.WallMs-b)/b)
 	}
 	var wallPct float64
-	if base.TotalMs > 0 {
-		wallPct = 100 * (rec.TotalMs - base.TotalMs) / base.TotalMs
-		fmt.Printf("%-12s %8.1fms %8.1fms %+7.1f%%\n", "total", base.TotalMs, rec.TotalMs, wallPct)
+	if baseSum > 0 {
+		wallPct = 100 * (recSum - baseSum) / baseSum
+		fmt.Printf("%-12s %8.1fms %8.1fms %+7.1f%%\n", "matched", baseSum, recSum, wallPct)
 	}
 
 	baseTails := make(map[string]tailRow, len(base.Tails))
@@ -216,9 +220,9 @@ func printBenchDelta(rec benchRecord, basePath string, gatePct float64) error {
 		}
 	}
 	if gatePct > 0 {
-		if base.TotalMs > 0 && wallPct > gatePct {
+		if baseSum > 0 && wallPct > gatePct {
 			regressions = append(regressions,
-				fmt.Sprintf("total wall time %+.1f%% (%.1f -> %.1f ms)", wallPct, base.TotalMs, rec.TotalMs))
+				fmt.Sprintf("matched wall time %+.1f%% (%.1f -> %.1f ms)", wallPct, baseSum, recSum))
 		}
 		if len(regressions) > 0 {
 			return fmt.Errorf("bench gate (>%.0f%% regression) failed:\n  %s",
@@ -267,5 +271,62 @@ func benchHotLoops() []hotLoopRow {
 				s.Cancel(s.After(10, fn))
 			}
 		})),
+		row("cpu/decode", testing.Benchmark(func(b *testing.B) {
+			ops := benchOps(4096)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchUOp = isa.Decode(ops[i&4095])
+			}
+		})),
+		// One iteration = one committed program micro-op through the fast
+		// engine over a decoded tape (the Tier-1 steady state).
+		row("cpu/block-step", testing.Benchmark(func(b *testing.B) {
+			tape := isa.NewTape("bench", benchOps(b.N+8192))
+			port := &cpu.PrivatePort{H: mem.NewHierarchy(mem.Config{}), SharedCost: mem.LatCrossCore}
+			c := cpu.New(cpu.DefaultConfig(), tape.Stream(), port)
+			b.ReportAllocs()
+			b.ResetTimer()
+			c.Run(uint64(b.N), uint64(b.N)*400)
+		})),
+		// One iteration = one full warm-state restore: pipeline checkpoint
+		// plus cache-hierarchy snapshot, the per-grid-point cost the
+		// experiments layer pays instead of re-simulating the warmup.
+		row("cpu/checkpoint-restore", testing.Benchmark(func(b *testing.B) {
+			tape := isa.NewTape("bench", benchOps(60000))
+			hier := mem.NewHierarchy(mem.Config{})
+			port := &cpu.PrivatePort{H: hier, SharedCost: mem.LatCrossCore}
+			c := cpu.New(cpu.DefaultConfig(), tape.Stream(), port)
+			if !c.RunUntil(10000, 50000) {
+				b.Fatal("warmup did not reach the checkpoint cycle")
+			}
+			ck := c.TakeCheckpoint()
+			if ck == nil {
+				b.Fatal("checkpoint declined")
+			}
+			ms := hier.Snapshot()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !c.RestoreCheckpoint(ck) || !hier.RestoreSnapshot(ms) {
+					b.Fatal("restore failed")
+				}
+			}
+		})),
 	}
+}
+
+// benchUOp sinks cpu/decode's results so the loop is not dead code.
+var benchUOp isa.UOp
+
+// benchOps collects n micro-ops of the matmul generator for the cpu
+// hot-loop benchmarks (a private tape, independent of the process-wide
+// recording registry and its -nocache switch).
+func benchOps(n int) []isa.MicroOp {
+	src := trace.ByName("matmul", 1)
+	ops := make([]isa.MicroOp, n)
+	for i := range ops {
+		ops[i], _ = src.Next()
+	}
+	return ops
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"xui/internal/check"
+	"xui/internal/cpu"
 	"xui/internal/experiments"
 	"xui/internal/obs"
 	"xui/internal/plot"
@@ -30,7 +31,7 @@ func fatal(err error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table2, fig2, fig4, fig5, fig6, fig7, fig8, fig9, worstcase, section2, ablations, multiworker, duet")
+	exp := flag.String("exp", "all", "experiment(s) to run, comma-separated: all, table2, fig2, fig4, fig5, fig6, fig7, fig8, fig9, worstcase, section2, ablations, multiworker, duet (e.g. -exp fig4,fig5,section2)")
 	quick := flag.Bool("quick", false, "smaller sweeps / shorter horizons")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	plotOut := flag.Bool("plot", false, "render ASCII charts of the curve figures (fig5, fig8, fig9)")
@@ -44,10 +45,12 @@ func main() {
 	benchGate := flag.Float64("benchgate", 0, "with -benchjson and -benchbase: exit nonzero when total wall time or any latency-histogram p99 regresses by more than this percentage")
 	reportPath := flag.String("report", "", "write a unified schema-versioned run report (experiment rows, latency histograms, cache/check/sweep stats) to this file")
 	nocache := flag.Bool("nocache", false, "disable the Tier-1 run cache, recorded instruction tapes and core pooling; every run is computed fresh (rows are identical either way)")
+	fastforward := flag.Bool("fastforward", true, "run Tier-1 cores on the decoded fast-forward engine; -fastforward=false forces the interpreted reference engine (rows are identical either way)")
 	checkOn := flag.Bool("check", false, "run with invariant checking: assert the protocol conservation laws on every delivery, print the check report, exit nonzero on violations")
 	flag.Parse()
 	experiments.SetWorkers(*workers)
 	experiments.SetCaching(!*nocache)
+	cpu.SetFastForward(*fastforward)
 
 	var checkCol *check.Collector
 	if *checkOn {
@@ -166,9 +169,9 @@ func main() {
 		}
 	}
 
-	name := strings.ToLower(*exp)
+	names := parseExpList(*exp, order, runners)
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, *benchBase, *benchGate, name, order, runners, rep, ctx.RegistryOrNil(), *quick, *workers); err != nil {
+		if err := runBenchJSON(*benchJSON, *benchBase, *benchGate, names, runners, rep, ctx.RegistryOrNil(), *quick, *workers); err != nil {
 			finish()
 			fatal(err)
 		}
@@ -176,7 +179,7 @@ func main() {
 		return
 	}
 	if *jsonOut {
-		out := emitJSON(name, order, *quick)
+		out := emitJSON(names, *quick)
 		if rep != nil {
 			for n, d := range out {
 				rep.AddResult(n, d)
@@ -185,25 +188,47 @@ func main() {
 		finish()
 		return
 	}
-	if name == "all" {
-		for _, n := range order {
-			runExp(n)
-		}
-		finish()
-		return
+	for _, n := range names {
+		runExp(n)
 	}
-	if _, ok := runners[name]; !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from %s or all\n", name, strings.Join(order, ", "))
+	finish()
+}
+
+// parseExpList resolves a comma-separated -exp value against the known
+// runners, expanding "all" to the canonical order and preserving the
+// caller's order (deduplicated) otherwise. Unknown names exit with a
+// usage error.
+func parseExpList(exp string, order []string, runners map[string]func(bool) any) []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, raw := range strings.Split(strings.ToLower(exp), ",") {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			continue
+		}
+		if name == "all" {
+			return order
+		}
+		if _, ok := runners[name]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from %s or all\n", name, strings.Join(order, ", "))
+			os.Exit(2)
+		}
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		fmt.Fprintf(os.Stderr, "empty -exp; choose from %s or all\n", strings.Join(order, ", "))
 		os.Exit(2)
 	}
-	runExp(name)
-	finish()
+	return names
 }
 
 // emitJSON prints the selected experiments' typed rows as one JSON object
 // keyed by experiment name, for downstream tooling and plotting scripts.
 // The same map is returned so a -report document can embed it.
-func emitJSON(name string, order []string, quick bool) map[string]any {
+func emitJSON(names []string, quick bool) map[string]any {
 	horizon := 100 * sim.Millisecond
 	uops := uint64(300000)
 	if quick {
@@ -256,17 +281,8 @@ func emitJSON(name string, order []string, quick bool) map[string]any {
 		return nil
 	}
 	out := map[string]any{}
-	if name == "all" {
-		for _, n := range order {
-			out[n] = data(n)
-		}
-	} else {
-		d := data(name)
-		if d == nil {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
-			os.Exit(2)
-		}
-		out[name] = d
+	for _, n := range names {
+		out[n] = data(n)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

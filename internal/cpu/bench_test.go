@@ -36,6 +36,23 @@ func BenchmarkCoreProgramRun(b *testing.B) {
 // BenchmarkCoreInterruptDelivery measures periodic Tracked deliveries into a
 // running program — the per-interrupt path (accept, sequence build, inject,
 // retire) reusing the core-owned delivery state.
+// BenchmarkCoreBlockStep measures the decoded-tape fast path per
+// committed program micro-op — the Tier-1 steady state (block-granular
+// fetch, wakeup issue, timing-wheel writeback) that the sweep
+// optimizations target. One iteration = one committed program op.
+func BenchmarkCoreBlockStep(b *testing.B) {
+	block := ilpBlock()
+	ops := make([]isa.MicroOp, 0, b.N+8192)
+	for len(ops) < b.N+8192 {
+		ops = append(ops, block...)
+	}
+	tape := isa.NewTape("bench", ops)
+	core, _ := newTestCore(Tracked, tape.Stream())
+	b.ReportAllocs()
+	b.ResetTimer()
+	core.Run(uint64(b.N), uint64(b.N)*400)
+}
+
 func BenchmarkCoreInterruptDelivery(b *testing.B) {
 	block := ilpBlock()
 	handler := smallHandler()

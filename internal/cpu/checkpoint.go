@@ -1,0 +1,246 @@
+package cpu
+
+import "math/bits"
+
+// Copy-on-write pipeline checkpoints. A warmed-up core — caches filled,
+// window primed, mid-flight work at a known cycle — is the same for
+// every grid point that shares a workload and structural configuration,
+// so the experiments layer warms once, snapshots, and restores instead
+// of re-simulating the warmup for each point.
+//
+// A Checkpoint deep-copies everything Run's continuation depends on and
+// nothing it does not: the caller guarantees (and TakeCheckpoint
+// verifies) that no interrupt has arrived, been queued or recorded yet,
+// so the delivery machinery is in its reset state on both sides. The
+// copy is taken once and only read thereafter — restores copy *into*
+// the target core's own backing arrays — which is what lets the run
+// cache hand one checkpoint to any number of concurrent restorers.
+//
+// The equivalence argument mirrors the idle-skip one in Run: between
+// completion events the commit, issue and fetch stages provably no-op,
+// so core state at the checkpoint cycle plus the copied event state
+// (doneHeap, fetchStallUntil) determines every later cycle exactly.
+// Fingerprint and differential tests pin this: a restored run's rows
+// are byte-identical to the uncheckpointed run's.
+
+// Checkpoint is a point-in-time deep copy of a Core mid-run, taken by
+// TakeCheckpoint and replayed by RestoreCheckpoint.
+type Checkpoint struct {
+	cfg Config // source config; structural fields validate the target
+
+	cycle uint64
+	head  uint64
+	tail  uint64
+
+	iqCount     int
+	lqCount     int
+	sqCount     int
+	serializing int
+
+	ent       []robEntry
+	doneItems []compItem
+	// wheelItems flattens the timing wheel to (doneAt, seq) pairs;
+	// restore re-inserts them relative to ck.cycle, rebuilding the
+	// identical bucket layout (scheduleDone keeps buckets seq-sorted).
+	wheelItems []compItem
+
+	fetchPos        uint64
+	commitPos       uint64
+	posSeq          []uint64
+	fetchStallUntil uint64
+	barrierSeq      uint64
+	spWriters       []uint64
+
+	uifSet bool
+
+	genCtr    uint64
+	pend      []int32
+	waiters   [][]entryRef
+	readyList []entryRef
+	serQ      []entryRef
+
+	committedProgram uint64
+	committedOther   uint64
+	squashedProgram  uint64
+	squashedOther    uint64
+	fetchedTotal     uint64
+}
+
+// Committed returns the number of program micro-ops retired at the
+// checkpoint; restored runs subtract it from their budget.
+func (ck *Checkpoint) Committed() uint64 { return ck.committedProgram }
+
+// Cycle returns the absolute cycle the checkpoint was taken at.
+func (ck *Checkpoint) Cycle() uint64 { return ck.cycle }
+
+// TakeCheckpoint captures the core's current state, or returns nil when
+// the core is not in checkpointable condition: it must be running a
+// decoded tape on the fast engine with the interrupt machinery
+// untouched (no delivery in progress or recorded, no queued arrivals,
+// no periodic generator) and no per-commit hook attached — the states a
+// warmup run deliberately stays in. An IntrObserver may be attached: it
+// only fires on interrupt-lifecycle events, of which a warmup has none,
+// and the checkpoint neither captures nor restores it (each restored
+// core keeps its own).
+func (c *Core) TakeCheckpoint() *Checkpoint {
+	if !c.fast || c.dec == nil || c.cur != nil || c.draining || c.progDone ||
+		len(c.records) != 0 ||
+		c.arrHead < len(c.arrivals) || c.pendHead < len(c.pendQueue) ||
+		c.periodGen != nil || c.OnProgramCommit != nil ||
+		len(c.buf) != 0 {
+		return nil
+	}
+	ck := &Checkpoint{
+		cfg:             c.cfg,
+		cycle:           c.cycle,
+		head:            c.head,
+		tail:            c.tail,
+		iqCount:         c.iqCount,
+		lqCount:         c.lqCount,
+		sqCount:         c.sqCount,
+		serializing:     c.serializing,
+		fetchPos:        c.fetchPos,
+		commitPos:       c.commitPos,
+		fetchStallUntil: c.fetchStallUntil,
+		barrierSeq:      c.barrierSeq,
+		uifSet:          c.uifSet,
+		genCtr:          c.genCtr,
+
+		committedProgram: c.committedProgram,
+		committedOther:   c.committedOther,
+		squashedProgram:  c.squashedProgram,
+		squashedOther:    c.squashedOther,
+		fetchedTotal:     c.fetchedTotal,
+	}
+	ck.ent = append([]robEntry(nil), c.ent...)
+	ck.doneItems = append([]compItem(nil), c.doneHeap.items...)
+	for w, word := range c.wheelBits {
+		for word != 0 {
+			b := uint64(w)<<6 + uint64(bits.TrailingZeros64(word))
+			word &= word - 1
+			for _, seq := range c.wheel[b] {
+				ck.wheelItems = append(ck.wheelItems, compItem{doneAt: c.wheelAt[b], seq: seq})
+			}
+		}
+	}
+	ck.posSeq = append([]uint64(nil), c.posSeq...)
+	ck.spWriters = append([]uint64(nil), c.spWriters...)
+	ck.pend = append([]int32(nil), c.pend...)
+	ck.waiters = make([][]entryRef, len(c.waiters))
+	for i, ws := range c.waiters {
+		if len(ws) > 0 {
+			ck.waiters[i] = append([]entryRef(nil), ws...)
+		}
+	}
+	ck.readyList = append([]entryRef(nil), c.readyList...)
+	// Compact the serializer FIFO: drained prefix entries are dead.
+	ck.serQ = append([]entryRef(nil), c.serQ[c.serHead:]...)
+	return ck
+}
+
+// structuralMatch reports whether two configs agree on every parameter
+// that shapes the pipeline's cycle-by-cycle behaviour before the first
+// interrupt arrival. Strategy, safepoint gating, penalties and ucode
+// only act on arrival, so a warm state is valid under any of them —
+// TestBaselineStrategyInvariance pins that warmup is strategy-free.
+func structuralMatch(a, b Config) bool {
+	return a.ROBSize == b.ROBSize && a.IQSize == b.IQSize &&
+		a.LQSize == b.LQSize && a.SQSize == b.SQSize &&
+		a.FetchWidth == b.FetchWidth && a.IssueWidth == b.IssueWidth &&
+		a.RetireWidth == b.RetireWidth && a.SquashWidth == b.SquashWidth &&
+		a.IntALUs == b.IntALUs && a.IntMults == b.IntMults &&
+		a.FPUs == b.FPUs && a.LoadPorts == b.LoadPorts &&
+		a.StorePorts == b.StorePorts && a.FrontEndDepth == b.FrontEndDepth
+}
+
+// RestoreCheckpoint replays ck into a freshly Reset core, returning
+// false (with the core untouched beyond its reset state) when the
+// target is incompatible: different structural parameters, not on the
+// fast engine, or a decoded tape that does not reach the checkpoint's
+// fetch position. The target keeps its own Config (delivery strategy,
+// penalties, ucode) and its own decoded tape — only the dynamic state
+// is replayed. The checkpoint is never mutated, so concurrent restores
+// from one shared checkpoint are safe.
+func (c *Core) RestoreCheckpoint(ck *Checkpoint) bool {
+	if !c.fast || c.dec == nil || !structuralMatch(c.cfg, ck.cfg) {
+		return false
+	}
+	if uint64(len(c.dec.Ops)) < ck.fetchPos {
+		return false
+	}
+	if len(c.ent) != len(ck.ent) || len(c.posSeq) != len(ck.posSeq) {
+		return false
+	}
+	c.cycle = ck.cycle
+	c.head, c.tail = ck.head, ck.tail
+	c.iqCount, c.lqCount, c.sqCount = ck.iqCount, ck.lqCount, ck.sqCount
+	c.serializing = ck.serializing
+	c.fetchPos, c.commitPos = ck.fetchPos, ck.commitPos
+	c.fetchStallUntil = ck.fetchStallUntil
+	c.barrierSeq = ck.barrierSeq
+	c.uifSet = ck.uifSet
+	c.genCtr = ck.genCtr
+
+	copy(c.ent, ck.ent)
+	c.doneHeap.items = append(c.doneHeap.items[:0], ck.doneItems...)
+	for b := range c.wheel {
+		c.wheel[b] = c.wheel[b][:0]
+	}
+	clear(c.wheelBits)
+	for _, it := range ck.wheelItems {
+		// In-wheel at capture ⟹ within the span of ck.cycle, so this
+		// re-inserts into the wheel, never the heap.
+		c.scheduleDone(it.doneAt, it.seq)
+	}
+	copy(c.posSeq, ck.posSeq)
+	c.spWriters = append(c.spWriters[:0], ck.spWriters...)
+	copy(c.pend, ck.pend)
+	for i := range c.waiters {
+		c.waiters[i] = append(c.waiters[i][:0], ck.waiters[i]...)
+	}
+	c.readyList = append(c.readyList[:0], ck.readyList...)
+	c.serQ = append(c.serQ[:0], ck.serQ...)
+	c.serHead = 0
+	c.blockIdx = 0 // locateBlock's binary search re-seats the cursor
+
+	c.committedProgram = ck.committedProgram
+	c.committedOther = ck.committedOther
+	c.squashedProgram = ck.squashedProgram
+	c.squashedOther = ck.squashedOther
+	c.fetchedTotal = ck.fetchedTotal
+	return true
+}
+
+// Committed returns the total program micro-ops retired so far (the
+// live counterpart of Checkpoint.Committed).
+func (c *Core) Committed() uint64 { return c.committedProgram }
+
+// RunUntil advances the core to exactly cycle until (using the same
+// idle fast-forward as Run, clamped so it lands on the boundary),
+// bounded by maxProgramUops as a safety net. It returns true when the
+// core reached until with budget to spare — the state a warmup wants to
+// checkpoint — and false when the program ran dry or went quiescent
+// first.
+func (c *Core) RunUntil(until, maxProgramUops uint64) bool {
+	target := c.committedProgram + maxProgramUops
+	for c.cycle < until && c.committedProgram < target {
+		c.step()
+		if c.progDone && c.head == c.tail && c.cur == nil && c.pendHead >= len(c.pendQueue) &&
+			c.replayExhausted() {
+			break
+		}
+		if !c.didWork {
+			next, ok := c.nextEventCycle()
+			if !ok {
+				break
+			}
+			if next > until {
+				next = until
+			}
+			if next > c.cycle+1 {
+				c.cycle = next - 1
+			}
+		}
+	}
+	return c.cycle == until && c.committedProgram < target
+}

@@ -14,6 +14,46 @@ package cpu
 
 import "xui/internal/isa"
 
+// Engine selects the core's execution machinery. Both engines compute
+// the same function — every result, record and timestamp is
+// bit-identical — they differ only in how fast they get there, which is
+// what the differential tests in differential_test.go pin.
+type Engine uint8
+
+const (
+	// EngineAuto follows the package-level fast-forward switch
+	// (SetFastForward), the default.
+	EngineAuto Engine = iota
+	// EngineInterpreted forces the original per-cycle issue-queue scan
+	// and per-op stream interpretation. Kept as the reference
+	// implementation and -fastforward=false escape hatch.
+	EngineInterpreted
+	// EngineFast forces the decoded-tape engine: dataflow wakeup
+	// scheduling instead of the scan, direct indexing into decoded tapes,
+	// and basic-block fast-forward fetch outside the fidelity window.
+	EngineFast
+)
+
+// fastForward is the package-level default for Engine == EngineAuto,
+// set by the -fastforward flag on the CLIs. Like every configuration
+// knob in this package it must be set from the coordinating goroutine
+// before cores run (flag parsing, test setup); sweep workers only read
+// it, through New/Reset, after the goroutine-spawn happens-before.
+var fastForward = true
+
+// SetFastForward toggles the decoded fast-forward engine for cores
+// configured with EngineAuto. On by default; turning it off forces the
+// interpreted reference engine everywhere.
+func SetFastForward(on bool) { fastForward = on }
+
+// FastForwardEnabled reports the package-level fast-forward default.
+func FastForwardEnabled() bool { return fastForward }
+
+// DefaultFidelityWindow is the lookahead, in cycles, within which an
+// expected interrupt arrival forces fetch back to full per-op fidelity
+// (see Config.FidelityWindow).
+const DefaultFidelityWindow = 256
+
 // Strategy selects how the core reconciles an arriving interrupt with
 // in-flight speculative work.
 type Strategy uint8
@@ -102,6 +142,18 @@ type Config struct {
 
 	// Ucode supplies the microcode routines for interrupt delivery.
 	Ucode UcodeSet
+
+	// Engine selects the execution machinery (identical results either
+	// way); EngineAuto follows SetFastForward.
+	Engine Engine
+
+	// FidelityWindow bounds how close, in cycles, the next known
+	// interrupt arrival may be before fetch abandons block-granular
+	// fast-forward for the per-op path. It is machinery, not model: both
+	// paths rename identically, so results do not depend on its value —
+	// a contract the differential tests exercise at several window
+	// sizes. 0 means DefaultFidelityWindow.
+	FidelityWindow uint64
 }
 
 // UcodeSet is the MSROM contents relevant to user interrupts. The routines
@@ -148,33 +200,8 @@ func DefaultConfig() Config {
 	}
 }
 
-// latencyFor returns the execution latency of op.
-func latencyFor(op *isa.MicroOp) int {
-	if op.Lat != 0 {
-		return int(op.Lat)
-	}
-	switch op.Class {
-	case isa.Nop:
-		return 1
-	case isa.IntAlu:
-		return 1
-	case isa.IntMult:
-		return 3
-	case isa.FPAlu:
-		return 3
-	case isa.FPMult:
-		return 4
-	case isa.Branch:
-		return 1
-	case isa.Store:
-		return 1 // address generation; data retires via the SQ
-	case isa.Serialize:
-		return 32
-	case isa.Load:
-		return 0 // determined by the memory port at issue
-	}
-	return 1
-}
+// Execution latencies live in isa.Decode's per-class defaults now; the
+// pipeline reads them pre-resolved from each decoded op.
 
 // MemPort is the pipeline's view of the memory system. internal/mem
 // satisfies it directly for a private hierarchy; multi-core machines wire a

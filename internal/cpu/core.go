@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"xui/internal/isa"
 )
@@ -16,9 +17,15 @@ const (
 
 // robEntry is one in-flight micro-op.
 type robEntry struct {
-	seq       uint64
-	streamPos uint64 // program-stream position; valid when op.Source == SrcProgram
-	op        isa.MicroOp
+	seq uint64
+	// gen is a monotonically increasing rename stamp. Seq numbers are
+	// reused after a misprediction squash (tail rewinds), so references
+	// held outside the ROB (the fast engine's wakeup lists) validate
+	// against (seq, gen) pairs — seq alone could match a refetched op in
+	// the same slot.
+	gen       uint64
+	streamPos uint64 // program-stream position; valid when op.Src() == SrcProgram
+	op        isa.UOp
 	dep1      uint64 // absolute seq of producers; 0 = none
 	dep2      uint64
 	depSP     uint64 // stack-pointer producer for ReadsSP ops
@@ -63,12 +70,12 @@ type IntrRecord struct {
 type intrState struct {
 	intr           Interrupt
 	rec            *IntrRecord
-	seqOps         []isa.MicroOp // the full stamped sequence notif+delivery+handler+uiret
-	deliveryHi     int           // index of last delivery op within seqOps
-	notifHi        int           // index of last notification op, -1 if skipped
-	injectPos      int           // next seqOps index to inject
-	firstSeq       uint64        // ROB seq of first injected op in the current injection
-	injected       bool          // currently (re-)injected into the window
+	seqOps         []isa.UOp // the full stamped sequence notif+delivery+handler+uiret
+	deliveryHi     int       // index of last delivery op within seqOps
+	notifHi        int       // index of last notification op, -1 if skipped
+	injectPos      int       // next seqOps index to inject
+	firstSeq       uint64    // ROB seq of first injected op in the current injection
+	injected       bool      // currently (re-)injected into the window
 	committedFirst bool
 	waitBoundary   bool // waiting for an instruction boundary (or safepoint)
 }
@@ -86,10 +93,15 @@ type Core struct {
 	cycle uint64
 
 	// ROB ring buffer: seq numbers start at 1; entry for seq s lives at
-	// ent[s%len(ent)]. head = oldest in-flight seq, tail = next seq.
-	ent  []robEntry
-	head uint64
-	tail uint64
+	// ent[s&entMask]. head = oldest in-flight seq, tail = next seq. The
+	// ring is sized to the next power of two above cfg.ROBSize so the
+	// slot lookup — on every hot path — is a mask, not a hardware
+	// division; logical capacity stays cfg.ROBSize.
+	ent     []robEntry
+	entMask uint64
+	posMask uint64 // same for the posSeq ring
+	head    uint64
+	tail    uint64
 
 	iqCount int
 	lqCount int
@@ -98,9 +110,25 @@ type Core struct {
 	// iqList holds the seqs of stWaiting entries in fetch order; it is
 	// compacted lazily as entries issue or are squashed.
 	iqList []uint64
-	// doneHeap is a min-heap of (doneAt<<? ) completion times for issued
-	// entries, enabling O(completions) writeback and idle fast-forward.
+	// doneHeap holds completions scheduled at least wheelSpan cycles out
+	// (DRAM-class loads with large modelled extra latency); everything
+	// nearer lives in the timing wheel below. Heap order is (doneAt, seq)
+	// so the writeback merge with the wheel bucket drains one global
+	// completion order.
 	doneHeap compHeap
+	// The timing wheel: wheel[doneAt&wheelMask] holds the seqs (ascending)
+	// of ops completing at doneAt, for every completion within wheelSpan
+	// cycles of now. A bucket never mixes two completion cycles: all live
+	// doneAts sit in (cycle, cycle+wheelSpan), an interval that meets each
+	// residue class mod wheelSpan exactly once. wheelAt[b] records the
+	// bucket's doneAt; wheelBits is the non-empty bitmap that makes the
+	// idle fast-forward scan (wheelNext) a handful of word tests. This
+	// turns the common-case completion schedule from heap sift traffic
+	// into an append and a bucket drain.
+	wheel     [][]uint64
+	wheelAt   []uint64
+	wheelBits []uint64
+	wheelMask uint64
 	// serializing counts Serialize ops currently executing.
 	serializing int
 	// progress flags for the current cycle (set by the stages).
@@ -109,12 +137,31 @@ type Core struct {
 	// Program front-end.
 	prog      isa.Stream
 	progDone  bool
-	buf       []isa.MicroOp // replay window of fetched-but-uncommitted program ops
-	bufOff    int           // index of the window's oldest op within buf
-	bufBase   uint64        // stream position of buf[bufOff]
-	fetchPos  uint64        // next stream position to fetch
-	commitPos uint64        // number of program ops committed (= next pos to commit)
-	posSeq    []uint64      // in-flight seq per stream position (ring)
+	buf       []isa.UOp // replay window of fetched-but-uncommitted program ops
+	bufOff    int       // index of the window's oldest op within buf
+	bufBase   uint64    // stream position of buf[bufOff]
+	fetchPos  uint64    // next stream position to fetch
+	commitPos uint64    // number of program ops committed (= next pos to commit)
+	posSeq    []uint64  // in-flight seq per stream position (ring)
+
+	// Fast engine (see fast.go). fast selects the wakeup-scheduler issue
+	// path; dec, when non-nil, is the program's decoded tape, fetched by
+	// direct indexing (fetchPos is the index; buf stays empty).
+	fast     bool
+	dec      *isa.DecodedTape
+	blockIdx int    // dec.Blocks cursor for block-granular fetch
+	fidelity uint64 // resolved FidelityWindow
+	genCtr   uint64 // rename stamp source (see robEntry.gen)
+	// pend counts unresolved producers per ROB slot; waiters holds the
+	// (seq, gen) refs to wake when the slot's op completes.
+	pend    []int32
+	waiters [][]entryRef
+	// readyList holds ready-but-unissued entries in ascending seq order
+	// (stale refs are dropped lazily). serQ is a FIFO of in-flight
+	// Serialize ops, drained from serHead.
+	readyList []entryRef
+	serQ      []entryRef
+	serHead   int
 
 	fetchStallUntil uint64
 	draining        bool
@@ -159,28 +206,77 @@ type Core struct {
 	squashedProgram  uint64 // program uops squashed (lost work)
 	squashedOther    uint64
 	//xui:aliased
-	records          []IntrRecord
-	fetchedTotal     uint64
+	records      []IntrRecord
+	fetchedTotal uint64
 }
+
+// ringSize rounds n up to a power of two: ring slot lookups become a
+// mask instead of a division by a runtime-variable length.
+func ringSize(n int) int {
+	r := 1
+	for r < n {
+		r <<= 1
+	}
+	return r
+}
+
+// wheelSpan is the timing wheel's horizon in cycles (power of two). It
+// covers every fixed-latency unit and all cache-hit loads; only
+// DRAM-class completions with large modelled extra latency overflow to
+// the heap, which keeps that path exercised rather than dead.
+const wheelSpan = 256
 
 // New builds a core over a program stream and a memory port.
 func New(cfg Config, prog isa.Stream, mp MemPort) *Core {
 	if cfg.ROBSize == 0 {
 		cfg = DefaultConfig()
 	}
+	ring := ringSize(cfg.ROBSize)
 	c := &Core{
-		cfg:    cfg,
-		mem:    mp,
-		prog:   prog,
-		ent:    make([]robEntry, cfg.ROBSize),
-		head:   1,
-		tail:   1,
-		posSeq: make([]uint64, 4096),
-		buf:    make([]isa.MicroOp, 0, 1024),
-		iqList: make([]uint64, 0, cfg.IQSize),
-		uifSet: true,
+		cfg:       cfg,
+		mem:       mp,
+		prog:      prog,
+		ent:       make([]robEntry, ring),
+		entMask:   uint64(ring - 1),
+		head:      1,
+		tail:      1,
+		posSeq:    make([]uint64, 4096),
+		posMask:   4096 - 1,
+		buf:       make([]isa.UOp, 0, 1024),
+		iqList:    make([]uint64, 0, cfg.IQSize),
+		pend:      make([]int32, ring),
+		waiters:   make([][]entryRef, ring),
+		readyList: make([]entryRef, 0, cfg.IQSize),
+		wheel:     make([][]uint64, wheelSpan),
+		wheelAt:   make([]uint64, wheelSpan),
+		wheelBits: make([]uint64, wheelSpan/64),
+		wheelMask: wheelSpan - 1,
+		uifSet:    true,
 	}
+	c.initEngine()
 	return c
+}
+
+// initEngine resolves the execution engine and, for tape-backed programs
+// on the fast engine, swaps the per-op stream cursor for the tape's
+// decoded random-access form. Called from New and Reset.
+func (c *Core) initEngine() {
+	c.fast = c.cfg.Engine == EngineFast ||
+		(c.cfg.Engine == EngineAuto && FastForwardEnabled())
+	c.fidelity = c.cfg.FidelityWindow
+	if c.fidelity == 0 {
+		c.fidelity = DefaultFidelityWindow
+	}
+	c.dec = nil
+	c.blockIdx = 0
+	if !c.fast {
+		return
+	}
+	if ts, ok := c.prog.(*isa.TapeStream); ok && ts.Pos() == 0 {
+		if t := ts.Tape(); t != nil {
+			c.dec = t.Decoded()
+		}
+	}
 }
 
 // Reset reinitializes the core for a fresh run of prog under cfg,
@@ -207,15 +303,30 @@ func (c *Core) Reset(cfg Config, prog isa.Stream, mp MemPort) {
 	c.mem = mp
 	c.cycle = 0
 
-	if len(c.ent) != cfg.ROBSize {
-		c.ent = make([]robEntry, cfg.ROBSize) //xui:alloc ROB resize; pooled resets reuse the ring at equal size
+	if ring := ringSize(cfg.ROBSize); len(c.ent) != ring {
+		c.ent = make([]robEntry, ring) //xui:alloc ROB resize; pooled resets reuse the ring at equal size
+		c.pend = make([]int32, ring)
+		c.waiters = make([][]entryRef, ring) //xui:alloc ROB resize; pooled resets reuse the ring at equal size
+		c.entMask = uint64(ring - 1)
 	} else {
 		clear(c.ent)
+		clear(c.pend)
+		for i := range c.waiters {
+			c.waiters[i] = c.waiters[i][:0]
+		}
 	}
 	c.head, c.tail = 1, 1
 	c.iqCount, c.lqCount, c.sqCount = 0, 0, 0
 	c.iqList = c.iqList[:0]
+	c.readyList = c.readyList[:0]
+	c.serQ = c.serQ[:0]
+	c.serHead = 0
+	c.genCtr = 0
 	c.doneHeap.items = c.doneHeap.items[:0]
+	for b := range c.wheel {
+		c.wheel[b] = c.wheel[b][:0]
+	}
+	clear(c.wheelBits)
 	c.serializing = 0
 	c.didWork = false
 
@@ -248,6 +359,8 @@ func (c *Core) Reset(cfg Config, prog isa.Stream, mp MemPort) {
 	c.squashedProgram, c.squashedOther = 0, 0
 	c.records = nil
 	c.fetchedTotal = 0
+
+	c.initEngine()
 }
 
 // Cycle returns the current cycle.
@@ -310,7 +423,7 @@ func (c *Core) Run(maxProgramUops, maxCycles uint64) Result {
 	for c.committedProgram < target && c.cycle < limit {
 		c.step()
 		if c.progDone && c.head == c.tail && c.cur == nil && c.pendHead >= len(c.pendQueue) &&
-			c.bufOff+int(c.fetchPos-c.bufBase) >= len(c.buf) {
+			c.replayExhausted() {
 			// Stream exhausted, window drained, no delivery in progress,
 			// and no squashed ops awaiting refetch from the replay buffer.
 			break
@@ -340,6 +453,16 @@ func (c *Core) Run(maxProgramUops, maxCycles uint64) Result {
 		res.IPC = float64(res.CommittedProgram) / float64(res.Cycles)
 	}
 	return res
+}
+
+// replayExhausted reports that no fetched-but-uncommitted program op
+// remains to refetch: fetchPos has reached the end of the decoded tape,
+// or (buf path) the replay window.
+func (c *Core) replayExhausted() bool {
+	if c.dec != nil {
+		return c.fetchPos >= uint64(len(c.dec.Ops))
+	}
+	return c.bufOff+int(c.fetchPos-c.bufBase) >= len(c.buf)
 }
 
 // RunCycles advances the core by exactly n cycles (no idle fast-forward),
@@ -377,6 +500,9 @@ func (c *Core) nextEventCycle() (uint64, bool) {
 	if it, ok := c.doneHeap.peek(); ok {
 		merge(it.doneAt)
 	}
+	if t, ok := c.wheelNext(); ok {
+		merge(t)
+	}
 	if c.cycle < c.fetchStallUntil {
 		merge(c.fetchStallUntil)
 	}
@@ -392,28 +518,122 @@ func (c *Core) nextEventCycle() (uint64, bool) {
 	return next, true
 }
 
+// scheduleDone enters an issued op into the completion schedule: the
+// timing wheel for anything within wheelSpan cycles (the overwhelmingly
+// common case), the overflow heap beyond. Both engines route every
+// issue through here, so completions drain in one shared (doneAt, seq)
+// order regardless of engine.
+//
+//xui:noalloc
+func (c *Core) scheduleDone(doneAt, seq uint64) {
+	if doneAt-c.cycle >= wheelSpan {
+		c.doneHeap.push(doneAt, seq)
+		return
+	}
+	b := doneAt & c.wheelMask
+	bk := c.wheel[b]
+	if len(bk) == 0 {
+		c.wheelBits[b>>6] |= 1 << (b & 63)
+		c.wheelAt[b] = doneAt
+	}
+	// Keep the bucket ascending in seq. Same-cycle issue walks its list
+	// oldest-first, so the common append is at the tail; only ops issued
+	// on earlier cycles into the same completion cycle shift anything.
+	i := len(bk)
+	bk = append(bk, 0)
+	for i > 0 && bk[i-1] > seq {
+		bk[i] = bk[i-1]
+		i--
+	}
+	bk[i] = seq
+	c.wheel[b] = bk
+}
+
+// wheelNext returns the earliest completion cycle pending in the wheel.
+// Every live doneAt lies in (cycle, cycle+wheelSpan), an interval that
+// walks the ring monotonically from slot cycle+1 — so the first set
+// bitmap bit in ring order from there is the minimum.
+//
+//xui:noalloc
+func (c *Core) wheelNext() (uint64, bool) {
+	start := (c.cycle + 1) & c.wheelMask
+	w0, off := start>>6, start&63
+	if word := c.wheelBits[w0] & (^uint64(0) << off); word != 0 {
+		b := w0<<6 + uint64(bits.TrailingZeros64(word))
+		return c.wheelAt[b], true
+	}
+	nw := uint64(len(c.wheelBits))
+	for i := uint64(1); i < nw; i++ {
+		w := (w0 + i) & (nw - 1)
+		if word := c.wheelBits[w]; word != 0 {
+			b := w<<6 + uint64(bits.TrailingZeros64(word))
+			return c.wheelAt[b], true
+		}
+	}
+	if word := c.wheelBits[w0] &^ (^uint64(0) << off); word != 0 {
+		b := w0<<6 + uint64(bits.TrailingZeros64(word))
+		return c.wheelAt[b], true
+	}
+	return 0, false
+}
+
 // writeback marks finished executions done and resolves branch
 // mispredictions at execute time.
 func (c *Core) writeback() {
+	// Merge this cycle's wheel bucket with the overflow heap so
+	// completions drain in the one global (doneAt, seq) order both
+	// engines define. The bucket is ascending in seq and holds a single
+	// doneAt (== cycle), so a two-way merge suffices.
+	b := c.cycle & c.wheelMask
+	var bucket []uint64
+	if c.wheelBits[b>>6]&(1<<(b&63)) != 0 {
+		bucket = c.wheel[b]
+	}
+	bi := 0
 	for {
 		it, ok := c.doneHeap.peek()
 		if !ok || it.doneAt > c.cycle {
-			return
+			break
+		}
+		for bi < len(bucket) && (compItem{c.cycle, bucket[bi]}).before(it) {
+			c.completeEntry(bucket[bi], c.cycle)
+			bi++
 		}
 		c.doneHeap.pop()
-		e := &c.ent[it.seq%uint64(len(c.ent))]
-		if e.seq != it.seq || e.state != stIssued || e.doneAt != it.doneAt {
-			continue // stale entry from a squashed op
-		}
-		e.state = stDone
-		c.didWork = true
-		if e.op.Class == isa.Serialize {
-			c.serializing--
-		}
-		if e.op.Class == isa.Branch && e.op.Mispredict {
-			c.resolveMispredict(e)
-			// Younger entries are gone; stale heap items self-discard.
-		}
+		c.completeEntry(it.seq, it.doneAt)
+	}
+	for ; bi < len(bucket); bi++ {
+		c.completeEntry(bucket[bi], c.cycle)
+	}
+	if bucket != nil {
+		c.wheel[b] = bucket[:0]
+		c.wheelBits[b>>6] &^= 1 << (b & 63)
+	}
+}
+
+// completeEntry finishes one execution (from the wheel bucket or the
+// overflow heap), validating the reference against the ROB first — a
+// squashed op's stale completion is simply discarded.
+//
+//xui:noalloc
+func (c *Core) completeEntry(seq, doneAt uint64) {
+	e := &c.ent[seq&c.entMask]
+	if e.seq != seq || e.state != stIssued || e.doneAt != doneAt {
+		return // stale entry from a squashed op
+	}
+	e.state = stDone
+	c.didWork = true
+	if e.op.Class == isa.Serialize {
+		c.serializing--
+	}
+	if e.op.Class == isa.Branch && e.op.Is(isa.FMispredict) {
+		c.resolveMispredict(e)
+		// Younger entries are gone; stale completions self-discard. The
+		// branch's own consumers were all younger, so no wakeup either.
+		return
+	}
+	if c.fast {
+		c.wakeWaiters(seq)
 	}
 }
 
@@ -540,15 +760,13 @@ func (s *intrState) buildSequence(cfg Config) {
 	s.notifHi = -1
 	if !s.intr.SkipNotification {
 		for _, op := range cfg.Ucode.Notification.Ops {
-			op.Source = isa.SrcIntrUcode
-			ops = append(ops, op)
+			ops = append(ops, isa.Decode(op).WithSource(isa.SrcIntrUcode))
 		}
 		s.notifHi = len(ops) - 1
 	}
 	deliveryLo := len(ops)
 	for _, op := range cfg.Ucode.Delivery.Ops {
-		op.Source = isa.SrcIntrUcode
-		ops = append(ops, op)
+		ops = append(ops, isa.Decode(op).WithSource(isa.SrcIntrUcode))
 	}
 	if s.notifHi >= 0 && deliveryLo < len(ops) {
 		// The delivery routine pushes the vector that notification
@@ -566,12 +784,10 @@ func (s *intrState) buildSequence(cfg Config) {
 		if op.Mispredict {
 			panic("cpu: mispredicting branches are not supported inside interrupt handlers")
 		}
-		op.Source = isa.SrcHandler
-		ops = append(ops, op)
+		ops = append(ops, isa.Decode(op).WithSource(isa.SrcHandler))
 	}
 	for _, op := range cfg.Ucode.Uiret.Ops {
-		op.Source = isa.SrcIntrUcode
-		ops = append(ops, op)
+		ops = append(ops, isa.Decode(op).WithSource(isa.SrcIntrUcode))
 	}
 	if len(ops) == 0 {
 		panic("cpu: empty interrupt sequence; configure Ucode")
@@ -591,7 +807,7 @@ func (c *Core) beginInjection() {
 
 func (c *Core) commit() {
 	for n := 0; n < c.cfg.RetireWidth && c.head < c.tail; n++ {
-		e := &c.ent[c.head%uint64(len(c.ent))]
+		e := &c.ent[c.head&c.entMask]
 		if e.state != stDone || e.doneAt > c.cycle {
 			return
 		}
@@ -608,10 +824,10 @@ func (c *Core) retire(e *robEntry) {
 	case isa.Store:
 		c.sqCount--
 	}
-	if e.op.WritesSP && len(c.spWriters) > 0 && c.spWriters[0] == e.seq {
+	if e.op.Is(isa.FWritesSP) && len(c.spWriters) > 0 && c.spWriters[0] == e.seq {
 		c.spWriters = c.spWriters[1:]
 	}
-	if e.op.Source == isa.SrcProgram {
+	if e.op.Src() == isa.SrcProgram {
 		c.committedProgram++
 		c.commitPos = e.streamPos + 1
 		if c.OnProgramCommit != nil {
@@ -619,7 +835,8 @@ func (c *Core) retire(e *robEntry) {
 		}
 		// Trim the replay buffer by advancing the head cursor; the backing
 		// array is compacted (not abandoned) so appends reuse its capacity.
-		if c.commitPos > c.bufBase {
+		// Decoded tapes fetch by index and never touch buf.
+		if c.dec == nil && c.commitPos > c.bufBase {
 			trim := c.commitPos - c.bufBase
 			if trim > uint64(len(c.buf)-c.bufOff) {
 				trim = uint64(len(c.buf) - c.bufOff)
@@ -703,6 +920,10 @@ func (c *Core) finishInterrupt() {
 // ---- issue / execute ------------------------------------------------------
 
 func (c *Core) issue() {
+	if c.fast {
+		c.issueFast()
+		return
+	}
 	if len(c.iqList) == 0 || c.serializing > 0 {
 		return
 	}
@@ -713,7 +934,7 @@ func (c *Core) issue() {
 	out := c.iqList[:0]
 	blocked := false
 	for li, seq := range c.iqList {
-		e := &c.ent[seq%uint64(len(c.ent))]
+		e := &c.ent[seq&c.entMask]
 		if e.seq != seq || e.state != stWaiting {
 			continue // issued earlier or squashed; drop from the list
 		}
@@ -772,18 +993,16 @@ func (c *Core) issue() {
 			out = append(out, seq)
 			continue
 		}
-		lat := latencyFor(&e.op)
+		lat := int(e.op.Lat)
 		if e.op.Class == isa.Load {
-			if e.op.Shared {
+			if e.op.Is(isa.FShared) {
 				lat = c.mem.SharedLoad(e.op.Addr)
 			} else {
 				lat = c.mem.Load(e.op.Addr)
 			}
-			if e.op.Lat != 0 {
-				lat += int(e.op.Lat) // extra modelled cost on top of cache
-			}
+			lat += int(e.op.Lat) // extra modelled cost on top of cache
 		} else if e.op.Class == isa.Store {
-			if e.op.Shared {
+			if e.op.Is(isa.FShared) {
 				c.mem.SharedStore(e.op.Addr)
 			} else {
 				c.mem.Store(e.op.Addr)
@@ -791,7 +1010,7 @@ func (c *Core) issue() {
 		}
 		e.state = stIssued
 		e.doneAt = c.cycle + uint64(lat)
-		c.doneHeap.push(e.doneAt, seq)
+		c.scheduleDone(e.doneAt, seq)
 		c.iqCount--
 		issued++
 		c.didWork = true
@@ -814,7 +1033,7 @@ func (c *Core) depDone(seq uint64) bool {
 	if seq == 0 || seq < c.head {
 		return true
 	}
-	p := &c.ent[seq%uint64(len(c.ent))]
+	p := &c.ent[seq&c.entMask]
 	if p.seq != seq {
 		return true // squashed producer; value comes from refetch ordering
 	}
@@ -837,9 +1056,9 @@ func (c *Core) resolveMispredict(branch *robEntry) {
 	}
 	intrSquashed := false
 	for s := bseq + 1; s < c.tail; s++ {
-		e := &c.ent[s%uint64(len(c.ent))]
+		e := &c.ent[s&c.entMask]
 		c.releaseSquashed(e)
-		if e.op.Source != isa.SrcProgram {
+		if e.op.Src() != isa.SrcProgram {
 			intrSquashed = true
 		}
 	}
@@ -852,8 +1071,13 @@ func (c *Core) resolveMispredict(branch *robEntry) {
 	for len(c.spWriters) > 0 && c.spWriters[len(c.spWriters)-1] > bseq {
 		c.spWriters = c.spWriters[:len(c.spWriters)-1]
 	}
-	// Redirect program fetch to the op after the branch.
+	// Redirect program fetch to the op after the branch. With a decoded
+	// tape, progDone is a pure function of fetchPos — recompute it after
+	// the rewind (the buf path keeps it sticky and replays from buf).
 	c.fetchPos = branch.streamPos + 1
+	if c.dec != nil {
+		c.progDone = c.fetchPos >= uint64(len(c.dec.Ops))
+	}
 	squashCycles := uint64((n + c.cfg.SquashWidth - 1) / c.cfg.SquashWidth)
 	c.fetchStallUntil = c.cycle + squashCycles + uint64(c.cfg.FrontEndDepth)
 
@@ -897,26 +1121,34 @@ func (c *Core) releaseSquashed(e *robEntry) {
 	case isa.Store:
 		c.sqCount--
 	}
-	if e.op.Source == isa.SrcProgram {
+	if e.op.Src() == isa.SrcProgram {
 		c.squashedProgram++
 	} else {
 		c.squashedOther++
 	}
 	e.seq = 0 // invalidate for depDone checks
+	e.gen = 0 // invalidate fast-engine (seq, gen) references
 }
 
 // squashAllInFlight implements the Flush strategy's arrival action.
 func (c *Core) squashAllInFlight() {
 	for s := c.head; s < c.tail; s++ {
-		e := &c.ent[s%uint64(len(c.ent))]
+		e := &c.ent[s&c.entMask]
 		c.releaseSquashed(e)
 	}
 	c.tail = c.head
 	c.iqList = c.iqList[:0]
+	c.readyList = c.readyList[:0]
+	c.serQ = c.serQ[:0]
+	c.serHead = 0
 	c.spWriters = c.spWriters[:0]
 	c.barrierSeq = 0
-	// Refetch from the oldest uncommitted program op.
+	// Refetch from the oldest uncommitted program op (see the progDone
+	// note in resolveMispredict).
 	c.fetchPos = c.commitPos
+	if c.dec != nil {
+		c.progDone = c.fetchPos >= uint64(len(c.dec.Ops))
+	}
 }
 
 // compactIQ removes issue-queue references younger than bseq.
@@ -939,6 +1171,14 @@ func (c *Core) fetch() {
 	if c.draining {
 		return
 	}
+	// Block-granular fast-forward: decoded program fetch with no
+	// injection in progress and no arrival inside the fidelity window
+	// renames whole clean basic blocks (fast.go). Both paths rename
+	// identically; this is purely a throughput switch.
+	if c.dec != nil && c.cur == nil && !c.arrivalSoon() {
+		c.fetchFast()
+		return
+	}
 	for n := 0; n < c.cfg.FetchWidth; n++ {
 		if c.barrierSeq != 0 {
 			if !c.barrierResolved() {
@@ -946,7 +1186,7 @@ func (c *Core) fetch() {
 			}
 			c.barrierSeq = 0
 		}
-		if c.tail-c.head >= uint64(len(c.ent)) {
+		if c.tail-c.head >= uint64(c.cfg.ROBSize) {
 			return // ROB full
 		}
 		if c.iqCount >= c.cfg.IQSize {
@@ -980,7 +1220,7 @@ type fetchSrc struct {
 }
 
 // nextFetchOp returns the next op the front-end would fetch.
-func (c *Core) nextFetchOp() (isa.MicroOp, fetchSrc, bool) {
+func (c *Core) nextFetchOp() (isa.UOp, fetchSrc, bool) {
 	// Active interrupt injection takes priority.
 	if st := c.cur; st != nil && st.injected && st.injectPos < len(st.seqOps) {
 		op := st.seqOps[st.injectPos]
@@ -992,12 +1232,12 @@ func (c *Core) nextFetchOp() (isa.MicroOp, fetchSrc, bool) {
 	// waiting for a boundary/safepoint).
 	op, ok := c.peekProgram()
 	if !ok {
-		return isa.MicroOp{}, fetchSrc{}, false
+		return isa.UOp{}, fetchSrc{}, false
 	}
 	if st := c.cur; st != nil && st.waitBoundary {
-		atBoundary := op.BoundaryStart
+		atBoundary := op.Is(isa.FBoundary)
 		if c.cfg.SafepointMode {
-			atBoundary = atBoundary && op.Safepoint
+			atBoundary = atBoundary && op.Is(isa.FSafepoint)
 		}
 		if atBoundary {
 			st.waitBoundary = false
@@ -1012,19 +1252,29 @@ func (c *Core) nextFetchOp() (isa.MicroOp, fetchSrc, bool) {
 	return op, fetchSrc{program: true, pos: c.fetchPos - 1}, true
 }
 
-// peekProgram returns the op at fetchPos without consuming it.
-func (c *Core) peekProgram() (isa.MicroOp, bool) {
+// peekProgram returns the op at fetchPos without consuming it. With a
+// decoded tape, fetchPos indexes the tape directly; otherwise ops are
+// decoded once as they are pulled from the stream into the replay
+// buffer.
+func (c *Core) peekProgram() (isa.UOp, bool) {
+	if c.dec != nil {
+		if c.fetchPos < uint64(len(c.dec.Ops)) {
+			return c.dec.Ops[c.fetchPos], true
+		}
+		c.progDone = true
+		return isa.UOp{}, false
+	}
 	idx := c.bufOff + int(c.fetchPos-c.bufBase)
 	for idx >= len(c.buf) {
 		if c.progDone {
-			return isa.MicroOp{}, false
+			return isa.UOp{}, false
 		}
 		op, ok := c.prog.Next()
 		if !ok {
 			c.progDone = true
-			return isa.MicroOp{}, false
+			return isa.UOp{}, false
 		}
-		c.buf = append(c.buf, op)
+		c.buf = append(c.buf, isa.Decode(op))
 	}
 	return c.buf[idx], true
 }
@@ -1041,13 +1291,13 @@ func (c *Core) unfetch(src fetchSrc) {
 }
 
 // rename allocates the ROB entry and resolves dependences.
-func (c *Core) rename(op isa.MicroOp, src fetchSrc) {
+func (c *Core) rename(op isa.UOp, src fetchSrc) {
 	seq := c.tail
 	c.tail++
-	e := &c.ent[seq%uint64(len(c.ent))]
-	*e = robEntry{seq: seq, op: op, state: stWaiting}
+	e := &c.ent[seq&c.entMask]
+	c.genCtr++
+	*e = robEntry{seq: seq, gen: c.genCtr, op: op, state: stWaiting}
 	c.iqCount++
-	c.iqList = append(c.iqList, seq)
 	c.fetchedTotal++
 	c.didWork = true
 	switch op.Class {
@@ -1059,7 +1309,7 @@ func (c *Core) rename(op isa.MicroOp, src fetchSrc) {
 
 	if src.program {
 		e.streamPos = src.pos
-		c.posSeq[src.pos%uint64(len(c.posSeq))] = seq
+		c.posSeq[src.pos&c.posMask] = seq
 		e.dep1 = c.progDep(src.pos, op.Dep1)
 		e.dep2 = c.progDep(src.pos, op.Dep2)
 	} else {
@@ -1079,14 +1329,19 @@ func (c *Core) rename(op isa.MicroOp, src fetchSrc) {
 			e.dep2 = seq - uint64(op.Dep2)
 		}
 	}
-	if op.ReadsSP && len(c.spWriters) > 0 {
+	if op.Is(isa.FReadsSP) && len(c.spWriters) > 0 {
 		e.depSP = c.spWriters[len(c.spWriters)-1]
 	}
-	if op.WritesSP {
+	if op.Is(isa.FWritesSP) {
 		c.spWriters = append(c.spWriters, seq)
 	}
-	if op.FetchBarrier {
+	if op.Is(isa.FFetchBarrier) {
 		c.barrierSeq = seq
+	}
+	if c.fast {
+		c.enqueueFast(e)
+	} else {
+		c.iqList = append(c.iqList, seq)
 	}
 }
 
@@ -1096,7 +1351,7 @@ func (c *Core) barrierResolved() bool {
 	if c.barrierSeq < c.head {
 		return true // already committed
 	}
-	e := &c.ent[c.barrierSeq%uint64(len(c.ent))]
+	e := &c.ent[c.barrierSeq&c.entMask]
 	if e.seq != c.barrierSeq {
 		return true // squashed; re-injection re-arms as needed
 	}
@@ -1120,7 +1375,7 @@ func (c *Core) progDep(pos uint64, dist uint32) uint64 {
 	if pos-q >= uint64(len(c.posSeq)) {
 		return 0 // beyond the tracking window: treat as satisfied
 	}
-	return c.posSeq[q%uint64(len(c.posSeq))]
+	return c.posSeq[q&c.posMask]
 }
 
 // InFlight returns the number of micro-ops currently in the window.

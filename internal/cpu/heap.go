@@ -1,8 +1,14 @@
 package cpu
 
 // compHeap is a binary min-heap of pending execution completions, ordered
-// by doneAt. Entries are validated against the ROB on pop (a squashed op's
-// stale heap entry is simply discarded).
+// by (doneAt, seq): same-cycle completions drain oldest-first. The seq
+// tiebreak is load-bearing — two mispredicted branches resolving in one
+// cycle squash different entry counts depending on which goes first, and
+// SquashWidth turns that count into cycles — and it is what lets the fast
+// timing wheel's bucket drain merge back into the identical completion
+// order (see Core.writeback).
+// Entries are validated against the ROB on pop (a squashed op's stale
+// heap entry is simply discarded).
 type compHeap struct {
 	items []compItem
 }
@@ -12,12 +18,17 @@ type compItem struct {
 	seq    uint64
 }
 
+// before reports whether a orders ahead of b in (doneAt, seq) order.
+func (a compItem) before(b compItem) bool {
+	return a.doneAt < b.doneAt || (a.doneAt == b.doneAt && a.seq < b.seq)
+}
+
 func (h *compHeap) push(doneAt, seq uint64) {
 	h.items = append(h.items, compItem{doneAt, seq})
 	i := len(h.items) - 1
 	for i > 0 {
 		p := (i - 1) / 2
-		if h.items[p].doneAt <= h.items[i].doneAt {
+		if !h.items[i].before(h.items[p]) {
 			break
 		}
 		h.items[p], h.items[i] = h.items[i], h.items[p]
@@ -41,10 +52,10 @@ func (h *compHeap) pop() compItem {
 	for {
 		l, r := 2*i+1, 2*i+2
 		small := i
-		if l < n && h.items[l].doneAt < h.items[small].doneAt {
+		if l < n && h.items[l].before(h.items[small]) {
 			small = l
 		}
-		if r < n && h.items[r].doneAt < h.items[small].doneAt {
+		if r < n && h.items[r].before(h.items[small]) {
 			small = r
 		}
 		if small == i {

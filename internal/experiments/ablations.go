@@ -5,6 +5,7 @@ import (
 
 	"xui/internal/core"
 	"xui/internal/cpu"
+	"xui/internal/isa"
 	"xui/internal/kernel"
 	"xui/internal/kvstore"
 	"xui/internal/loadgen"
@@ -99,8 +100,9 @@ func SafepointDensity(spacings []int, uops uint64) []SafepointDensityRow {
 	return runGrid("safepoint-density", spacings, func(_ int, every int) SafepointDensityRow {
 		cfg := receiverCfg(cpu.Tracked)
 		cfg.SafepointMode = true
-		prog := trace.NewSafepointAnnotated(workloadStream("matmul", 1, uops), every)
-		res := runReceiver(cfg, prog, uops, uops*400,
+		res := runReceiverWarm(cfg, fmt.Sprintf("matmul/1+sp%d", every),
+			func() isa.Stream { return trace.RecordedSafepoint("matmul", 1, uops, every) },
+			uops, uops*400, period-1,
 			func(c *cpu.Core, _ *cpu.PrivatePort) {
 				c.PeriodicInterrupts(period, period, func() cpu.Interrupt {
 					return cpu.Interrupt{Vector: 1, SkipNotification: true, Handler: CtxSwitchHandler()}
@@ -139,9 +141,11 @@ type PollDensityRow struct {
 func PollDensity(spacings []int, uops uint64) []PollDensityRow {
 	base := workloadBaseline("matmul", 1, uops, uops*400)
 	return runGrid("poll-density", spacings, func(_ int, every int) PollDensityRow {
-		prog := trace.NewPollInstrumented(workloadStream("matmul", 1, uops), every, FlagAddr)
 		total := uops + uops/uint64(every)*2
-		res := runReceiver(receiverCfg(cpu.Flush), prog, total, total*400, nil)
+		res := baselineRun(fmt.Sprintf("matmul/1+poll%d", every),
+			func() isa.Stream {
+				return trace.RecordedPoll("matmul", 1, uops, every, FlagAddr)
+			}, total, total*400)
 		return PollDensityRow{
 			Every:       every,
 			OverheadPct: 100 * (float64(res.Cycles) - float64(base.Cycles)) / float64(base.Cycles),

@@ -84,15 +84,21 @@ func fig5Run(workload, method string, period, uops uint64) float64 {
 		// Concord instrumentation: the poll checks execute regardless of
 		// preemption rate; each positive check (one per quantum) costs a
 		// cross-core line transfer, a mispredicted branch, and the user
-		// context switch.
-		prog := trace.NewPollInstrumented(workloadStream(workload, 1, uops), pollCheckEvery, FlagAddr)
+		// context switch. The simulated run is interrupt-free and therefore
+		// quantum-independent — baselineRun memoizes it, so all quanta of a
+		// workload share one simulation.
 		total := uops + uops/pollCheckEvery*2
-		res := runReceiver(receiverCfg(cpu.Flush), prog, total, total*400, nil)
+		res := baselineRun(workload+"/1+poll25",
+			func() isa.Stream {
+				return trace.RecordedPoll(workload, 1, uops, pollCheckEvery, FlagAddr)
+			}, total, total*400)
 		positives := float64(res.Cycles) / float64(period)
 		posCost := float64(core.PollingNotifyCost+core.UserContextSwitch) + float64(cpu.DefaultConfig().FrontEndDepth)
 		return float64(res.Cycles) + positives*posCost
 	case "uipi":
-		res := runReceiver(receiverCfg(cpu.Flush), workloadStream(workload, 1, uops), uops, uops*400,
+		res := runReceiverWarm(receiverCfg(cpu.Flush), workload+"/1",
+			func() isa.Stream { return workloadStream(workload, 1, uops) },
+			uops, uops*400, period-1,
 			func(c *cpu.Core, port *cpu.PrivatePort) {
 				c.PeriodicInterrupts(period, period, func() cpu.Interrupt {
 					port.MarkRemoteWrite(UPIDAddr)
@@ -103,8 +109,11 @@ func fig5Run(workload, method string, period, uops uint64) float64 {
 	case "xui-safepoint":
 		cfg := receiverCfg(cpu.Tracked)
 		cfg.SafepointMode = true
-		prog := trace.NewSafepointAnnotated(workloadStream(workload, 1, uops), safepointEvery)
-		res := runReceiver(cfg, prog, uops, uops*400,
+		res := runReceiverWarm(cfg, workload+"/1+sp25",
+			func() isa.Stream {
+				return trace.RecordedSafepoint(workload, 1, uops, safepointEvery)
+			},
+			uops, uops*400, period-1,
 			func(c *cpu.Core, _ *cpu.PrivatePort) {
 				c.PeriodicInterrupts(period, period, func() cpu.Interrupt {
 					return cpu.Interrupt{Vector: 1, SkipNotification: true, Handler: CtxSwitchHandler()}

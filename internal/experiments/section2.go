@@ -1,10 +1,11 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
 
 	"xui/internal/core"
-	"xui/internal/cpu"
+	"xui/internal/isa"
 	"xui/internal/trace"
 )
 
@@ -55,8 +56,9 @@ func Section2() Section2Result {
 func pollSlowdown(workload string, checkEvery int, uops uint64) float64 {
 	rb := workloadBaseline(workload, 1, uops, uops*400)
 	total := uops + uops/uint64(checkEvery)*2
-	ri := runReceiver(receiverCfg(cpu.Flush),
-		trace.NewPollInstrumented(workloadStream(workload, 1, uops), checkEvery, FlagAddr),
-		total, total*400, nil)
+	ri := baselineRun(fmt.Sprintf("%s/1+poll%d", workload, checkEvery),
+		func() isa.Stream {
+			return trace.RecordedPoll(workload, 1, uops, checkEvery, FlagAddr)
+		}, total, total*400)
 	return 100 * (float64(ri.Cycles) - float64(rb.Cycles)) / float64(rb.Cycles)
 }

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
 
 	"xui/internal/cpu"
+	"xui/internal/isa"
 	"xui/internal/trace"
 )
 
@@ -44,8 +46,15 @@ func S35PointerChase(workingSetsKB []int) []S35ChaseRow {
 }
 
 func s35ChasePoint(s cpu.Strategy, wsKB int) float64 {
-	prog := trace.NewPointerChase(21, uint64(wsKB)<<10, 0)
-	res := runReceiver(receiverCfg(s), prog, 30000, 80_000_000,
+	// First arrival at 45013: flush and drain share one warm checkpoint per
+	// working set up to 45012.
+	key := fmt.Sprintf("chase/21/%d/0", uint64(wsKB)<<10)
+	mk := func() isa.Stream {
+		return trace.RecordedStream(key, 30000, func() isa.Stream {
+			return trace.NewPointerChase(21, uint64(wsKB)<<10, 0)
+		})
+	}
+	res := runReceiverWarm(receiverCfg(s), key, mk, 30000, 80_000_000, 45012,
 		func(c *cpu.Core, port *cpu.PrivatePort) {
 			for i := uint64(1); i <= 10; i++ {
 				port.MarkRemoteWrite(UPIDAddr)
@@ -83,7 +92,9 @@ func S35Linearity(counts []int) S35FlushLinearity {
 	out := S35FlushLinearity{Interrupts: counts}
 	out.Squashed = runGrid("s35linearity", counts, func(_ int, k int) uint64 {
 		uops := uint64(k+2) * 5000 / 2 * 3 // enough uops to span all arrivals
-		res := runReceiver(receiverCfg(cpu.Flush), workloadStream("linpack", 4, uops), uops, 50_000_000,
+		res := runReceiverWarm(receiverCfg(cpu.Flush), "linpack/4",
+			func() isa.Stream { return workloadStream("linpack", 4, uops) },
+			uops, 50_000_000, 4999,
 			func(c *cpu.Core, port *cpu.PrivatePort) {
 				for i := 1; i <= k; i++ {
 					port.MarkRemoteWrite(UPIDAddr)

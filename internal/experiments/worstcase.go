@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"fmt"
+
 	"xui/internal/cpu"
+	"xui/internal/isa"
 	"xui/internal/stats"
 	"xui/internal/trace"
 )
@@ -61,9 +64,16 @@ type wcLatency struct {
 func worstCaseLatency(s cpu.Strategy, chainLen int) wcLatency {
 	// An SP write every chainLen hops ties RSP to a chain of that length.
 	// It is a worst-*case* study: deliver several interrupts at different
-	// chain phases and report the maximum delivery latency observed.
-	prog := trace.NewPointerChase(17, 256<<20, chainLen)
-	res := runReceiver(receiverCfg(s), prog, 60000, 100_000_000,
+	// chain phases and report the maximum delivery latency observed. The
+	// first arrival is at 40013, so both strategies share one warm
+	// checkpoint per chain length up to 40012.
+	key := fmt.Sprintf("chase/17/%d/%d", uint64(256<<20), chainLen)
+	mk := func() isa.Stream {
+		return trace.RecordedStream(key, 60000, func() isa.Stream {
+			return trace.NewPointerChase(17, 256<<20, chainLen)
+		})
+	}
+	res := runReceiverWarm(receiverCfg(s), key, mk, 60000, 100_000_000, 40012,
 		func(c *cpu.Core, _ *cpu.PrivatePort) {
 			for i := uint64(1); i <= 12; i++ {
 				// Prime-ish spacing decorrelates arrival phase from chain phase.

@@ -1,5 +1,10 @@
 package isa
 
+import (
+	"sync"
+	"sync/atomic"
+)
+
 // Tape is an immutable recorded micro-op sequence. Workload generators
 // (internal/trace) are deterministic but pay per-op RNG and weight
 // arithmetic on every Next; recording a generator's output once into a
@@ -15,6 +20,24 @@ package isa
 type Tape struct {
 	name string
 	ops  []MicroOp
+
+	// opsFn, when non-nil, materializes ops on first demand. Derived
+	// tapes (trace.RecordedPoll and friends) are consumed almost
+	// exclusively through their decoded form — the fast pipeline never
+	// reads a MicroOp — so building the 48-byte-per-op array eagerly
+	// is pure waste in the common case. Interpreted runs and the
+	// differential tests force it through Ops.
+	opsOnce sync.Once
+	opsFn   func() []MicroOp
+
+	// dec caches the tape's decoded form. Built lazily on first use and
+	// shared by every core running the tape; sync.Once because sweep
+	// workers race to the first decode. Tape growth (trace's registry)
+	// builds a whole new Tape, so a DecodedTape never changes underneath
+	// a stream holding it.
+	decOnce  sync.Once
+	decBuilt atomic.Bool // true once dec is published (set inside decOnce)
+	dec      *DecodedTape
 }
 
 // NewTape wraps ops as a tape named name, taking ownership of the
@@ -23,21 +46,83 @@ func NewTape(name string, ops []MicroOp) *Tape {
 	return &Tape{name: name, ops: ops}
 }
 
+// NewTapePreDecoded wraps ops together with an already-decoded UOp
+// array, for derivations that compute both forms by array transform
+// from an existing tape instead of re-lowering every MicroOp. uops
+// must be element-wise equal to decoding ops (the derived-tape tests
+// pin this); the block partition is rebuilt here — a two-instruction
+// scan per op, noise next to a full decode. Takes ownership of both
+// slices.
+func NewTapePreDecoded(name string, ops []MicroOp, uops []UOp) *Tape {
+	t := &Tape{name: name, ops: ops}
+	t.dec = &DecodedTape{Name: name, Ops: uops, Blocks: buildBlocks(uops)}
+	t.decOnce.Do(func() {}) // mark built so Decoded never re-lowers
+	t.decBuilt.Store(true)
+	return t
+}
+
+// NewTapeLazyOps builds a tape whose execution-ready decoded form is
+// supplied up front and whose MicroOp array is materialized only on
+// first demand (Ops, or a TapeStream cursor actually reading). opsFn
+// must produce exactly the sequence uops decodes from — the derived-
+// tape differential tests force the lazy side and pin the equivalence.
+func NewTapeLazyOps(name string, uops []UOp, opsFn func() []MicroOp) *Tape {
+	t := &Tape{name: name, opsFn: opsFn}
+	t.dec = &DecodedTape{Name: name, Ops: uops, Blocks: buildBlocks(uops)}
+	t.decOnce.Do(func() {}) // mark built so Decoded never re-lowers
+	t.decBuilt.Store(true)
+	return t
+}
+
 // Name identifies the recorded workload.
 func (t *Tape) Name() string { return t.name }
 
-// Len returns the number of recorded micro-ops.
-func (t *Tape) Len() int { return len(t.ops) }
+// Len returns the number of recorded micro-ops. It never triggers a
+// lazy materialization: decode is element-wise, so the decoded length
+// is the answer.
+func (t *Tape) Len() int {
+	if t.opsFn != nil {
+		return len(t.dec.Ops)
+	}
+	return len(t.ops)
+}
 
 // Ops exposes the recorded sequence for inspection (tests compare
-// tapes against live generators). The returned slice is the tape's
-// backing array: read-only by contract.
-func (t *Tape) Ops() []MicroOp { return t.ops }
+// tapes against live generators), materializing it first for lazy
+// tapes. The returned slice is the tape's backing array: read-only by
+// contract.
+func (t *Tape) Ops() []MicroOp {
+	if t.opsFn != nil {
+		t.opsOnce.Do(func() { t.ops = t.opsFn() })
+	}
+	return t.ops
+}
+
+// Decoded returns the tape's decoded, execution-ready form, building it
+// on first call. Safe for concurrent use.
+func (t *Tape) Decoded() *DecodedTape {
+	t.decOnce.Do(func() {
+		t.dec = decodeTape(t.name, t.ops)
+		t.decBuilt.Store(true)
+	})
+	return t.dec
+}
+
+// DecodedIfBuilt returns the decoded form only if some caller already
+// paid for it, nil otherwise — it never triggers the decode. Tape
+// growth uses this to reuse the old tape's decode as the prefix of the
+// grown one instead of re-lowering ops it already lowered.
+func (t *Tape) DecodedIfBuilt() *DecodedTape {
+	if t.decBuilt.Load() {
+		return t.dec
+	}
+	return nil
+}
 
 // Stream returns a fresh replayer positioned at the start of the tape.
 // Streams are independent cursors; any number may be live at once.
 func (t *Tape) Stream() *TapeStream {
-	return &TapeStream{name: t.name, ops: t.ops}
+	return &TapeStream{name: t.name, ops: t.ops, tape: t}
 }
 
 // TapeStream replays a Tape through the Stream interface. Next is a
@@ -47,10 +132,18 @@ type TapeStream struct {
 	name string
 	ops  []MicroOp
 	pos  int
+	tape *Tape
 }
 
 // Name implements Stream.
 func (s *TapeStream) Name() string { return s.name }
+
+// Tape returns the backing tape, letting a pipeline swap the per-op
+// cursor for the tape's decoded random-access form.
+func (s *TapeStream) Tape() *Tape { return s.tape }
+
+// Pos returns the cursor position (ops already consumed).
+func (s *TapeStream) Pos() int { return s.pos }
 
 // Next implements Stream. It returns ok=false past the end of the
 // tape; callers size tapes so a budgeted pipeline run never gets
@@ -59,11 +152,26 @@ func (s *TapeStream) Name() string { return s.name }
 //xui:noalloc
 func (s *TapeStream) Next() (MicroOp, bool) {
 	if s.pos >= len(s.ops) {
-		return MicroOp{}, false
+		if !s.materialize() {
+			return MicroOp{}, false
+		}
 	}
 	op := s.ops[s.pos]
 	s.pos++
 	return op, true
+}
+
+// materialize pulls the backing array from a lazily-materialized tape
+// the first time a per-op cursor actually reads it. Cold path of Next:
+// a stream over an eager tape (s.ops already set) never gets here with
+// anything to do, and pipelines running the decoded form never call
+// Next at all.
+func (s *TapeStream) materialize() bool {
+	if s.ops != nil || s.tape == nil {
+		return false
+	}
+	s.ops = s.tape.Ops()
+	return s.pos < len(s.ops)
 }
 
 // Reset rewinds the stream to the start of the tape.

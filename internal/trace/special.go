@@ -66,6 +66,14 @@ func (p *PointerChase) Next() (isa.MicroOp, bool) {
 	return op, true
 }
 
+// Fill fills dst exactly as len(dst) successive Next calls would (the
+// batchFiller fast path in tape.go).
+func (p *PointerChase) Fill(dst []isa.MicroOp) {
+	for i := range dst {
+		dst[i], _ = p.Next()
+	}
+}
+
 // RdtscLoop models the receiver measurement loop from §3.4: a tight loop
 // that reads the TSC and stores it. Three ops per iteration, fully
 // predictable.

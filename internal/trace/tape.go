@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"unsafe"
@@ -112,10 +113,162 @@ func Recorded(name string, seed, budget uint64) isa.Stream {
 	if !tapesOn.Load() {
 		return ByName(name, seed)
 	}
-	need := int(budget + TapeSlack)
+	return recordedStream(tapeKey{name, seed}, int(budget+TapeSlack),
+		func() isa.Stream { return ByName(name, seed) })
+}
 
-	key := tapeKey{name, seed}
+// RecordedPoll returns a stream of the named microbenchmark wrapped
+// with Concord-style poll instrumentation (NewPollInstrumented),
+// tape-backed like Recorded. innerBudget is the budget of *inner*
+// workload ops the run will commit; the tape is sized for the combined
+// stream (two instrumentation ops per check). Distinct check spacings
+// record distinct tapes — but all of them derive from the one shared
+// base recording of (name, seed): the instrumentation only interleaves
+// fixed check ops with the unmodified inner stream, so the derived
+// array is element-identical to recording the instrumented generator
+// while a density sweep pays the synth generator exactly once.
+func RecordedPoll(name string, seed, innerBudget uint64, every int, flagAddr uint64) isa.Stream {
+	if every < 1 {
+		every = 1
+	}
+	if !tapesOn.Load() {
+		return NewPollInstrumented(ByName(name, seed), every, flagAddr)
+	}
+	total := innerBudget + innerBudget/uint64(every)*2
+	// Quantize upfront: innerNeed must cover the quantized output
+	// length derivedStream will actually build.
+	need := quantizeTapeLen(int(total + TapeSlack))
+	// need output ops consume ~every/(every+2) of them as inner ops;
+	// round up with a trailing-partial-group margin.
+	innerNeed := need/(every+2)*every + 2*every + 8
+	if innerNeed > need {
+		innerNeed = need
+	}
+	baseT := recordedTape(tapeKey{name, seed}, innerNeed,
+		func() isa.Stream { return ByName(name, seed) })
+	if baseT == nil {
+		return nil
+	}
+	base, baseU := baseT.Ops(), baseT.Decoded().Ops
+	checkLoad := isa.MicroOp{Class: isa.Load, Addr: flagAddr, Shared: true, BoundaryStart: true}
+	checkBr := isa.MicroOp{Class: isa.Branch, Dep1: 1, BoundaryStart: true}
+	checkLoadU, checkBrU := isa.Decode(checkLoad), isa.Decode(checkBr)
+	return derivedStream(tapeKey{fmt.Sprintf("%s+poll%d", name, every), seed}, need,
+		func(n int) ([]isa.UOp, func() []isa.MicroOp) {
+			uout := make([]isa.UOp, 0, n)
+			since, i := 0, 0
+			for len(uout) < n {
+				// Mirrors PollInstrumented.Next exactly: after every inner
+				// ops, a shared-flag load then a dependent branch.
+				if since >= every {
+					since = 0
+					uout = append(uout, checkLoadU)
+					if len(uout) < n {
+						uout = append(uout, checkBrU)
+					}
+					continue
+				}
+				if i >= len(base) {
+					panic("trace: derived poll tape exhausted its base recording")
+				}
+				uout = append(uout, baseU[i])
+				i++
+				since++
+			}
+			return uout, func() []isa.MicroOp {
+				// Same interleave over the MicroOp side; the eager pass
+				// above already proved base covers n, so indexing is safe.
+				out := make([]isa.MicroOp, 0, n)
+				since, i := 0, 0
+				for len(out) < n {
+					if since >= every {
+						since = 0
+						out = append(out, checkLoad)
+						if len(out) < n {
+							out = append(out, checkBr)
+						}
+						continue
+					}
+					out = append(out, base[i])
+					i++
+					since++
+				}
+				return out
+			}
+		})
+}
+
+// RecordedSafepoint is RecordedPoll's analogue for hardware-safepoint
+// annotation (NewSafepointAnnotated): one op per inner op, so budget is
+// the run's op budget directly. Like RecordedPoll it derives from the
+// shared base recording — the annotation sets a flag on every
+// markEvery-th op and changes nothing else.
+func RecordedSafepoint(name string, seed, budget uint64, every int) isa.Stream {
+	if every < 1 {
+		every = 1
+	}
+	if !tapesOn.Load() {
+		return NewSafepointAnnotated(ByName(name, seed), every)
+	}
+	need := quantizeTapeLen(int(budget + TapeSlack))
+	baseT := recordedTape(tapeKey{name, seed}, need,
+		func() isa.Stream { return ByName(name, seed) })
+	if baseT == nil {
+		return nil
+	}
+	base, baseU := baseT.Ops(), baseT.Decoded().Ops
+	return derivedStream(tapeKey{fmt.Sprintf("%s+sp%d", name, every), seed}, need,
+		func(n int) ([]isa.UOp, func() []isa.MicroOp) {
+			uout := append([]isa.UOp(nil), baseU[:n]...)
+			for i := every - 1; i < n; i += every {
+				uout[i].Flags |= isa.FSafepoint
+			}
+			return uout, func() []isa.MicroOp {
+				out := append([]isa.MicroOp(nil), base[:n]...)
+				for i := every - 1; i < n; i += every {
+					out[i].Safepoint = true
+				}
+				return out
+			}
+		})
+}
+
+// RecordedStream tape-backs an arbitrary deterministic generator under
+// an explicit registry key. key must uniquely identify mk()'s output
+// (embed every generator parameter); mk is only called to record or
+// grow the tape, or directly when tapes are off.
+func RecordedStream(key string, budget uint64, mk func() isa.Stream) isa.Stream {
+	if !tapesOn.Load() {
+		return mk()
+	}
+	return recordedStream(tapeKey{key, 0}, int(budget+TapeSlack), mk)
+}
+
+// batchFiller is an optional Stream extension: fill dst completely, in
+// exactly the order the same number of Next calls would produce. It lets
+// recording write micro-ops straight into the tape's backing array
+// instead of round-tripping each 48-byte op through an interface call.
+type batchFiller interface {
+	Fill(dst []isa.MicroOp)
+}
+
+// tapeQuantum rounds recording sizes up so repeated requests for
+// slightly different lengths — a density sweep's varying combined
+// budgets, the shared base under different derivations — hit one
+// recording instead of growing over and over. Growth is not just the
+// suffix generation: it publishes a fresh Tape whose micro-op decode
+// is recomputed from scratch, which dwarfs the cost of recording a
+// few thousand ops nobody replays.
+const tapeQuantum = 16384
+
+func quantizeTapeLen(need int) int {
+	return (need + tapeQuantum - 1) / tapeQuantum * tapeQuantum
+}
+
+// tapeEntryFor interns the registry entry for key.
+func tapeEntryFor(key tapeKey) *tapeEntry {
 	tapeReg.mu.Lock()
+	defer tapeReg.mu.Unlock()
 	if tapeReg.m == nil {
 		tapeReg.m = make(map[tapeKey]*tapeEntry)
 	}
@@ -124,28 +277,106 @@ func Recorded(name string, seed, budget uint64) isa.Stream {
 		e = &tapeEntry{}
 		tapeReg.m[key] = e
 	}
-	tapeReg.mu.Unlock()
+	return e
+}
 
+// growLocked records or grows the entry (e.mu held) so it holds at least
+// need ops, returning false when mkGen produces no generator. The
+// already-recorded prefix is copied into a fresh array (the old tape and
+// any live replayers keep the old one) and only the suffix is generated
+// from the retained generator.
+func (e *tapeEntry) growLocked(key tapeKey, need int, mkGen func() isa.Stream) bool {
+	if e.gen == nil {
+		e.gen = mkGen()
+		if e.gen == nil {
+			return false
+		}
+	}
+	n0 := len(e.ops)
+	grown := make([]isa.MicroOp, need)
+	copy(grown, e.ops)
+	old := e.tape
+	e.ops = grown
+	if bf, ok := e.gen.(batchFiller); ok {
+		bf.Fill(e.ops[n0:])
+	} else {
+		for i := n0; i < need; i++ {
+			e.ops[i], _ = e.gen.Next()
+		}
+	}
+	// If someone already paid for the old tape's decode, grow it too:
+	// copy the prefix lowering and decode only the new suffix, instead
+	// of letting the fresh tape re-lower everything on first use.
+	if old != nil {
+		if dec := old.DecodedIfBuilt(); dec != nil {
+			uops := make([]isa.UOp, 0, need)
+			uops = append(uops, dec.Ops...)
+			uops = isa.DecodeSlice(uops, e.ops[n0:])
+			e.tape = isa.NewTapePreDecoded(key.name, e.ops, uops)
+			tapeReg.recordings.Add(1)
+			return true
+		}
+	}
+	e.tape = isa.NewTape(key.name, e.ops)
+	tapeReg.recordings.Add(1)
+	return true
+}
+
+// recordedStream returns a replayer over the registry tape for key,
+// recording or growing it first (from mkGen's stream) so it holds at
+// least need ops.
+func recordedStream(key tapeKey, need int, mkGen func() isa.Stream) isa.Stream {
+	need = quantizeTapeLen(need)
+	e := tapeEntryFor(key)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.tape == nil || e.tape.Len() < need {
-		if e.gen == nil {
-			e.gen = ByName(name, seed)
-			if e.gen == nil {
-				return nil
-			}
+		if !e.growLocked(key, need, mkGen) {
+			return nil
 		}
-		// Copy the already-recorded prefix into a fresh array (the old
-		// tape and any live replayers keep the old one) and generate only
-		// the suffix from the retained generator.
-		grown := make([]isa.MicroOp, len(e.ops), need)
-		copy(grown, e.ops)
-		e.ops = grown
-		for len(e.ops) < need {
-			op, _ := e.gen.Next()
-			e.ops = append(e.ops, op)
+	} else {
+		tapeReg.replays.Add(1)
+	}
+	return e.tape.Stream()
+}
+
+// recordedTape ensures the registry entry for key holds at least need
+// recorded ops and returns its tape (immutable once returned: growth
+// publishes a fresh Tape). Derivations read its ops and decode
+// directly, so the base decode is shared with every plain run.
+func recordedTape(key tapeKey, need int, mkGen func() isa.Stream) *isa.Tape {
+	need = quantizeTapeLen(need)
+	e := tapeEntryFor(key)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.tape == nil || e.tape.Len() < need {
+		if !e.growLocked(key, need, mkGen) {
+			return nil
 		}
-		e.tape = isa.NewTape(name, e.ops)
+	}
+	return e.tape
+}
+
+// derivedStream returns a replayer over a tape computed by build —
+// a pure function of already-recorded ops returning the micro-op array
+// and its element-wise decode (build(n) must be a prefix of build(m)
+// for n < m, which any deterministic derivation satisfies). Growth
+// rebuilds from scratch: derivation runs at memcpy speed, so retaining
+// generator state buys nothing.
+func derivedStream(key tapeKey, need int, build func(n int) ([]isa.UOp, func() []isa.MicroOp)) isa.Stream {
+	need = quantizeTapeLen(need)
+	e := tapeEntryFor(key)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.tape == nil || e.tape.Len() < need {
+		// Only the decoded form is built eagerly: the fast pipeline
+		// reads nothing else. The MicroOp array comes from opsFn the
+		// first time an interpreted run or a test asks. e.ops stays nil
+		// — derived entries have no generator, so the growth path never
+		// applies; a larger need rebuilds through build instead.
+		uops, opsFn := build(need)
+		e.ops = nil
+		e.tape = isa.NewTapeLazyOps(key.name, uops, opsFn)
 		tapeReg.recordings.Add(1)
 	} else {
 		tapeReg.replays.Add(1)

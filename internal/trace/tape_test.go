@@ -55,8 +55,62 @@ func TestRecordedGrowth(t *testing.T) {
 	if s.Recordings != 2 || s.Replays != 1 {
 		t.Errorf("stats = %+v, want 2 recordings / 1 replay", s)
 	}
-	if s.Tapes != 1 || s.Ops != 20000+TapeSlack {
-		t.Errorf("stats = %+v, want 1 tape of %d ops", s, 20000+TapeSlack)
+	if want := uint64(quantizeTapeLen(20000 + TapeSlack)); s.Tapes != 1 || s.Ops != want {
+		t.Errorf("stats = %+v, want 1 tape of %d ops", s, want)
+	}
+}
+
+// TestDerivedTapesMatchGenerators checks the poll- and safepoint-
+// instrumented tapes — which derive from the shared base recording by
+// interleave/annotation instead of re-running the instrumented
+// generator — replay exactly what the live instrumented generator
+// produces, across a density sweep and through growth.
+func TestDerivedTapesMatchGenerators(t *testing.T) {
+	defer ResetTapes()
+	for _, every := range []int{1, 2, 7, 25, 100} {
+		ResetTapes()
+		const inner = 3000
+		tape := RecordedPoll("matmul", 3, inner, every, 0xF0)
+		live := NewPollInstrumented(ByName("matmul", 3), every, 0xF0)
+		n := inner + inner/every*2 + TapeSlack
+		for i := 0; i < n; i++ {
+			got, _ := tape.Next()
+			want, _ := live.Next()
+			if got != want {
+				t.Fatalf("poll every=%d: op %d differs: tape %+v, live %+v", every, i, got, want)
+			}
+		}
+		// Growth must keep the shorter derivation as an exact prefix.
+		grownTape := RecordedPoll("matmul", 3, 2*inner, every, 0xF0)
+		liveG := NewPollInstrumented(ByName("matmul", 3), every, 0xF0)
+		for i := 0; i < 2*inner; i++ {
+			got, _ := grownTape.Next()
+			want, _ := liveG.Next()
+			if got != want {
+				t.Fatalf("poll every=%d grown: op %d differs: tape %+v, live %+v", every, i, got, want)
+			}
+		}
+
+		spTape := RecordedSafepoint("fib", 5, inner, every)
+		spLive := NewSafepointAnnotated(ByName("fib", 5), every)
+		for i := 0; i < inner+TapeSlack; i++ {
+			got, _ := spTape.Next()
+			want, _ := spLive.Next()
+			if got != want {
+				t.Fatalf("safepoint every=%d: op %d differs: tape %+v, live %+v", every, i, got, want)
+			}
+		}
+
+		// The pre-seeded decode must equal lowering each micro-op.
+		for _, s := range []isa.Stream{tape, spTape} {
+			dt := s.(*isa.TapeStream).Tape()
+			dec := dt.Decoded()
+			for i, m := range dt.Ops() {
+				if dec.Ops[i] != isa.Decode(m) {
+					t.Fatalf("%s every=%d: decoded op %d is %+v, want %+v", dt.Name(), every, i, dec.Ops[i], isa.Decode(m))
+				}
+			}
+		}
 	}
 }
 

@@ -96,6 +96,15 @@ func (g *synth) nextAddr() uint64 {
 	return g.addrBase + g.rng.Uint64n(g.addrSpan)&^7
 }
 
+// Fill fills dst exactly as len(dst) successive Next calls would,
+// letting tape recording write straight into the backing array (the
+// batchFiller fast path in tape.go).
+func (g *synth) Fill(dst []isa.MicroOp) {
+	for i := range dst {
+		dst[i], _ = g.Next()
+	}
+}
+
 // Name implements isa.Stream.
 func (g *synth) Name() string { return g.name }
 
