@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test bench bench-delta bench-gate-tier1 microbench race run-all sweep-profile examples check fuzz fix-annotations
+.PHONY: all build vet test bench bench-scale bench-delta bench-gate-tier1 microbench race run-all sweep-profile examples check fuzz fix-annotations
 
 all: build vet test
 
@@ -22,19 +22,35 @@ fix-annotations:
 test:
 	go test ./...
 
-# Regenerate the committed perf baseline: per-experiment wall times at one
-# worker (so the numbers are comparable across machines with different core
-# counts), sim hot-loop ns/op and allocs/op, run-cache statistics, and the
-# aggregate latency-histogram tails (simulated cycles, machine-independent).
+# Regenerate the committed perf baseline. The sweep engine is parallel
+# (-j N fans grid points across workers), but the baseline is deliberately
+# pinned to -j 1 and -shards 1: wall times at one worker are comparable
+# across machines with different core counts, and a committed baseline
+# taken at -j $(nproc) on one contributor's box would make every other
+# box's bench-delta read as a phantom regression. Records per-experiment
+# wall times, sim hot-loop ns/op and allocs/op (including the sharded
+# engine's epoch-barrier and cross-shard-send rows), run-cache statistics,
+# and the aggregate latency-histogram tails (simulated cycles,
+# machine-independent). scale/scaleseq are included explicitly — they are
+# not part of "all" because they measure the sharded engine itself.
 bench:
-	go run ./cmd/xuibench -exp all -quick -j 1 -benchjson BENCH_sweep.json
+	go run ./cmd/xuibench -exp all,scale,scaleseq -quick -j 1 -shards 1 -benchjson BENCH_sweep.json
+
+# Measure the sharded Tier-2 engine with real parallelism: the scale
+# experiments at -shards $(nproc) (every other knob as in bench). Rows are
+# byte-identical to the -shards 1 baseline (TestShardParity); only the
+# wall times in the JSON move. Writes a side file, never the committed
+# baseline — engine-width wall times are machine-specific by nature.
+bench-scale:
+	go run ./cmd/xuibench -exp scale -quick -j 1 -shards $$(nproc) -benchjson /tmp/xuibench_scale.json
+	@echo "wrote /tmp/xuibench_scale.json; compare wallMs against BENCH_sweep.json's scale rows"
 
 # Time the current tree against the committed baseline without touching it:
 # prints per-experiment wall-time and tail-latency deltas (negative = better
 # than committed) and exits nonzero when total wall time or any aggregate
 # p99 regresses by more than 10%.
 bench-delta:
-	go run ./cmd/xuibench -exp all -quick -j 1 -benchjson /tmp/xuibench_delta.json -benchbase BENCH_sweep.json -benchgate 10
+	go run ./cmd/xuibench -exp all,scale,scaleseq -quick -j 1 -shards 1 -benchjson /tmp/xuibench_delta.json -benchbase BENCH_sweep.json -benchgate 10
 
 # CI perf gate on the Tier-1-bound subset: the experiments dominated by
 # the cycle-stepped pipeline (the fast engine's beneficiaries), timed at

@@ -15,6 +15,7 @@ import (
 	"xui/internal/mem"
 	"xui/internal/obs"
 	"xui/internal/report"
+	"xui/internal/shard"
 	"xui/internal/sim"
 	"xui/internal/trace"
 )
@@ -269,6 +270,43 @@ func benchHotLoops() []hotLoopRow {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				s.Cancel(s.After(10, fn))
+			}
+		})),
+		// One iteration = one full epoch cycle on a 4-shard engine with one
+		// resident event per shard: window computation, per-shard RunBefore,
+		// mailbox drain, barrier (mirrors BenchmarkEpochBarrier).
+		row("sim/epoch-barrier", testing.Benchmark(func(b *testing.B) {
+			const n = 4
+			e := shard.New(1, n, 100, 1)
+			for i := 0; i < n; i++ {
+				i := i
+				var tick sim.Handler
+				tick = func(now sim.Time) { e.Shard(i).After(100, tick) }
+				e.Shard(i).Schedule(1, tick)
+			}
+			e.RunUntil(1_000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := e.Shard(0).Now()
+			for i := 0; i < b.N; i++ {
+				e.RunUntil(start + sim.Time(i+1)*100)
+			}
+		})),
+		// One iteration = one cross-shard message through the epoch
+		// mailboxes: push, barrier merge, destination schedule (mirrors
+		// BenchmarkCrossShardSend).
+		row("sim/cross-shard-send", testing.Benchmark(func(b *testing.B) {
+			e := shard.New(1, 2, 100, 1)
+			var h0, h1 sim.Handler
+			h0 = func(now sim.Time) { e.Send(0, 1, now+100, h1) }
+			h1 = func(now sim.Time) { e.Send(1, 0, now+100, h0) }
+			e.Shard(0).Schedule(1, h0)
+			e.RunUntil(1_000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := e.Shard(0).Now()
+			for i := 0; i < b.N; i++ {
+				e.RunUntil(start + sim.Time(i+1)*100)
 			}
 		})),
 		row("cpu/decode", testing.Benchmark(func(b *testing.B) {

@@ -31,7 +31,7 @@ func fatal(err error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment(s) to run, comma-separated: all, table2, fig2, fig4, fig5, fig6, fig7, fig8, fig9, worstcase, section2, ablations, multiworker, duet (e.g. -exp fig4,fig5,section2)")
+	exp := flag.String("exp", "all", "experiment(s) to run, comma-separated: all, table2, fig2, fig4, fig5, fig6, fig7, fig8, fig9, worstcase, section2, ablations, multiworker, duet, scale, scaleseq (e.g. -exp fig4,fig5,section2; scale/scaleseq are not part of all)")
 	quick := flag.Bool("quick", false, "smaller sweeps / shorter horizons")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	plotOut := flag.Bool("plot", false, "render ASCII charts of the curve figures (fig5, fig8, fig9)")
@@ -40,6 +40,7 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for the grid-experiment sweeps; results are identical at any value")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "worker goroutines driving the sharded Tier-2 engine (scale experiments); results are identical at any value")
 	benchJSON := flag.String("benchjson", "", "time each experiment and the sim hot loops, writing a machine-readable perf record to this file")
 	benchBase := flag.String("benchbase", "", "with -benchjson: committed baseline record to print per-experiment wall-time deltas against")
 	benchGate := flag.Float64("benchgate", 0, "with -benchjson and -benchbase: exit nonzero when total wall time or any latency-histogram p99 regresses by more than this percentage")
@@ -49,6 +50,7 @@ func main() {
 	checkOn := flag.Bool("check", false, "run with invariant checking: assert the protocol conservation laws on every delivery, print the check report, exit nonzero on violations")
 	flag.Parse()
 	experiments.SetWorkers(*workers)
+	experiments.SetShards(*shards)
 	experiments.SetCaching(!*nocache)
 	cpu.SetFastForward(*fastforward)
 
@@ -157,7 +159,12 @@ func main() {
 		"multiworker": runMultiWorker,
 		"section35":   runSection35,
 		"duet":        runDuet,
+		"scale":       runScale,
+		"scaleseq":    runScaleSeq,
 	}
+	// scale/scaleseq stay out of "all": they measure the sharded engine at
+	// cluster sizes and are requested explicitly (the Makefile bench target
+	// adds them so BENCH_sweep.json tracks the sharded/sequential pair).
 	order := []string{"table2", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "worstcase", "section2", "section35", "ablations", "multiworker", "duet"}
 
 	// runExp executes one experiment, feeding its row payload into the
@@ -201,22 +208,30 @@ func main() {
 func parseExpList(exp string, order []string, runners map[string]func(bool) any) []string {
 	var names []string
 	seen := map[string]bool{}
+	add := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
 	for _, raw := range strings.Split(strings.ToLower(exp), ",") {
 		name := strings.TrimSpace(raw)
 		if name == "" {
 			continue
 		}
 		if name == "all" {
-			return order
+			// Expand in place so "all,scale,scaleseq" runs the canonical
+			// order plus the extras that deliberately sit outside it.
+			for _, n := range order {
+				add(n)
+			}
+			continue
 		}
 		if _, ok := runners[name]; !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from %s or all\n", name, strings.Join(order, ", "))
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from %s, scale, scaleseq or all\n", name, strings.Join(order, ", "))
 			os.Exit(2)
 		}
-		if !seen[name] {
-			seen[name] = true
-			names = append(names, name)
-		}
+		add(name)
 	}
 	if len(names) == 0 {
 		fmt.Fprintf(os.Stderr, "empty -exp; choose from %s or all\n", strings.Join(order, ", "))
@@ -277,6 +292,10 @@ func emitJSON(names []string, quick bool) map[string]any {
 				"safepointDensity": experiments.SafepointDensity([]int{5, 25, 100, 400}, uops),
 				"pollDensity":      experiments.PollDensity([]int{4, 10, 25, 50, 100}, uops),
 			}
+		case "scale":
+			return experiments.Scale(quick)
+		case "scaleseq":
+			return experiments.ScaleSeq(quick)
 		}
 		return nil
 	}
@@ -521,6 +540,31 @@ func runDuet(quick bool) any {
 	fmt.Println("\npaced round trips run cheaper than the tight loop: the sender's window")
 	fmt.Println("drains between sends and the receiver's caches stay warm")
 	return r
+}
+
+func runScale(quick bool) any {
+	header("Scale — sharded Tier-2 engine: cluster and edge topologies")
+	rows := experiments.Scale(quick)
+	printScale(rows)
+	fmt.Println("\nrows are byte-identical at any -shards width; wall times land in -benchjson")
+	return rows
+}
+
+func runScaleSeq(quick bool) any {
+	header("Scale (sequential baseline) — identical topologies at width 1")
+	rows := experiments.ScaleSeq(quick)
+	printScale(rows)
+	return rows
+}
+
+func printScale(rows []experiments.ScaleRow) {
+	fmt.Printf("%-8s %7s %6s %5s %10s %10s %9s %9s %8s %7s %6s\n",
+		"mode", "groups", "c/grp", "cores", "spawned", "completed", "GET p99", "xmsgs", "epochs", "agg", "rebal")
+	for _, r := range rows {
+		fmt.Printf("%-8s %7d %6d %5d %10d %10d %7.1fµs %9d %8d %7d %6d\n",
+			r.Mode, r.Groups, r.CoresPerGroup, r.Cores, r.Spawned, r.Completed, r.GetP99Us,
+			r.CrossMsgs, r.Epochs, r.AggRecv, r.Rebalances)
+	}
 }
 
 func runSection2(bool) any {

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"xui/internal/check"
@@ -28,12 +29,14 @@ func fatal(err error) {
 }
 
 func main() {
-	scenario := flag.String("scenario", "rocksdb", "rocksdb | l3fwd | dsa | timer")
+	scenario := flag.String("scenario", "rocksdb", "rocksdb | l3fwd | dsa | timer | scale")
 	ms := flag.Uint64("ms", 100, "simulated horizon in milliseconds")
-	load := flag.Float64("load", 150000, "rocksdb: offered rps; l3fwd: % of core capacity")
+	load := flag.Float64("load", 150000, "rocksdb, scale: offered rps (scale: per group); l3fwd: % of core capacity")
 	nics := flag.Int("nics", 1, "l3fwd: NIC/queue count")
 	noise := flag.Float64("noise", 20, "dsa: noise magnitude in % of base latency")
-	cores := flag.Int("cores", 8, "timer: application cores to preempt")
+	cores := flag.Int("cores", 8, "timer: application cores to preempt; scale: cores per group")
+	groups := flag.Int("groups", 16, "scale: shard-local core groups (one event kernel each)")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "worker goroutines driving the sharded Tier-2 engine (scale scenario); results are identical at any value")
 	period := flag.Float64("period", 5, "timer: preemption period in µs")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event / Perfetto JSON trace of the run to this file")
 	metricsPath := flag.String("metrics", "", "write a metrics-registry JSON snapshot of the run to this file")
@@ -44,6 +47,7 @@ func main() {
 	checkOn := flag.Bool("check", false, "run with invariant checking: assert the protocol conservation laws on every delivery, print the check report, exit nonzero on violations")
 	flag.Parse()
 	experiments.SetCaching(!*nocache)
+	experiments.SetShards(*shards)
 
 	var checkCol *check.Collector
 	if *checkOn {
@@ -113,6 +117,18 @@ func main() {
 		spin := experiments.Fig6SpinCapacity(*period)
 		fmt.Printf("rdtsc-spin capacity at %gµs: %d cores\n", *period, spin)
 		payload = map[string]any{"rows": rows, "spinCapacity": spin}
+	case "scale":
+		cfg := experiments.ScaleConfig{
+			Mode:          "cluster",
+			Groups:        *groups,
+			CoresPerGroup: *cores,
+			PerGroupRPS:   *load,
+			Horizon:       horizon,
+		}
+		r := experiments.ScalePoint(cfg, experiments.EngineWidth())
+		fmt.Printf("%d groups × %d cores: spawned=%d completed=%d GET p99=%.1fµs crossMsgs=%d epochs=%d agg=%d rebalances=%d\n",
+			r.Groups, r.CoresPerGroup, r.Spawned, r.Completed, r.GetP99Us, r.CrossMsgs, r.Epochs, r.AggRecv, r.Rebalances)
+		payload = r
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
 		os.Exit(2)

@@ -47,11 +47,13 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for any grid sweeps experiments run; results are identical at any value")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "worker goroutines for any sharded Tier-2 engines experiments build; results are identical at any value")
 	nocache := flag.Bool("nocache", false, "disable the Tier-1 run cache, recorded instruction tapes and core pooling; every run is computed fresh (rows are identical either way)")
 	fastforward := flag.Bool("fastforward", true, "run Tier-1 cores on the decoded fast-forward engine; -fastforward=false forces the interpreted reference engine (rows are identical either way)")
 	checkOn := flag.Bool("check", false, "run with invariant checking: assert the pipeline/protocol invariants on every delivery, print the check report, exit nonzero on violations")
 	flag.Parse()
 	experiments.SetWorkers(*workers)
+	experiments.SetShards(*shards)
 	experiments.SetCaching(!*nocache)
 	cpu.SetFastForward(*fastforward)
 

@@ -115,9 +115,11 @@ func (l *LocalAPIC) SelfIPI(vector uint8) {
 // Bus connects local APICs and carries interrupt messages with a fixed
 // latency. The IOAPIC and devices also inject messages here.
 type Bus struct {
-	sim   *sim.Simulator
-	apics map[uint32]*LocalAPIC
-	// Sent counts all messages carried.
+	sim    *sim.Simulator
+	apics  map[uint32]*LocalAPIC
+	router Router // forwards messages for APICIDs on other buses (sharding)
+	// Sent counts all messages carried, including ones handed to the
+	// router (counted at departure, not again at arrival).
 	Sent uint64
 }
 
@@ -142,6 +144,10 @@ func (b *Bus) APIC(id uint32) *LocalAPIC { return b.apics[id] }
 func (b *Bus) send(dest uint32, vector uint8) error {
 	target, ok := b.apics[dest]
 	if !ok {
+		if b.router != nil {
+			b.Sent++
+			return b.router.Route(dest, vector)
+		}
 		return fmt.Errorf("apic: no APIC with ID %d", dest)
 	}
 	b.Sent++

@@ -57,6 +57,10 @@ func (l *LocalAPIC) AcceptExtended(now sim.Time, vector uint8, tag ThreadTag) {
 func (b *Bus) SendExtended(dest uint32, vector uint8, tag ThreadTag) error {
 	target, ok := b.apics[dest]
 	if !ok {
+		if b.router != nil {
+			b.Sent++
+			return b.router.RouteExtended(dest, vector, tag)
+		}
 		return fmt.Errorf("apic: no APIC with ID %d", dest)
 	}
 	b.Sent++

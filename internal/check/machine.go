@@ -3,6 +3,7 @@ package check
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"xui/internal/core"
 	"xui/internal/kernel"
@@ -32,6 +33,12 @@ type MachineChecker struct {
 	col  *Collector
 	m    *core.Machine
 	name string
+
+	// mu serializes probe callbacks: on a sharded machine (internal/shard)
+	// they arrive concurrently from per-shard worker goroutines. All
+	// counters are order-independent sums and the upids map is keyed by
+	// pointer, so locking preserves determinism of the final state.
+	mu sync.Mutex
 
 	cores []mcCore
 	upids map[*uintr.UPID]*mcUPID
@@ -89,6 +96,8 @@ func (mc *MachineChecker) upid(u *uintr.UPID) *mcUPID {
 
 // Senduipi implements core.CheckProbe.
 func (mc *MachineChecker) Senduipi(now sim.Time, sender, idx int, upid *uintr.UPID, vec uintr.Vector, notify, premerged bool) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
 	mc.checks++
 	if upid == nil {
 		return
@@ -117,6 +126,8 @@ func (mc *MachineChecker) Senduipi(now sim.Time, sender, idx int, upid *uintr.UP
 
 // NotifyAck implements core.CheckProbe.
 func (mc *MachineChecker) NotifyAck(now sim.Time, coreID int, pir uint64) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
 	mc.checks++
 	mc.acks++
 	mc.pirDrained += uint64(bits.OnesCount64(pir))
@@ -140,6 +151,8 @@ func (mc *MachineChecker) NotifyAck(now sim.Time, coreID int, pir uint64) {
 
 // Posted implements core.CheckProbe.
 func (mc *MachineChecker) Posted(now sim.Time, coreID int, vector uintr.Vector, mech core.Mechanism, merged bool) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
 	mc.checks++
 	cs := &mc.cores[coreID]
 	if merged {
@@ -152,6 +165,8 @@ func (mc *MachineChecker) Posted(now sim.Time, coreID int, vector uintr.Vector, 
 
 // DeliverStart implements core.CheckProbe.
 func (mc *MachineChecker) DeliverStart(now sim.Time, coreID int, vector uintr.Vector, mech core.Mechanism, cost sim.Time) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
 	mc.checks++
 	cs := &mc.cores[coreID]
 	if cs.delivering {
@@ -167,6 +182,8 @@ func (mc *MachineChecker) DeliverStart(now sim.Time, coreID int, vector uintr.Ve
 
 // DeliverEnd implements core.CheckProbe.
 func (mc *MachineChecker) DeliverEnd(now sim.Time, coreID int, vector uintr.Vector, mech core.Mechanism) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
 	mc.checks++
 	cs := &mc.cores[coreID]
 	if !cs.delivering {
@@ -182,6 +199,8 @@ func (mc *MachineChecker) DeliverEnd(now sim.Time, coreID int, vector uintr.Vect
 
 // KernelIntr implements core.CheckProbe.
 func (mc *MachineChecker) KernelIntr(now sim.Time, coreID int, vector uint8) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
 	mc.checks++
 	mc.cores[coreID].kernelIntr++
 	if vector == core.UINV {
@@ -192,6 +211,8 @@ func (mc *MachineChecker) KernelIntr(now sim.Time, coreID int, vector uint8) {
 
 // Scheduled implements kernel.CheckProbe.
 func (mc *MachineChecker) Scheduled(now sim.Time, thread, coreID int, reposted bool) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
 	mc.checks++
 	if reposted {
 		mc.reposts++
@@ -200,6 +221,8 @@ func (mc *MachineChecker) Scheduled(now sim.Time, thread, coreID int, reposted b
 
 // Descheduled implements kernel.CheckProbe.
 func (mc *MachineChecker) Descheduled(now sim.Time, thread, coreID int) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
 	mc.checks++
 	mc.deschedules++
 	if mc.m.Cores[coreID].UPID != nil {
@@ -233,6 +256,8 @@ func (mc *MachineChecker) checkNotifConservation(now sim.Time) {
 // collector. Call exactly once when the run ends; the checker stays
 // attached but its counters have been handed off.
 func (mc *MachineChecker) Finish() {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
 	now := mc.m.Sim.Now()
 	mc.checks++
 	mc.checkNotifConservation(now)
@@ -275,6 +300,8 @@ func (mc *MachineChecker) Finish() {
 // Fingerprint digests the checker's protocol counters into a deterministic
 // string; the injector compares fingerprints across same-seed runs.
 func (mc *MachineChecker) Fingerprint() string {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
 	var posted, merged, delivered uint64
 	for i := range mc.cores {
 		posted += mc.cores[i].posted

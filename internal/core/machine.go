@@ -6,6 +6,7 @@ import (
 
 	"xui/internal/apic"
 	"xui/internal/obs"
+	"xui/internal/shard"
 	"xui/internal/sim"
 	"xui/internal/stats"
 	"xui/internal/uintr"
@@ -279,6 +280,18 @@ type Machine struct {
 	// ExtraSendLatency, when non-nil, adds wire latency to each departing
 	// notification IPI — the fault injector's wire-jitter knob.
 	ExtraSendLatency func(sender int) sim.Time
+
+	// Sharded-machine state (see shard.go; all nil/zero on machines built
+	// with NewMachine): the epoch-synchronizing engine, one bus and IOAPIC
+	// per core group, the group width, the modelled inter-group
+	// interconnect latency, and the per-shard tracer lanes Observe wires.
+	Eng          *shard.Engine
+	Buses        []*apic.Bus
+	IOAPICs      []*apic.IOAPIC
+	groupSize    int
+	crossLatency sim.Time
+	lanes        []*obs.Tracer
+	parentTrace  *obs.Tracer
 }
 
 // IcrOffset is when, within a senduipi execution, the ICR write completes
@@ -324,13 +337,26 @@ func NewMachine(s *sim.Simulator, n int, ipiMech Mechanism) (*Machine, error) {
 
 // SendUIPI models a senduipi executed on the sending core against a UITT
 // entry: the sender is busy for the senduipi cost, and if the protocol
-// calls for a notification the IPI departs at the ICR-write point.
+// calls for a notification the IPI departs at the ICR-write point. On a
+// sharded machine, a target UPID homed on another shard routes the whole
+// posting protocol there (crossSendUIPI); all timing runs on the sending
+// core's own kernel either way.
 func (m *Machine) SendUIPI(sender int, uitt *uintr.UITT, idx int) error {
 	src := m.Cores[sender]
 	src.Account.Charge(CatSend, uint64(m.Costs.Sender(UIPI)))
 	if src.Obs != nil {
-		src.Obs.Trace.Instant(obs.Tier2Pid, uint32(src.ID), "senduipi", "send", uint64(m.Sim.Now()), nil)
+		src.Obs.Trace.Instant(obs.Tier2Pid, uint32(src.ID), "senduipi", "send", uint64(src.Sim.Now()), nil)
 		src.Obs.Metrics.Inc(src.obsNS + "senduipi")
+	}
+	if m.Eng != nil {
+		entry, err := uitt.Lookup(idx)
+		if err != nil {
+			return err
+		}
+		if dst := int(entry.UPID.Home); dst != m.ShardOf(sender) {
+			m.crossSendUIPI(sender, uitt, idx, dst)
+			return nil
+		}
 	}
 	var entry uintr.UITTEntry
 	premerged := false
@@ -345,7 +371,7 @@ func (m *Machine) SendUIPI(sender int, uitt *uintr.UITT, idx int) error {
 		return err
 	}
 	if m.Check != nil {
-		m.Check.Senduipi(m.Sim.Now(), sender, idx, entry.UPID, entry.Vector, notify, premerged)
+		m.Check.Senduipi(src.Sim.Now(), sender, idx, entry.UPID, entry.Vector, notify, premerged)
 	}
 	if !notify {
 		return nil
@@ -354,7 +380,7 @@ func (m *Machine) SendUIPI(sender int, uitt *uintr.UITT, idx int) error {
 	if m.ExtraSendLatency != nil {
 		delay += m.ExtraSendLatency(sender)
 	}
-	m.Sim.After(delay, func(sim.Time) {
+	src.Sim.After(delay, func(sim.Time) {
 		// ICR written: the message is on the bus.
 		if err := src.APIC.SendIPI(ndst, nv); err != nil {
 			panic(fmt.Sprintf("core: UIPI to unknown APIC %d", ndst))
@@ -381,10 +407,19 @@ func (m *Machine) DeliveryLatency() *stats.Histogram {
 // detaches everything.
 func (m *Machine) Observe(ctx *obs.Context) {
 	if ctx == nil {
+		if m.Eng != nil {
+			m.detachSharded()
+		}
 		for _, v := range m.Cores {
 			v.Obs, v.obsNS = nil, ""
 		}
 		m.Sim.SetProbe(nil)
+		return
+	}
+	if m.Eng != nil && m.Eng.Shards() > 1 {
+		// Sharded machines record through per-shard lanes merged at epoch
+		// barriers so the trace order is deterministic at any worker count.
+		m.observeSharded(ctx)
 		return
 	}
 	ctx.Trace.NameProcess(obs.Tier2Pid, "tier2-machine")
@@ -402,6 +437,9 @@ func (m *Machine) Observe(ctx *obs.Context) {
 // cycle accounts are imported additively, so repeated snapshots of the same
 // account would double-count.
 func (m *Machine) SnapshotMetrics(reg *obs.Registry) {
+	// Absorb any trace events recorded after the last epoch barrier (the
+	// post-loop clock-advance tail of a sharded run).
+	m.FlushLanes()
 	now := uint64(m.Sim.Now())
 	for _, v := range m.Cores {
 		ns := fmt.Sprintf("vcore%d/", v.ID)

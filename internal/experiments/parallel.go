@@ -21,6 +21,20 @@ func SetWorkers(n int) { sweepWorkers.Store(int64(n)) }
 // Workers returns the configured pool size; 0 means one per host core.
 func Workers() int { return int(sweepWorkers.Load()) }
 
+// engineShards is the worker width for sharded Tier-2 engines (the scale
+// experiments); 0 means runtime.GOMAXPROCS(0). Like the sweep pool, the
+// width only controls host parallelism: the logical shard topology is fixed
+// by each experiment, so rows are byte-identical at -shards 1 and -shards N
+// (TestShardParity holds the project to that).
+var engineShards atomic.Int64
+
+// SetShards sets the sharded-engine worker width (cmd binaries wire their
+// -shards flag here). n <= 0 restores the default of one per host core.
+func SetShards(n int) { engineShards.Store(int64(n)) }
+
+// Shards returns the configured engine width; 0 means one per host core.
+func Shards() int { return int(engineShards.Load()) }
+
 // runGrid fans fn over jobs on the configured worker pool, attaching the
 // package observability sink so sweeps appear in exported traces. Results
 // are returned in job order — grid experiments iterate their parameter

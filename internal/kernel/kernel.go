@@ -69,19 +69,43 @@ type Kernel struct {
 	// fwdOwner maps each forwarded vector to its owning thread (§4.5).
 	fwdOwner map[uint8]*Thread
 
+	// first/count bound the cores this kernel owns; home is their shard.
+	// On a sharded machine there is one kernel per shard and its threads
+	// are pinned to its cores (ScheduleOn enforces this).
+	first, count int
+	home         int32
+
 	nextUPIDAddr uint64
 }
 
 // New builds a kernel over the machine, installing its interrupt hooks on
 // every core.
-func New(m *core.Machine) *Kernel {
-	k := &Kernel{
-		M:            m,
-		Sim:          m.Sim,
-		running:      make([]*Thread, len(m.Cores)),
-		nextUPIDAddr: 0xF000_0000,
+func New(m *core.Machine) *Kernel { return NewOn(m, 0, len(m.Cores)) }
+
+// NewOn builds a kernel owning cores [first, first+count) — the
+// shard-local OS instance of a sharded machine. All owned cores must
+// belong to one shard; the kernel's threads can only ever be scheduled on
+// them, which is what pins every UPID (and so every cross-shard senduipi
+// target) to a fixed home shard for the lifetime of a run.
+func NewOn(m *core.Machine, first, count int) *Kernel {
+	if first < 0 || count < 1 || first+count > len(m.Cores) {
+		panic(fmt.Sprintf("kernel: core range [%d,%d) outside machine with %d cores", first, first+count, len(m.Cores)))
 	}
-	for _, v := range m.Cores {
+	if m.ShardOf(first) != m.ShardOf(first+count-1) {
+		panic(fmt.Sprintf("kernel: core range [%d,%d) spans shards %d..%d; one kernel per shard",
+			first, first+count, m.ShardOf(first), m.ShardOf(first+count-1)))
+	}
+	k := &Kernel{
+		M:       m,
+		Sim:     m.Cores[first].Sim,
+		running: make([]*Thread, len(m.Cores)),
+		first:   first,
+		count:   count,
+		home:    int32(m.ShardOf(first)),
+		// Per-kernel UPID address ranges stay disjoint and deterministic.
+		nextUPIDAddr: 0xF000_0000 + uint64(first)*0x0010_0000,
+	}
+	for _, v := range m.Cores[first : first+count] {
 		v := v
 		v.OnKernelInterrupt = func(now sim.Time, vector uint8) {
 			k.kernelInterrupt(v, now, vector)
@@ -123,7 +147,7 @@ func (k *Kernel) NewThread() *Thread {
 // thread's UPID and records the user handler to invoke on delivery.
 func (k *Kernel) RegisterHandler(t *Thread, h Handler) *uintr.UPID {
 	if t.upid == nil {
-		t.upid = &uintr.UPID{NV: core.UINV, Addr: k.nextUPIDAddr}
+		t.upid = &uintr.UPID{NV: core.UINV, Addr: k.nextUPIDAddr, Home: k.home}
 		k.nextUPIDAddr += 64
 		t.upid.Suppress() // descheduled until ScheduleOn
 	}
@@ -208,6 +232,10 @@ func (k *Kernel) AllocForwardVector(t *Thread) (uint8, error) {
 // captured interrupts reposted, KB_Timer state restored, forwarding mask
 // activated. Any thread already on the core is descheduled first.
 func (k *Kernel) ScheduleOn(t *Thread, coreID int) {
+	if coreID < k.first || coreID >= k.first+k.count {
+		panic(fmt.Sprintf("kernel: thread %d scheduled on core %d outside its kernel's cores [%d,%d): threads are pinned shard-local",
+			t.ID, coreID, k.first, k.first+k.count))
+	}
 	if prev := k.running[coreID]; prev != nil && prev != t {
 		k.Deschedule(prev)
 	}
@@ -249,7 +277,7 @@ func (k *Kernel) ScheduleOn(t *Thread, coreID int) {
 		t.kbSaved = false
 	}
 	if p := k.checkProbe(); p != nil {
-		p.Scheduled(k.Sim.Now(), t.ID, coreID, reposted)
+		p.Scheduled(v.Sim.Now(), t.ID, coreID, reposted)
 	}
 }
 
@@ -273,7 +301,7 @@ func (k *Kernel) Deschedule(t *Thread) {
 	was := t.coreID
 	t.coreID = -1
 	if p := k.checkProbe(); p != nil {
-		p.Descheduled(k.Sim.Now(), t.ID, was)
+		p.Descheduled(v.Sim.Now(), t.ID, was)
 	}
 }
 
@@ -300,7 +328,7 @@ func (k *Kernel) kernelInterrupt(v *core.VCore, now sim.Time, vector uint8) {
 				// Owner is running but UIF was clear; redeliver shortly.
 				vec := vector
 				tv := k.M.Cores[t.coreID]
-				k.Sim.After(core.DeliveryOnlyCost, func(sim.Time) {
+				tv.Sim.After(core.DeliveryOnlyCost, func(sim.Time) {
 					tv.APIC.SelfIPI(vec)
 				})
 			} else {

@@ -8,10 +8,10 @@ import (
 	"strings"
 )
 
-// Waiver is a line-scoped //xui:nondet or //xui:alloc comment. It waives
-// diagnostics on its own line (trailing comment) and on the next line
-// (comment above the statement). Used is set when a diagnostic was
-// actually suppressed, so stale waivers can be reported.
+// Waiver is a line-scoped //xui:nondet, //xui:alloc or //xui:parallel
+// comment. It waives diagnostics on its own line (trailing comment) and on
+// the next line (comment above the statement). Used is set when a
+// diagnostic was actually suppressed, so stale waivers can be reported.
 type Waiver struct {
 	File   string
 	Line   int
@@ -48,6 +48,7 @@ type FieldAnno struct {
 type Annotations struct {
 	Nondet    []*Waiver
 	Alloc     []*Waiver
+	Parallel  []*Waiver
 	Noalloc   []*FuncAnno
 	Aliased   []*FieldAnno
 	Malformed []Diagnostic
@@ -69,6 +70,18 @@ func (a *Annotations) waiveNondet(p token.Position) bool {
 // by a //xui:alloc waiver, marking the waiver used.
 func (a *Annotations) waiveAlloc(p token.Position) bool {
 	for _, w := range a.Alloc {
+		if w.covers(p) {
+			w.Used = true
+			return true
+		}
+	}
+	return false
+}
+
+// waiveParallel reports whether a single-goroutine diagnostic at p is
+// covered by a //xui:parallel waiver, marking the waiver used.
+func (a *Annotations) waiveParallel(p token.Position) bool {
+	for _, w := range a.Parallel {
 		if w.covers(p) {
 			w.Used = true
 			return true
@@ -179,20 +192,26 @@ func (a *Annotations) collectFile(p *Package, f *ast.File) {
 			}
 			pos := p.Fset.Position(c.Pos())
 			switch verb {
-			case "nondet", "alloc":
+			case "nondet", "alloc", "parallel":
 				if rest == "" {
 					owner := "determinism"
-					if verb == "alloc" {
+					switch verb {
+					case "alloc":
 						owner = "noalloc"
+					case "parallel":
+						owner = "sgoroutine"
 					}
 					a.malformed(owner, pos, "//xui:%s needs a reason: //xui:%s <why this is safe>", verb, verb)
 					continue
 				}
 				w := &Waiver{File: pos.Filename, Line: pos.Line, Reason: rest}
-				if verb == "nondet" {
+				switch verb {
+				case "nondet":
 					a.Nondet = append(a.Nondet, w)
-				} else {
+				case "alloc":
 					a.Alloc = append(a.Alloc, w)
+				default:
+					a.Parallel = append(a.Parallel, w)
 				}
 			case "noalloc":
 				if !attached[c] {
@@ -203,7 +222,7 @@ func (a *Annotations) collectFile(p *Package, f *ast.File) {
 					a.malformed("alias", pos, "misplaced //xui:aliased: it must annotate a struct field")
 				}
 			default:
-				a.malformed("determinism", pos, "unknown annotation //xui:%s (known: nondet, noalloc, alloc, aliased)", verb)
+				a.malformed("determinism", pos, "unknown annotation //xui:%s (known: nondet, noalloc, alloc, aliased, parallel)", verb)
 			}
 		}
 	}

@@ -25,6 +25,10 @@
 //	//xui:aliased           (struct field) the slice field's backing array
 //	                        is aliased by published results; reslicing or
 //	                        truncating it in place is forbidden
+//	//xui:parallel <reason> waive a single-goroutine (sgoroutine) diagnostic
+//	                        on this or the next line; reserved for the
+//	                        sharded engine's epoch machinery, where the
+//	                        contract is per shard kernel rather than global
 package lint
 
 import (
@@ -89,17 +93,22 @@ func DefaultConfig(modulePath string) *Config {
 		"internal/sim", "internal/cpu", "internal/core", "internal/kernel",
 		"internal/apic", "internal/uintr", "internal/urt", "internal/ipc",
 		"internal/netsim", "internal/dsa", "internal/loadgen",
-		"internal/experiments",
+		"internal/experiments", "internal/shard",
 	}
 	cfg := &Config{ProbeTypes: []string{"Probe", "IntrObserver", "CheckProbe"}}
 	for _, p := range det {
 		cfg.DeterminismPkgs = append(cfg.DeterminismPkgs, modulePath+"/"+p)
 	}
 	// The Tier-2 event kernel and the Tier-1 cycle loop: one goroutine per
-	// simulator, concurrency is modelled with events, never spawned.
+	// simulator, concurrency is modelled with events, never spawned. The
+	// sharded engine (internal/shard) keeps the same contract per shard
+	// kernel; its epoch-synchronization machinery is the one place real
+	// goroutines and channels are allowed, each site carrying a
+	// //xui:parallel waiver that is audited for staleness like any other.
 	cfg.SingleGoroutinePkgs = []string{
 		modulePath + "/internal/sim",
 		modulePath + "/internal/cpu",
+		modulePath + "/internal/shard",
 	}
 	return cfg
 }
@@ -179,6 +188,9 @@ func (s *Suite) Run(enabled map[string]bool) []Diagnostic {
 				if a.Name == "determinism" && s.Annos.waiveNondet(d.Pos) {
 					return
 				}
+				if a.Name == "sgoroutine" && s.Annos.waiveParallel(d.Pos) {
+					return
+				}
 				out = append(out, d)
 			})
 		}
@@ -194,10 +206,10 @@ func (s *Suite) Run(enabled map[string]bool) []Diagnostic {
 	return out
 }
 
-// StaleWaivers returns every //xui:nondet and //xui:alloc waiver that
-// suppressed nothing in the analyses run so far — code that became clean,
-// so the waiver should be deleted. Call after Run (and EscapeCheck, for
-// alloc waivers).
+// StaleWaivers returns every //xui:nondet, //xui:alloc and //xui:parallel
+// waiver that suppressed nothing in the analyses run so far — code that
+// became clean, so the waiver should be deleted. Call after Run (and
+// EscapeCheck, for alloc waivers).
 func (s *Suite) StaleWaivers() []Diagnostic {
 	var out []Diagnostic
 	for _, w := range s.Annos.Nondet {
@@ -215,6 +227,15 @@ func (s *Suite) StaleWaivers() []Diagnostic {
 				Analyzer: "noalloc",
 				Pos:      token.Position{Filename: w.File, Line: w.Line, Column: 1},
 				Message:  fmt.Sprintf("stale //xui:alloc waiver (%q): no allocation suppressed; delete it", w.Reason),
+			})
+		}
+	}
+	for _, w := range s.Annos.Parallel {
+		if !w.Used {
+			out = append(out, Diagnostic{
+				Analyzer: "sgoroutine",
+				Pos:      token.Position{Filename: w.File, Line: w.Line, Column: 1},
+				Message:  fmt.Sprintf("stale //xui:parallel waiver (%q): no diagnostic suppressed; delete it", w.Reason),
 			})
 		}
 	}

@@ -24,7 +24,16 @@ func TestNilProbeFixture(t *testing.T) {
 }
 
 func TestSingleGoroutineFixture(t *testing.T) {
-	runFixture(t, "sg", "sgoroutine")
+	s := runFixture(t, "sg", "sgoroutine")
+	// The fixture contains exactly one stale //xui:parallel waiver
+	// (StaleWaiverHere); the two legal waivers must have been consumed.
+	stale := s.StaleWaivers()
+	if len(stale) != 1 {
+		t.Fatalf("want exactly 1 stale waiver, got %d: %v", len(stale), stale)
+	}
+	if !strings.Contains(stale[0].Message, "stale //xui:parallel waiver") {
+		t.Errorf("stale waiver reason not surfaced: %s", stale[0])
+	}
 }
 
 func TestAliasFixture(t *testing.T) {

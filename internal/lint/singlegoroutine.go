@@ -9,11 +9,15 @@ import (
 
 // analyzerSingleGoroutine enforces the event kernel's concurrency
 // contract: inside internal/sim and the Tier-1 cycle loop (internal/cpu),
-// concurrency is modelled with events, never spawned. One goroutine owns a
-// Simulator; cross-run parallelism lives in internal/sweep, outside these
-// packages. Any `go` statement, channel machinery, or sync primitive here
-// either breaks determinism or hides a data race from the model, so the
-// analyzer forbids them outright — there is deliberately no waiver.
+// concurrency is modelled with events, never spawned. The sharded Tier-2
+// engine (internal/shard) carries the same contract per shard: one
+// goroutine owns each shard's kernel, and only the epoch-synchronization
+// machinery that couples shards may touch goroutines, channels or sync —
+// each such site waived with `//xui:parallel <reason>` and audited for
+// staleness like every other waiver. Outside those waived sites, any `go`
+// statement, channel machinery, or sync primitive either breaks
+// determinism or hides a data race from the model, so the analyzer
+// forbids it.
 func analyzerSingleGoroutine() *Analyzer {
 	return &Analyzer{
 		Name: "sgoroutine",

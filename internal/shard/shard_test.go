@@ -1,0 +1,189 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+
+	"xui/internal/sim"
+)
+
+// logEntry records one model event for parity comparison: which shard
+// fired it, when, and a tag distinguishing local work from cross arrivals.
+type logEntry struct {
+	Shard int
+	When  sim.Time
+	Tag   int
+}
+
+// runMesh drives a 4-shard mesh workload: every shard runs a jittered
+// local event chain off its own RNG stream and periodically sends to its
+// ring neighbor at exactly the lookahead latency (the tightest legal
+// cross-shard send). Returns per-shard event logs plus engine counters.
+func runMesh(t *testing.T, workers int, horizon sim.Time) ([][]logEntry, uint64, uint64, uint64) {
+	t.Helper()
+	const n = 4
+	const lookahead = 100
+	e := New(42, n, lookahead, workers)
+	logs := make([][]logEntry, n)
+
+	var local func(i int) sim.Handler
+	local = func(i int) sim.Handler {
+		return func(now sim.Time) {
+			logs[i] = append(logs[i], logEntry{i, now, 0})
+			r := e.Shard(i).RNG().Uint64()
+			if now >= horizon {
+				return
+			}
+			e.Shard(i).After(1+sim.Time(r%37), local(i))
+			if r%5 == 0 {
+				dst := (i + 1) % n
+				e.Send(i, dst, now+lookahead, func(at sim.Time) {
+					logs[dst] = append(logs[dst], logEntry{dst, at, 1})
+				})
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		e.Shard(i).Schedule(sim.Time(i+1), local(i))
+	}
+	e.RunUntil(horizon + 2*lookahead)
+	for i := 0; i < n; i++ {
+		if got := e.Shard(i).Now(); got != horizon+2*lookahead {
+			t.Fatalf("shard %d clock %d, want %d", i, got, horizon+2*lookahead)
+		}
+	}
+	return logs, e.Fired(), e.Sent(), e.Epochs()
+}
+
+// TestEpochParity is the package-level determinism contract: the same
+// model produces byte-identical event logs and counters at any worker
+// count.
+func TestEpochParity(t *testing.T) {
+	const horizon = 50_000
+	baseLogs, baseFired, baseSent, baseEpochs := runMesh(t, 1, horizon)
+	if baseSent == 0 {
+		t.Fatal("mesh workload produced no cross-shard messages; test is vacuous")
+	}
+	for _, workers := range []int{2, 4, 16} {
+		logs, fired, sent, epochs := runMesh(t, workers, horizon)
+		if fired != baseFired || sent != baseSent || epochs != baseEpochs {
+			t.Fatalf("workers=%d counters (fired=%d sent=%d epochs=%d) != workers=1 (%d, %d, %d)",
+				workers, fired, sent, epochs, baseFired, baseSent, baseEpochs)
+		}
+		if !reflect.DeepEqual(logs, baseLogs) {
+			t.Fatalf("workers=%d event log diverges from workers=1", workers)
+		}
+	}
+}
+
+// TestConservativeViolationPanics: a cross-shard send landing inside the
+// current epoch means the model's latency undercuts the lookahead — the
+// engine must refuse rather than silently reorder.
+func TestConservativeViolationPanics(t *testing.T) {
+	e := New(1, 2, 100, 1)
+	e.Shard(0).Schedule(10, func(now sim.Time) {
+		e.Send(0, 1, now+1, func(sim.Time) {})
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sub-lookahead cross-shard send did not panic")
+		}
+	}()
+	e.RunUntil(1000)
+}
+
+// TestSetupSend: sends before the run starts are scheduled directly
+// (setup is single-goroutine) and still fire.
+func TestSetupSend(t *testing.T) {
+	e := New(1, 2, 50, 4)
+	var got sim.Time
+	e.Send(0, 1, 7, func(now sim.Time) { got = now })
+	e.RunUntil(100)
+	if got != 7 {
+		t.Fatalf("setup-phase send fired at %d, want 7", got)
+	}
+}
+
+// TestRunQuiescent: Run drains chains that terminate, including the
+// cross-shard tail.
+func TestRunQuiescent(t *testing.T) {
+	e := New(9, 3, 10, 3)
+	hops := 0
+	var hop func(i int) sim.Handler
+	hop = func(i int) sim.Handler {
+		return func(now sim.Time) {
+			hops++
+			if hops >= 30 {
+				return
+			}
+			e.Send(i, (i+1)%3, now+10, hop((i+1)%3))
+		}
+	}
+	e.Shard(0).Schedule(1, hop(0))
+	e.Run()
+	if hops != 30 {
+		t.Fatalf("quiescent run made %d hops, want 30", hops)
+	}
+	if e.Sent() != 29 {
+		t.Fatalf("Sent() = %d, want 29", e.Sent())
+	}
+}
+
+// TestSingleShard: one shard degenerates to the plain kernel — no epochs,
+// direct sends, same clock semantics.
+func TestSingleShard(t *testing.T) {
+	e := New(3, 1, 1, 8)
+	fired := 0
+	e.Shard(0).Schedule(5, func(sim.Time) { fired++ })
+	e.Send(0, 0, 9, func(sim.Time) { fired++ })
+	e.RunUntil(20)
+	if fired != 2 || e.Epochs() != 0 {
+		t.Fatalf("single-shard run: fired=%d epochs=%d, want 2, 0", fired, e.Epochs())
+	}
+	if e.Shard(0).Now() != 20 {
+		t.Fatalf("clock %d, want 20", e.Shard(0).Now())
+	}
+}
+
+// TestBarrierHook: the hook runs once per epoch, on the coordinator.
+func TestBarrierHook(t *testing.T) {
+	e := New(5, 2, 20, 2)
+	calls := uint64(0)
+	e.SetBarrierHook(func() { calls++ })
+	var tick func(i int) sim.Handler
+	tick = func(i int) sim.Handler {
+		return func(now sim.Time) {
+			if now < 500 {
+				e.Shard(i).After(15, tick(i))
+			}
+		}
+	}
+	e.Shard(0).Schedule(1, tick(0))
+	e.Shard(1).Schedule(2, tick(1))
+	e.RunUntil(600)
+	if calls == 0 || calls != e.Epochs() {
+		t.Fatalf("barrier hook ran %d times over %d epochs", calls, e.Epochs())
+	}
+}
+
+// TestMergeOrder: same-cycle arrivals from different source shards are
+// delivered in (when, src, seq) order regardless of mailbox drain order.
+func TestMergeOrder(t *testing.T) {
+	e := New(7, 3, 100, 1)
+	var order []int
+	// Shards 2 and 1 both send to shard 0, landing at the same cycle; the
+	// lower source shard must deliver first, then sends from one shard in
+	// sequence order.
+	e.Shard(2).Schedule(10, func(now sim.Time) {
+		e.Send(2, 0, 200, func(sim.Time) { order = append(order, 20) })
+	})
+	e.Shard(1).Schedule(10, func(now sim.Time) {
+		e.Send(1, 0, 200, func(sim.Time) { order = append(order, 10) })
+		e.Send(1, 0, 200, func(sim.Time) { order = append(order, 11) })
+	})
+	e.RunUntil(300)
+	want := []int{10, 11, 20}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("merge order %v, want %v", order, want)
+	}
+}

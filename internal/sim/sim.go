@@ -360,6 +360,35 @@ func (s *Simulator) Run() {
 	}
 }
 
+// NextWhen returns the time of the earliest pending event. The second
+// result is false when the queue is empty. The epoch synchronizer
+// (internal/shard) polls this on every shard to derive the next
+// conservative time window.
+//
+//xui:noalloc
+func (s *Simulator) NextWhen() (Time, bool) {
+	if len(s.queue) == 0 {
+		return Never, false
+	}
+	return s.queue[0].when, true
+}
+
+// RunBefore dispatches every event with time strictly less than limit and
+// returns the number fired. Unlike RunUntil it does not advance the clock
+// to the limit: the clock stays at the last fired event so a later
+// Schedule from outside (a cross-shard message at exactly the epoch
+// boundary) is still in the future. This is the epoch body used by the
+// sharded engine; the half-open window [epoch start, limit) is what makes
+// conservative synchronization exact.
+func (s *Simulator) RunBefore(limit Time) int {
+	fired := 0
+	for len(s.queue) > 0 && s.queue[0].when < limit {
+		s.Step()
+		fired++
+	}
+	return fired
+}
+
 // RunUntil dispatches events with time ≤ deadline, then advances the clock
 // to the deadline. Events scheduled exactly at the deadline fire.
 func (s *Simulator) RunUntil(deadline Time) {

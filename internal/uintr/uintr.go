@@ -44,6 +44,16 @@ type UPID struct {
 	// Addr is the simulated memory address of this descriptor, used by the
 	// timing models (the UPID occupies one cache line).
 	Addr uint64
+
+	// Home is the shard owning this descriptor on a sharded Tier-2 machine
+	// (internal/shard): a senduipi executed on another shard routes its
+	// whole posting protocol here, so UPID state is only ever mutated by
+	// its home shard's kernel goroutine. Like Addr it is not architectural
+	// state (not part of Encode). The kernel writes it once at
+	// registration, before the run starts; cross-shard routing reads it
+	// concurrently, so it must never change during a run. Zero on
+	// single-shard machines.
+	Home int32
 }
 
 // Post records a posted user interrupt with the given vector, returning

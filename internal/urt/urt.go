@@ -49,6 +49,11 @@ type Config struct {
 	Quantum sim.Time
 	// StealEnabled turns on work stealing between worker run queues.
 	StealEnabled bool
+	// FirstCore offsets the runtime onto cores FirstCore..FirstCore+
+	// Workers-1 (plus the next core in UIPITimerCore mode). On a sharded
+	// machine the whole range must sit inside one shard — user threads are
+	// pinned shard-local, so each shard runs its own Runtime instance.
+	FirstCore int
 }
 
 // UThread is a user-level thread: a request with a service demand. The
@@ -70,8 +75,10 @@ type UThread struct {
 // Preemptions returns how many times the thread was preempted.
 func (t *UThread) Preemptions() int { return t.preemptions }
 
-// Runtime is the user-level runtime spanning worker cores 0..Workers-1 of
-// the machine (plus, in UIPITimerCore mode, core Workers as the timer).
+// Runtime is the user-level runtime spanning worker cores
+// FirstCore..FirstCore+Workers-1 of the machine (plus, in UIPITimerCore
+// mode, the next core as the timer). It runs entirely on those cores'
+// event kernel: on a sharded machine that makes the runtime shard-local.
 type Runtime struct {
 	cfg  Config
 	sim  *sim.Simulator
@@ -110,21 +117,25 @@ func New(m *core.Machine, k *kernel.Kernel, cfg Config) (*Runtime, error) {
 	if cfg.Preempt == UIPITimerCore {
 		need++
 	}
-	if len(m.Cores) < need {
-		return nil, fmt.Errorf("urt: machine has %d cores, need %d", len(m.Cores), need)
+	if cfg.FirstCore < 0 || len(m.Cores) < cfg.FirstCore+need {
+		return nil, fmt.Errorf("urt: machine has %d cores, need %d starting at core %d", len(m.Cores), need, cfg.FirstCore)
+	}
+	if need > 0 && m.ShardOf(cfg.FirstCore) != m.ShardOf(cfg.FirstCore+need-1) {
+		return nil, fmt.Errorf("urt: cores [%d,%d) span shards %d..%d; pin each runtime inside one shard",
+			cfg.FirstCore, cfg.FirstCore+need, m.ShardOf(cfg.FirstCore), m.ShardOf(cfg.FirstCore+need-1))
 	}
 	if cfg.Preempt != NoPreempt && cfg.Quantum == 0 {
 		return nil, fmt.Errorf("urt: preemption enabled with zero quantum")
 	}
-	rt := &Runtime{cfg: cfg, sim: m.Sim, m: m, kern: k}
+	rt := &Runtime{cfg: cfg, sim: m.Cores[cfg.FirstCore].Sim, m: m, kern: k}
 	for i := 0; i < cfg.Workers; i++ {
-		w := &worker{rt: rt, coreID: i}
+		w := &worker{rt: rt, coreID: cfg.FirstCore + i}
 		w.thread = k.NewThread()
 		wi := w
 		k.RegisterHandler(w.thread, func(now sim.Time, _ uintr.Vector, mech core.Mechanism) {
 			wi.preemptIntr(now, mech)
 		})
-		k.ScheduleOn(w.thread, i)
+		k.ScheduleOn(w.thread, w.coreID)
 		rt.workers = append(rt.workers, w)
 	}
 	switch cfg.Preempt {
@@ -139,7 +150,7 @@ func New(m *core.Machine, k *kernel.Kernel, cfg Config) (*Runtime, error) {
 	case UIPITimerCore:
 		rt.timerThread = k.NewThread()
 		k.RegisterHandler(rt.timerThread, func(sim.Time, uintr.Vector, core.Mechanism) {})
-		k.ScheduleOn(rt.timerThread, cfg.Workers)
+		k.ScheduleOn(rt.timerThread, cfg.FirstCore+cfg.Workers)
 		for _, w := range rt.workers {
 			idx, err := k.RegisterSender(w.thread, 1)
 			if err != nil {
@@ -157,7 +168,7 @@ func New(m *core.Machine, k *kernel.Kernel, cfg Config) (*Runtime, error) {
 // SenduipiCost cycles, which is what caps how many workers one timer core
 // can serve (§6.1: 22 workers at a 5 µs quantum).
 func (rt *Runtime) timerTick() {
-	timerCore := rt.cfg.Workers
+	timerCore := rt.cfg.FirstCore + rt.cfg.Workers
 	var send func(i int, base sim.Time)
 	send = func(i int, base sim.Time) {
 		if i >= len(rt.workers) {
