@@ -242,66 +242,17 @@ func parseExpList(exp string, order []string, runners map[string]func(bool) any)
 
 // emitJSON prints the selected experiments' typed rows as one JSON object
 // keyed by experiment name, for downstream tooling and plotting scripts.
-// The same map is returned so a -report document can embed it.
+// The same map is returned so a -report document can embed it. Payloads
+// come from the shared job registry (internal/experiments), the same
+// runners the xuiserve daemon executes.
 func emitJSON(names []string, quick bool) map[string]any {
-	horizon := 100 * sim.Millisecond
-	uops := uint64(300000)
-	if quick {
-		horizon = 30 * sim.Millisecond
-		uops = 120000
-	}
-	data := func(n string) any {
-		switch n {
-		case "table2":
-			return map[string]any{"simulated": experiments.Table2(), "paper": experiments.PaperTable2()}
-		case "fig2":
-			return map[string]any{"simulated": experiments.Fig2(), "paper": experiments.PaperFig2()}
-		case "fig4":
-			rows := experiments.Fig4(uops)
-			return map[string]any{"rows": rows, "averages": experiments.Fig4Summary(rows)}
-		case "fig5":
-			return experiments.Fig5([]float64{2, 5, 10, 25, 50}, uops)
-		case "fig6":
-			return experiments.Fig6([]float64{5, 10, 20, 50, 100}, []int{1, 2, 4, 8, 16, 22, 26}, horizon)
-		case "fig7":
-			return experiments.Fig7([]float64{25_000, 50_000, 100_000, 150_000, 200_000, 225_000, 245_000}, horizon)
-		case "fig8":
-			return experiments.Fig8([]int{1, 2, 4, 8}, []float64{10, 20, 40, 60, 80}, horizon)
-		case "fig9":
-			return experiments.Fig9([]float64{0, 10, 20, 30, 40, 50}, 1000)
-		case "worstcase":
-			return experiments.WorstCase([]int{5, 10, 20, 35, 50, 60})
-		case "section2":
-			return experiments.Section2()
-		case "section35":
-			return map[string]any{
-				"pointerChase": experiments.S35PointerChase([]int{8, 64, 1024, 16384, 131072}),
-				"linearity":    experiments.S35Linearity([]int{5, 10, 20, 40}),
-			}
-		case "multiworker":
-			return experiments.MultiWorker([]int{1, 2, 4}, 400_000, horizon)
-		case "duet":
-			iters := 40
-			if quick {
-				iters = 15
-			}
-			return experiments.Duet(iters)
-		case "ablations":
-			return map[string]any{
-				"cluiStui":         experiments.CluiStuiCriticalSection(5, horizon),
-				"safepointDensity": experiments.SafepointDensity([]int{5, 25, 100, 400}, uops),
-				"pollDensity":      experiments.PollDensity([]int{4, 10, 25, 50, 100}, uops),
-			}
-		case "scale":
-			return experiments.Scale(quick)
-		case "scaleseq":
-			return experiments.ScaleSeq(quick)
-		}
-		return nil
-	}
 	out := map[string]any{}
 	for _, n := range names {
-		out[n] = data(n)
+		payload, err := experiments.RunJob(n, quick)
+		if err != nil {
+			fatal(err)
+		}
+		out[n] = payload
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

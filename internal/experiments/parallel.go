@@ -35,16 +35,43 @@ func SetShards(n int) { engineShards.Store(int64(n)) }
 // Shards returns the configured engine width; 0 means one per host core.
 func Shards() int { return int(engineShards.Load()) }
 
+// progressFn is the package-wide sweep-progress hook: a daemon serving
+// experiment jobs (cmd/xuiserve) installs one to stream per-sweep
+// completion counts to clients. Like the observability sink it is
+// process-global — install between runs, never mid-sweep.
+var progressFn atomic.Value // of func(sweep string, done, total int)
+
+// SetProgress installs fn as the package-wide sweep-progress callback
+// for every grid experiment run afterwards; nil disables. fn is called
+// after each completed grid point with the sweep's name and completion
+// counts, serialised per sweep but possibly from worker goroutines.
+func SetProgress(fn func(sweep string, done, total int)) {
+	progressFn.Store(&fn)
+}
+
+// currentProgress returns the installed callback, nil when disabled.
+func currentProgress() func(string, int, int) {
+	p, _ := progressFn.Load().(*func(string, int, int))
+	if p == nil {
+		return nil
+	}
+	return *p
+}
+
 // runGrid fans fn over jobs on the configured worker pool, attaching the
 // package observability sink so sweeps appear in exported traces. Results
 // are returned in job order — grid experiments iterate their parameter
 // space to build jobs, call runGrid, then assemble rows in the same order,
 // which keeps output identical to the old serial loops.
 func runGrid[J, R any](name string, jobs []J, fn func(i int, job J) R) []R {
-	out, _ := sweep.RunOpts(jobs, sweep.Options{
+	opts := sweep.Options{
 		Workers: Workers(),
 		Name:    name,
 		Obs:     obsCtx,
-	}, fn)
+	}
+	if prog := currentProgress(); prog != nil {
+		opts.OnProgress = func(done, total int) { prog(name, done, total) }
+	}
+	out, _ := sweep.RunOpts(jobs, opts, fn)
 	return out
 }

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xui/internal/sim"
+)
+
+// The job registry names every experiment and binds it to a runner
+// producing the machine-readable payload — the same rows `xuibench
+// -json` emits. It exists so experiment execution has exactly one
+// grid-parameter source shared by every front end: the CLI's JSON mode
+// and the xuiserve daemon both resolve names here, which is what makes
+// a daemon-cached result byte-identical to a local run and keeps the
+// two from drifting.
+
+// jobSpec is one registered experiment: its canonical name and runner.
+type jobSpec struct {
+	name string
+	run  func(quick bool) any
+}
+
+// jobRegistry lists every experiment in canonical order. "all" expands
+// to the paper set (scale/scaleseq measure the sharded engine itself
+// and are requested explicitly, matching xuibench's -exp contract).
+var jobRegistry = []jobSpec{
+	{"table2", func(bool) any { return map[string]any{"simulated": Table2(), "paper": PaperTable2()} }},
+	{"fig2", func(bool) any { return map[string]any{"simulated": Fig2(), "paper": PaperFig2()} }},
+	{"fig4", func(quick bool) any {
+		rows := Fig4(jobUops(quick))
+		return map[string]any{"rows": rows, "averages": Fig4Summary(rows)}
+	}},
+	{"fig5", func(quick bool) any { return Fig5([]float64{2, 5, 10, 25, 50}, jobUops(quick)) }},
+	{"fig6", func(quick bool) any {
+		return Fig6([]float64{5, 10, 20, 50, 100}, []int{1, 2, 4, 8, 16, 22, 26}, jobHorizon(quick))
+	}},
+	{"fig7", func(quick bool) any {
+		return Fig7([]float64{25_000, 50_000, 100_000, 150_000, 200_000, 225_000, 245_000}, jobHorizon(quick))
+	}},
+	{"fig8", func(quick bool) any {
+		return Fig8([]int{1, 2, 4, 8}, []float64{10, 20, 40, 60, 80}, jobHorizon(quick))
+	}},
+	{"fig9", func(bool) any { return Fig9([]float64{0, 10, 20, 30, 40, 50}, 1000) }},
+	{"worstcase", func(bool) any { return WorstCase([]int{5, 10, 20, 35, 50, 60}) }},
+	{"section2", func(bool) any { return Section2() }},
+	{"section35", func(bool) any {
+		return map[string]any{
+			"pointerChase": S35PointerChase([]int{8, 64, 1024, 16384, 131072}),
+			"linearity":    S35Linearity([]int{5, 10, 20, 40}),
+		}
+	}},
+	{"ablations", func(quick bool) any {
+		return map[string]any{
+			"cluiStui":         CluiStuiCriticalSection(5, jobHorizon(quick)),
+			"safepointDensity": SafepointDensity([]int{5, 25, 100, 400}, jobUops(quick)),
+			"pollDensity":      PollDensity([]int{4, 10, 25, 50, 100}, jobUops(quick)),
+		}
+	}},
+	{"multiworker", func(quick bool) any { return MultiWorker([]int{1, 2, 4}, 400_000, jobHorizon(quick)) }},
+	{"duet", func(quick bool) any {
+		iters := 40
+		if quick {
+			iters = 15
+		}
+		return Duet(iters)
+	}},
+	{"scale", func(quick bool) any { return Scale(quick) }},
+	{"scaleseq", func(quick bool) any { return ScaleSeq(quick) }},
+}
+
+// jobHorizon and jobUops are the registry's shared grid scales — the
+// exact values `xuibench -json` has always used, so payloads (and thus
+// report fingerprints) are identical whichever front end ran the job.
+func jobHorizon(quick bool) sim.Time {
+	if quick {
+		return 30 * sim.Millisecond
+	}
+	return 100 * sim.Millisecond
+}
+
+func jobUops(quick bool) uint64 {
+	if quick {
+		return 120000
+	}
+	return 300000
+}
+
+// JobNames returns every registered experiment name in canonical order.
+func JobNames() []string {
+	out := make([]string, len(jobRegistry))
+	for i, s := range jobRegistry {
+		out[i] = s.name
+	}
+	return out
+}
+
+// JobKnown reports whether name is a registered experiment.
+func JobKnown(name string) bool {
+	for _, s := range jobRegistry {
+		if s.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// RunJob executes the named experiment at the given grid scale and
+// returns its machine-readable payload. The caller owns process-wide
+// configuration (SetWorkers, SetCaching, SetObservability, SetProgress)
+// exactly as the cmd binaries do.
+func RunJob(name string, quick bool) (any, error) {
+	for _, s := range jobRegistry {
+		if s.name == name {
+			return s.run(quick), nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown job %q", name)
+}

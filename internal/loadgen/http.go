@@ -1,0 +1,163 @@
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"xui/internal/stats"
+)
+
+// This file is the wall-clock counterpart to the simulated-time
+// generators above: a closed-loop HTTP driver for load-testing the
+// xuiserve daemon. It deliberately lives outside the simulation — its
+// latencies are host measurements, so nothing here feeds a fingerprint
+// or a deterministic report section. The time.Now waivers below exist
+// for exactly that reason.
+
+// DriveOptions configures one load-test run against a daemon.
+type DriveOptions struct {
+	// URL is the daemon base URL (e.g. "http://127.0.0.1:8378").
+	URL string
+	// Clients is the number of concurrent closed-loop clients.
+	Clients int
+	// Requests is the total number of submissions across all clients.
+	Requests int
+	// Body is the JSON job spec every client submits. Submitting one
+	// hot spec is the point: after the first computation the daemon
+	// must answer the fleet from cache.
+	Body []byte
+	// BodyFor, when non-nil, overrides Body per request: client is the
+	// client index, i the request index within that client. Distinct
+	// bodies defeat the daemon's idempotent dedup, which is how a shed
+	// test actually fills the queue.
+	BodyFor func(client, i int) []byte
+	// Timeout bounds each HTTP request. <= 0 means 30s.
+	Timeout time.Duration
+}
+
+// DriveReport is the outcome of a Drive run.
+type DriveReport struct {
+	// Clients and Requests echo the options actually used.
+	Clients  int `json:"clients"`
+	Requests int `json:"requests"`
+	// Submitted counts requests sent; the rest partition the responses:
+	// Done (200, job complete), Queued (202), Shed (429), Errors
+	// (transport failures and unexpected statuses).
+	Submitted uint64 `json:"submitted"`
+	Done      uint64 `json:"done"`
+	Queued    uint64 `json:"queued"`
+	Shed      uint64 `json:"shed"`
+	Errors    uint64 `json:"errors"`
+	// RetryAfterSeen counts 429s that carried a Retry-After header (the
+	// admission-control contract says all of them must).
+	RetryAfterSeen uint64 `json:"retryAfterSeen"`
+	// LatencyUs summarises per-request wall latency in microseconds,
+	// across all clients and response classes.
+	LatencyUs stats.Summary `json:"latencyUs"`
+	// WallMs is the whole run's wall time.
+	WallMs float64 `json:"wallMs"`
+}
+
+// Throughput returns completed submissions per second of wall time.
+func (r DriveReport) Throughput() float64 {
+	if r.WallMs <= 0 {
+		return 0
+	}
+	return float64(r.Submitted) / (r.WallMs / 1000)
+}
+
+// Drive runs a closed-loop load test: opts.Clients goroutines each
+// submit their share of opts.Requests back to back, measuring
+// per-request wall latency. Closed-loop keeps concurrency — not offered
+// rate — constant, which is the right shape for probing an admission
+// valve: every shed request is immediately replaced by the client's
+// next attempt, holding the daemon at its high-water mark.
+func Drive(opts DriveOptions) (DriveReport, error) {
+	if opts.Clients <= 0 {
+		return DriveReport{}, fmt.Errorf("loadgen: non-positive client count %d", opts.Clients)
+	}
+	if opts.Requests <= 0 {
+		return DriveReport{}, fmt.Errorf("loadgen: non-positive request count %d", opts.Requests)
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	client := &http.Client{
+		Timeout: timeout,
+		Transport: &http.Transport{
+			MaxIdleConnsPerHost: opts.Clients,
+		},
+	}
+	url := opts.URL + "/api/v1/jobs"
+
+	rep := DriveReport{Clients: opts.Clients, Requests: opts.Requests}
+	var mu sync.Mutex
+	hist := stats.NewHistogram()
+	var wg sync.WaitGroup
+	start := time.Now() //xui:nondet wall-clock load test, outside the simulation
+	for c := 0; c < opts.Clients; c++ {
+		// Spread the total evenly; the first Requests%Clients clients
+		// take one extra.
+		n := opts.Requests / opts.Clients
+		if c < opts.Requests%opts.Clients {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(c, n int) {
+			defer wg.Done()
+			var done, queued, shed, errs, retryAfter, submitted uint64
+			local := stats.NewHistogram()
+			for i := 0; i < n; i++ {
+				body := opts.Body
+				if opts.BodyFor != nil {
+					body = opts.BodyFor(c, i)
+				}
+				t0 := time.Now() //xui:nondet wall-clock load test, outside the simulation
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				lat := time.Since(t0)
+				submitted++
+				if err != nil {
+					errs++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				local.Record(uint64(lat.Microseconds()))
+				switch resp.StatusCode {
+				case http.StatusOK:
+					done++
+				case http.StatusAccepted:
+					queued++
+				case http.StatusTooManyRequests:
+					shed++
+					if resp.Header.Get("Retry-After") != "" {
+						retryAfter++
+					}
+				default:
+					errs++
+				}
+			}
+			mu.Lock()
+			rep.Submitted += submitted
+			rep.Done += done
+			rep.Queued += queued
+			rep.Shed += shed
+			rep.Errors += errs
+			rep.RetryAfterSeen += retryAfter
+			hist.Merge(local)
+			mu.Unlock()
+		}(c, n)
+	}
+	wg.Wait()
+	rep.WallMs = float64(time.Since(start).Microseconds()) / 1000
+	rep.LatencyUs = hist.Summarize()
+	return rep, nil
+}

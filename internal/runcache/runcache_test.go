@@ -100,6 +100,72 @@ func TestPanicPoisonsEntry(t *testing.T) {
 	mustPanic("later caller", func() { c.Get("k", func() int { return 1 }) })
 }
 
+// TestPoisonedReadsAreNotHits pins the stats fix: reads of a poisoned
+// entry land in Poisoned, never Hits (the daemon's cache/…/hits metric
+// must not overcount panicked keys).
+func TestPoisonedReadsAreNotHits(t *testing.T) {
+	defer ResetAll()
+	c := New[int]("test-poison-stats")
+	for i := 0; i < 3; i++ {
+		func() {
+			defer func() { recover() }()
+			c.Get("k", func() int { panic("boom") })
+		}()
+	}
+	s := c.Stats()
+	if s.Hits != 0 {
+		t.Errorf("hits = %d after poisoned reads, want 0", s.Hits)
+	}
+	if s.Poisoned != 2 {
+		t.Errorf("poisoned = %d, want 2 (owner's panic is the miss)", s.Poisoned)
+	}
+	if s.Misses != 1 {
+		t.Errorf("misses = %d, want 1", s.Misses)
+	}
+}
+
+// TestResetDuringGets hammers one cache with concurrent Gets, GetCacheds
+// and resets; under -race this is the proof that eviction no longer
+// requires "no computations in flight". Values are keyed so a recompute
+// after eviction still returns the right answer.
+func TestResetDuringGets(t *testing.T) {
+	defer ResetAll()
+	c := New[int]("test-reset-race")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := string(rune('a' + i%7))
+				want := i % 7
+				if got := c.Get(key, func() int { return want }); got != want {
+					t.Errorf("worker %d: Get(%q) = %d, want %d", w, key, got, want)
+					return
+				}
+				if v, ok := c.GetCached(key); ok && v != want {
+					t.Errorf("worker %d: GetCached(%q) = %d, want %d", w, key, v, want)
+					return
+				}
+				c.Put(key, want)
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		c.reset()
+		ResetAll()
+		c.Stats()
+	}
+	close(stop)
+	wg.Wait()
+}
+
 func TestSnapshotSorted(t *testing.T) {
 	defer ResetAll()
 	New[int]("zz-test-b")

@@ -40,7 +40,10 @@ type Options struct {
 	Obs *obs.Context
 	// OnProgress, when non-nil, is called after each job completes with
 	// the number done so far and the total. Calls are serialised but may
-	// come from any worker goroutine.
+	// come from any worker goroutine. A panic in the callback does not
+	// kill the process: it is captured like a job panic — the pool stops
+	// claiming new jobs and the panic is re-raised on the calling
+	// goroutine once workers drain.
 	OnProgress func(done, total int)
 	// Ctx, when non-nil, cancels the sweep: workers stop picking up new
 	// jobs once Ctx is done and RunOpts returns Ctx.Err(). Jobs already
@@ -48,11 +51,14 @@ type Options struct {
 	Ctx context.Context
 }
 
-// jobPanic carries a captured worker panic back to the caller.
+// jobPanic carries a captured worker panic back to the caller. progress
+// marks a panic raised by the OnProgress callback rather than the job
+// function itself (the job's result is valid in that case).
 type jobPanic struct {
-	index int
-	value any
-	stack []byte
+	index    int
+	value    any
+	stack    []byte
+	progress bool
 }
 
 // Run fans fn over jobs on a pool of the given size (<= 0 means
@@ -184,14 +190,35 @@ func RunOpts[J, R any](jobs []J, opts Options, fn func(i int, job J) R) ([]R, er
 					metrics.SetGauge(etaKey, 0)
 				}
 				if opts.OnProgress != nil {
-					progMu.Lock()
-					opts.OnProgress(n, len(jobs))
-					progMu.Unlock()
+					// The callback is caller code running on a worker
+					// goroutine: un-recovered, a panic here (say, a progress
+					// write to a disconnected HTTP client) would kill the
+					// whole process, not just the sweep. Capture it like a
+					// job panic — the pool stops claiming and the caller
+					// sees it re-raised on its own goroutine.
+					func() {
+						progMu.Lock()
+						defer progMu.Unlock()
+						defer func() {
+							if r := recover(); r != nil {
+								failed.Store(true)
+								panicMu.Lock()
+								panics = append(panics, jobPanic{index: idx, value: r, stack: stackTrace(), progress: true})
+								panicMu.Unlock()
+							}
+						}()
+						opts.OnProgress(n, len(jobs))
+					}()
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
+	// The ETA gauge must read 0 once the sweep is over, whatever the exit
+	// path: a cancelled or panicked sweep otherwise leaves its last
+	// nonzero projection behind, and a daemon's metrics endpoint would
+	// report phantom remaining work forever.
+	metrics.SetGauge(etaKey, 0)
 	metrics.SetGauge("sweep/"+name+"/wall_ms", float64(time.Since(epoch).Milliseconds()))
 
 	if len(panics) > 0 {
@@ -203,7 +230,11 @@ func RunOpts[J, R any](jobs []J, opts Options, fn func(i int, job J) R) ([]R, er
 				first = p
 			}
 		}
-		panic(fmt.Sprintf("sweep: job %d of %q panicked: %v\n%s", first.index, name, first.value, first.stack))
+		where := "job"
+		if first.progress {
+			where = "progress callback after job"
+		}
+		panic(fmt.Sprintf("sweep: %s %d of %q panicked: %v\n%s", where, first.index, name, first.value, first.stack))
 	}
 	if cancelled.Load() && opts.Ctx != nil {
 		return results, opts.Ctx.Err()

@@ -125,6 +125,72 @@ func TestProgressCallback(t *testing.T) {
 	}
 }
 
+// TestProgressPanicCaptured pins the daemon-critical fix: a panicking
+// OnProgress callback (e.g. a progress write to a disconnected HTTP
+// client) must not unwind a worker goroutine — that would kill the
+// whole process. Instead it is captured and re-raised on the calling
+// goroutine, where a recover() works, and the pool stops cleanly.
+func TestProgressPanicCaptured(t *testing.T) {
+	ctx := obs.NewContext()
+	var jobsRun atomic.Int64
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("progress panic was swallowed")
+			}
+			msg, ok := r.(string)
+			if !ok {
+				t.Fatalf("panic value %T, want string", r)
+			}
+			if !strings.Contains(msg, "progress callback") || !strings.Contains(msg, "client gone") {
+				t.Fatalf("panic message missing progress context: %q", msg)
+			}
+		}()
+		RunOpts(make([]int, 64), Options{
+			Workers: 4,
+			Name:    "progress-panic",
+			Obs:     ctx,
+			OnProgress: func(done, total int) {
+				if done == 3 {
+					panic("client gone")
+				}
+			},
+		}, func(i int, _ int) int {
+			jobsRun.Add(1)
+			return i
+		})
+	}()
+	if n := jobsRun.Load(); n >= 64 {
+		t.Errorf("pool kept claiming after the progress panic: %d jobs ran", n)
+	}
+	// The failed sweep must not leave phantom remaining work behind.
+	if eta := ctx.Metrics.Gauge("sweep/progress-panic/eta_ms"); eta != 0 {
+		t.Errorf("eta_ms = %v after panicked sweep, want 0", eta)
+	}
+}
+
+// TestEtaResetOnCancellation: a cancelled sweep zeroes its ETA gauge
+// instead of reporting its last nonzero projection forever.
+func TestEtaResetOnCancellation(t *testing.T) {
+	ctx := obs.NewContext()
+	cctx, cancel := context.WithCancel(context.Background())
+	_, err := RunOpts(make([]int, 500), Options{Workers: 2, Name: "eta", Obs: ctx, Ctx: cctx},
+		func(i int, _ int) int {
+			if i == 1 {
+				cancel()
+			}
+			time.Sleep(time.Millisecond)
+			return i
+		})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if eta := ctx.Metrics.Gauge("sweep/eta/eta_ms"); eta != 0 {
+		t.Errorf("eta_ms = %v after cancelled sweep, want 0", eta)
+	}
+}
+
 // TestObservabilityWiring checks a sweep records spans per job, per-worker
 // counter tracks, and registry counters under the sweep namespace.
 func TestObservabilityWiring(t *testing.T) {
