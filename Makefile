@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test bench bench-scale bench-delta bench-gate-tier1 microbench race run-all sweep-profile examples check fuzz fix-annotations serve serve-loadtest
+.PHONY: all build vet vet-fast test bench bench-scale bench-delta bench-gate-tier1 microbench race run-all sweep-profile examples check fuzz fix-annotations serve serve-loadtest
 
 all: build vet test
 
@@ -8,10 +8,20 @@ build:
 	go build ./...
 
 # Static checking: go vet plus the project-contract analyzers (xuivet:
-# determinism, nilprobe, sgoroutine, noalloc, alias — see DESIGN.md §10).
+# determinism, nilprobe, sgoroutine, noalloc, alias, shardsafe, lockcheck,
+# recoversafe — see DESIGN.md §10 and §15).
 vet:
 	go vet ./...
 	go run ./cmd/xuivet ./...
+
+# Incremental xuivet: only re-reports findings in packages whose files
+# changed since $(XUIVET_SINCE) (default HEAD — i.e. your uncommitted work),
+# closed over reverse imports because interprocedural facts cross package
+# boundaries. Same analyzers, same waiver rules, just filtered output; the
+# clean-at-HEAD gate in CI still runs the full module.
+XUIVET_SINCE ?= HEAD
+vet-fast:
+	go run ./cmd/xuivet -since $(XUIVET_SINCE) ./...
 
 # Audit the //xui: annotation inventory: lists every noalloc function,
 # aliased field and waiver, and exits nonzero on stale waivers (waivers

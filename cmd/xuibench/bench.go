@@ -298,7 +298,7 @@ func benchHotLoops() []hotLoopRow {
 		row("sim/cross-shard-send", testing.Benchmark(func(b *testing.B) {
 			e := shard.New(1, 2, 100, 1)
 			var h0, h1 sim.Handler
-			h0 = func(now sim.Time) { e.Send(0, 1, now+100, h1) }
+			h0 = func(now sim.Time) { e.Send(0, 1, now+100, h1) } //xui:shardok now+100 == now+lookahead is >= the epoch bound by construction; covers both handlers
 			h1 = func(now sim.Time) { e.Send(1, 0, now+100, h0) }
 			e.Shard(0).Schedule(1, h0)
 			e.RunUntil(1_000)

@@ -1,7 +1,8 @@
 // Command xuivet runs the project-contract analyzer suite (internal/lint)
-// over the module: determinism, nilprobe, sgoroutine, noalloc and alias.
-// It exits 1 when any diagnostic (including a stale waiver) survives, so
-// `make vet` and CI treat contract violations exactly like vet findings.
+// over the module: determinism, nilprobe, sgoroutine, noalloc, alias,
+// shardsafe, lockcheck and recoversafe. It exits 1 when any diagnostic
+// (including a stale waiver) survives, so `make vet` and CI treat contract
+// violations exactly like vet findings.
 //
 // Usage:
 //
@@ -9,17 +10,20 @@
 //
 // Packages are import-path or ./dir patterns used to filter *reported*
 // diagnostics; the whole module is always loaded and type-checked (the
-// analyzers need module-wide type identity). With no patterns, or with
-// ./..., everything is reported.
+// analyzers need module-wide type identity and the module call graph).
+// With no patterns, or with ./..., everything is reported.
 //
 // Flags:
 //
-//	-json           emit diagnostics as a JSON array instead of text
+//	-json           emit the versioned xuivet-findings/1 document
+//	-since REV      incremental mode: only report diagnostics in packages
+//	                changed since REV (plus their reverse dependencies)
 //	-report FILE    write a unified schema-versioned run report (per-analyzer
 //	                diagnostic counts and the diagnostics themselves)
 //	-list           print the analyzer catalogue and annotation grammar
 //	-annotations    print the //xui: annotation inventory and stale waivers
-//	-determinism, -nilprobe, -sgoroutine, -noalloc, -alias
+//	-determinism, -nilprobe, -sgoroutine, -noalloc, -alias,
+//	-shardsafe, -lockcheck, -recoversafe
 //	                enable/disable individual analyzers (all default true)
 package main
 
@@ -38,7 +42,8 @@ import (
 
 func main() {
 	var (
-		jsonOut  = flag.Bool("json", false, "emit diagnostics as a JSON array")
+		jsonOut  = flag.Bool("json", false, "emit the versioned "+lint.FindingsSchema+" JSON document")
+		sinceRev = flag.String("since", "", "incremental mode: only report diagnostics in packages changed since this git rev (plus reverse dependencies)")
 		repPath  = flag.String("report", "", "write a unified schema-versioned run report (per-analyzer diagnostic counts and the diagnostics) to this file")
 		listOut  = flag.Bool("list", false, "print the analyzer catalogue and annotation grammar, then exit")
 		annosOut = flag.Bool("annotations", false, "print the //xui: annotation inventory and stale waivers, then exit")
@@ -73,13 +78,27 @@ func main() {
 		return
 	}
 
+	// Incremental mode: the whole module is still loaded and analyzed (the
+	// interprocedural facts need it), but reporting is narrowed to the
+	// packages affected by the change.
+	var affected map[string]bool
+	if *sinceRev != "" {
+		affected, err = lint.ChangedPackages(root, *sinceRev, pkgs)
+		if err != nil {
+			fatal(err)
+		}
+		if affected == nil {
+			affected = map[string]bool{} // nothing changed: report nothing
+		}
+	}
+
 	on := map[string]bool{}
 	for name, v := range enabled {
 		on[name] = *v
 	}
 	diags := suite.Run(on)
 	if on["noalloc"] {
-		esc, err := suite.EscapeCheck(root, "")
+		esc, err := suite.EscapeCheck(root, "", affected)
 		if err != nil {
 			fatal(err)
 		}
@@ -87,6 +106,9 @@ func main() {
 	}
 	diags = append(diags, suite.StaleWaivers()...)
 	diags = filterByPatterns(diags, flag.Args(), root)
+	if affected != nil {
+		diags = filterByPackages(diags, affected, suite)
+	}
 
 	if *repPath != "" {
 		if err := writeReport(*repPath, diags, on); err != nil {
@@ -94,12 +116,15 @@ func main() {
 		}
 	}
 	if *jsonOut {
+		var names []string
+		for _, name := range lint.AnalyzerNames() {
+			if on[name] {
+				names = append(names, name)
+			}
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if diags == nil {
-			diags = []lint.Diagnostic{}
-		}
-		if err := enc.Encode(diags); err != nil {
+		if err := enc.Encode(lint.NewFindings(diags, names, root)); err != nil {
 			fatal(err)
 		}
 	} else {
@@ -109,6 +134,13 @@ func main() {
 				rel.Pos.Filename = r
 			}
 			fmt.Println(rel)
+			for _, f := range d.Path {
+				ff := f.File
+				if r, err := filepath.Rel(root, f.File); err == nil {
+					ff = r
+				}
+				fmt.Printf("\tvia %s at %s:%d\n", f.Func, ff, f.Line)
+			}
 		}
 	}
 	if len(diags) > 0 {
@@ -143,6 +175,24 @@ func writeReport(path string, diags []lint.Diagnostic, on map[string]bool) error
 	d.AddResult("diagnostics", diags)
 	d.AddResult("total", len(diags))
 	return d.WriteFile(path)
+}
+
+// filterByPackages keeps diagnostics whose file lies in one of the affected
+// packages (-since mode).
+func filterByPackages(diags []lint.Diagnostic, affected map[string]bool, suite *lint.Suite) []lint.Diagnostic {
+	dirs := map[string]bool{}
+	for _, p := range suite.Pkgs {
+		if affected[p.Path] && len(p.Files) > 0 {
+			dirs[filepath.Dir(p.Fset.Position(p.Files[0].Pos()).Filename)] = true
+		}
+	}
+	var out []lint.Diagnostic
+	for _, d := range diags {
+		if dirs[filepath.Dir(d.Pos.Filename)] {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // filterByPatterns keeps diagnostics under the named package patterns.
@@ -194,19 +244,27 @@ func printCatalogue() {
 	}
 	fmt.Println()
 	fmt.Println("annotation grammar (comments starting exactly with //xui:):")
-	fmt.Println("  //xui:nondet <reason>   waive a determinism diagnostic on this or the next line")
-	fmt.Println("  //xui:noalloc           (function doc) body must not heap-allocate per -gcflags=-m")
-	fmt.Println("  //xui:alloc <reason>    inside a noalloc function, waive the allocation on this or the next line")
-	fmt.Println("  //xui:aliased           (struct slice field) reslicing/truncating in place is forbidden")
+	fmt.Println("  //xui:nondet <reason>     waive a determinism diagnostic on this or the next line")
+	fmt.Println("  //xui:noalloc             (function doc) function and its direct-call tree must not heap-allocate per -gcflags=-m")
+	fmt.Println("  //xui:alloc <reason>      waive an allocation on this or the next line; on a call line, vouches for the callee subtree")
+	fmt.Println("  //xui:aliased             (struct slice field) reslicing/truncating in place is forbidden")
+	fmt.Println("  //xui:parallel <reason>   waive an sgoroutine diagnostic (only honored in parallel-waiver packages)")
+	fmt.Println("  //xui:guardedby <mu>      (struct field or var-block local) field may only be accessed holding the sibling mutex <mu>")
+	fmt.Println("  //xui:producer <f,...>    (struct field) only the named methods may write the field")
+	fmt.Println("  //xui:crosssend           (func doc) the 'when' parameter must derive from an epoch source")
+	fmt.Println("  //xui:lockok <reason>     waive a lockcheck diagnostic on this or the next line")
+	fmt.Println("  //xui:shardok <reason>    waive a shardsafe diagnostic on this or the next line")
+	fmt.Println("  //xui:norecover <reason>  waive a recoversafe diagnostic on this or the next line")
 }
 
 // printAnnotations lists the module's annotation inventory: every noalloc
-// function, aliased field, and waiver, plus the waivers that no longer
-// suppress anything (run the analyzers first to know). Used by
-// `make fix-annotations` to keep the annotation set honest.
+// function, aliased/guarded/produced field, crosssend entry point, and
+// waiver, plus the waivers that no longer suppress anything (run the
+// analyzers first to know). Used by `make fix-annotations` to keep the
+// annotation set honest.
 func printAnnotations(suite *lint.Suite, root string) {
 	suite.Run(nil)
-	if _, err := suite.EscapeCheck(root, ""); err != nil {
+	if _, err := suite.EscapeCheck(root, "", nil); err != nil {
 		fatal(err)
 	}
 
@@ -233,14 +291,35 @@ func printAnnotations(suite *lint.Suite, root string) {
 	for _, f := range a.Aliased {
 		fmt.Printf("  %s:%d: %s.%s\n", rel(f.Pos.Filename), f.Pos.Line, f.Struct, f.Field)
 	}
-
-	fmt.Printf("//xui:nondet waivers (%d):\n", len(a.Nondet))
-	for _, w := range a.Nondet {
-		fmt.Printf("  %s:%d: %q\n", rel(w.File), w.Line, w.Reason)
+	fmt.Printf("//xui:guardedby fields (%d):\n", len(a.GuardedBy))
+	for _, gb := range a.GuardedBy {
+		name := gb.Owner + "." + gb.Field
+		if gb.Local {
+			name = gb.Field + " (local)"
+		}
+		fmt.Printf("  %s:%d: %s guarded by %s\n", rel(gb.Pos.Filename), gb.Pos.Line, name, gb.Mu)
 	}
-	fmt.Printf("//xui:alloc waivers (%d):\n", len(a.Alloc))
-	for _, w := range a.Alloc {
-		fmt.Printf("  %s:%d: %q\n", rel(w.File), w.Line, w.Reason)
+	fmt.Printf("//xui:producer fields (%d):\n", len(a.Producer))
+	for _, pr := range a.Producer {
+		fmt.Printf("  %s:%d: %s.%s writers=%s\n", rel(pr.Pos.Filename), pr.Pos.Line, pr.Struct, pr.Field, strings.Join(pr.Writers, ","))
+	}
+	fmt.Printf("//xui:crosssend functions (%d):\n", len(a.CrossSend))
+	for _, cs := range a.CrossSend {
+		fmt.Printf("  %s:%d: %s\n", rel(cs.Pos.Filename), cs.Pos.Line, cs.Name)
+	}
+
+	waiverKinds := []struct {
+		verb string
+		ws   []*lint.Waiver
+	}{
+		{"nondet", a.Nondet}, {"alloc", a.Alloc}, {"parallel", a.Parallel},
+		{"lockok", a.LockOk}, {"shardok", a.ShardOk}, {"norecover", a.NoRecover},
+	}
+	for _, wk := range waiverKinds {
+		fmt.Printf("//xui:%s waivers (%d):\n", wk.verb, len(wk.ws))
+		for _, w := range wk.ws {
+			fmt.Printf("  %s:%d: %q\n", rel(w.File), w.Line, w.Reason)
+		}
 	}
 
 	stale := suite.StaleWaivers()

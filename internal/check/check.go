@@ -46,10 +46,10 @@ const maxStoredViolations = 100
 // collector; individual checkers are single-goroutine and report here.
 type Collector struct {
 	mu         sync.Mutex
-	checks     uint64
-	violations uint64
-	items      []Violation
-	counters   map[string]uint64
+	checks     uint64            //xui:guardedby mu
+	violations uint64            //xui:guardedby mu
+	items      []Violation       //xui:guardedby mu
+	counters   map[string]uint64 //xui:guardedby mu
 }
 
 // NewCollector returns an empty collector.

@@ -40,8 +40,8 @@ type MachineChecker struct {
 	// pointer, so locking preserves determinism of the final state.
 	mu sync.Mutex
 
-	cores []mcCore
-	upids map[*uintr.UPID]*mcUPID
+	cores []mcCore                //xui:guardedby mu
+	upids map[*uintr.UPID]*mcUPID //xui:guardedby mu
 
 	sendsFresh  uint64 // senduipi that set a new PIR bit
 	sendsMerged uint64 // senduipi coalesced onto an already-set bit
@@ -85,11 +85,14 @@ func (mc *MachineChecker) violate(inv string, t sim.Time, format string, args ..
 	mc.col.Violate(inv, t, mc.name, format, args...)
 }
 
+// upid returns (creating on first sight) the shadow state for one UPID.
+// Called only from probe entry points, which lock mc.mu before touching
+// checker state.
 func (mc *MachineChecker) upid(u *uintr.UPID) *mcUPID {
-	s, ok := mc.upids[u]
+	s, ok := mc.upids[u] //xui:lockok caller (probe entry point) holds mc.mu
 	if !ok {
 		s = &mcUPID{}
-		mc.upids[u] = s
+		mc.upids[u] = s //xui:lockok caller (probe entry point) holds mc.mu
 	}
 	return s
 }
@@ -233,7 +236,7 @@ func (mc *MachineChecker) Descheduled(now sim.Time, thread, coreID int) {
 // checkUIRR asserts uirr-conservation on one core: bits pending equal fresh
 // posts minus started deliveries.
 func (mc *MachineChecker) checkUIRR(now sim.Time, coreID int) {
-	cs := &mc.cores[coreID]
+	cs := &mc.cores[coreID] //xui:lockok caller (probe entry point) holds mc.mu
 	got := uint64(bits.OnesCount64(mc.m.Cores[coreID].UIRRPending()))
 	want := cs.posted - cs.delivStart
 	if got != want {

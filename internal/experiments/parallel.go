@@ -72,6 +72,7 @@ func runGrid[J, R any](name string, jobs []J, fn func(i int, job J) R) []R {
 	if prog := currentProgress(); prog != nil {
 		opts.OnProgress = func(done, total int) { prog(name, done, total) }
 	}
+	//xui:nondet sweep wall-clock feeds only metrics, trace timestamps and ETA, never simulated state; results stay in job order
 	out, _ := sweep.RunOpts(jobs, opts, fn)
 	return out
 }

@@ -20,7 +20,7 @@ func analyzerAlias() *Analyzer {
 	}
 }
 
-func runAlias(s *Suite, p *Package, report func(pos token.Pos, msg string)) {
+func runAlias(s *Suite, p *Package, report func(pos token.Pos, msg string, path ...Frame)) {
 	if len(s.Annos.Aliased) == 0 {
 		return
 	}

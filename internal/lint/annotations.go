@@ -44,13 +44,52 @@ type FieldAnno struct {
 	Pos    token.Position
 }
 
+// GuardAnno is a //xui:guardedby <mu> annotation on a struct field (or a
+// local variable in a parenthesized var block): the field may only be
+// accessed while the named sibling mutex is held.
+type GuardAnno struct {
+	Obj   types.Object // the guarded field's or local's *types.Var
+	Mu    string       // sibling mutex name
+	Local bool
+	Owner string // struct name, or function name for locals
+	Field string
+	Pos   token.Position
+}
+
+// ProducerAnno is a //xui:producer <f,g> annotation on a struct field: the
+// field may only be written (or have its address taken) inside the named
+// methods — the single-producer discipline of the shard mailboxes.
+type ProducerAnno struct {
+	Obj     types.Object
+	Struct  string
+	Field   string
+	Writers []string
+	Pos     token.Position
+}
+
+// CrossSendAnno is a //xui:crosssend annotation on a function: at every
+// call site, the argument bound to the parameter named "when" must be
+// derived from an epoch-boundary time source.
+type CrossSendAnno struct {
+	Obj     *types.Func
+	Name    string
+	WhenIdx int
+	Pos     token.Position
+}
+
 // Annotations is the module-wide table of //xui: directives.
 type Annotations struct {
 	Nondet    []*Waiver
 	Alloc     []*Waiver
 	Parallel  []*Waiver
+	LockOk    []*Waiver
+	ShardOk   []*Waiver
+	NoRecover []*Waiver
 	Noalloc   []*FuncAnno
 	Aliased   []*FieldAnno
+	GuardedBy []*GuardAnno
+	Producer  []*ProducerAnno
+	CrossSend []*CrossSendAnno
 	Malformed []Diagnostic
 }
 
@@ -82,6 +121,42 @@ func (a *Annotations) waiveAlloc(p token.Position) bool {
 // covered by a //xui:parallel waiver, marking the waiver used.
 func (a *Annotations) waiveParallel(p token.Position) bool {
 	for _, w := range a.Parallel {
+		if w.covers(p) {
+			w.Used = true
+			return true
+		}
+	}
+	return false
+}
+
+// waiveLockOk reports whether a lockcheck diagnostic at p is covered by a
+// //xui:lockok waiver, marking the waiver used.
+func (a *Annotations) waiveLockOk(p token.Position) bool {
+	for _, w := range a.LockOk {
+		if w.covers(p) {
+			w.Used = true
+			return true
+		}
+	}
+	return false
+}
+
+// waiveShardOk reports whether a shardsafe diagnostic at p is covered by a
+// //xui:shardok waiver, marking the waiver used.
+func (a *Annotations) waiveShardOk(p token.Position) bool {
+	for _, w := range a.ShardOk {
+		if w.covers(p) {
+			w.Used = true
+			return true
+		}
+	}
+	return false
+}
+
+// waiveNoRecover reports whether a recoversafe diagnostic at p is covered
+// by a //xui:norecover waiver, marking the waiver used.
+func (a *Annotations) waiveNoRecover(p token.Position) bool {
+	for _, w := range a.NoRecover {
 		if w.covers(p) {
 			w.Used = true
 			return true
@@ -154,32 +229,43 @@ func (a *Annotations) collectFile(p *Package, f *ast.File) {
 		case *ast.FuncDecl:
 			for _, c := range commentList(d.Doc) {
 				verb, _, ok := splitDirective(c)
-				if !ok || verb != "noalloc" {
-					continue
-				}
-				attached[c] = true
-				a.addNoalloc(p, d, c)
-			}
-		case *ast.GenDecl:
-			for _, spec := range d.Specs {
-				ts, ok := spec.(*ast.TypeSpec)
 				if !ok {
 					continue
 				}
-				st, ok := ts.Type.(*ast.StructType)
-				if !ok || st.Fields == nil {
-					continue
+				switch verb {
+				case "noalloc":
+					attached[c] = true
+					a.addNoalloc(p, d, c)
+				case "crosssend":
+					attached[c] = true
+					a.addCrossSend(p, d, c)
 				}
-				for _, fld := range st.Fields.List {
-					for _, c := range append(commentList(fld.Doc), commentList(fld.Comment)...) {
-						verb, _, ok := splitDirective(c)
-						if !ok || verb != "aliased" {
-							continue
-						}
-						attached[c] = true
-						a.addAliased(p, ts, fld, c)
+			}
+			// Local guarded variables: //xui:guardedby on a ValueSpec inside
+			// a parenthesized var block in the function body.
+			if d.Body != nil {
+				a.collectLocalGuards(p, d, attached)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				var st *ast.StructType
+				owner := ""
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					st, _ = sp.Type.(*ast.StructType)
+					owner = sp.Name.Name
+				case *ast.ValueSpec:
+					// var x struct{ ... } — anonymous struct type on a
+					// package-level variable (the runcache registry shape).
+					st, _ = sp.Type.(*ast.StructType)
+					if len(sp.Names) > 0 {
+						owner = sp.Names[0].Name
 					}
 				}
+				if st == nil || st.Fields == nil {
+					continue
+				}
+				a.collectStructFields(p, owner, st, attached)
 			}
 		}
 	}
@@ -192,15 +278,9 @@ func (a *Annotations) collectFile(p *Package, f *ast.File) {
 			}
 			pos := p.Fset.Position(c.Pos())
 			switch verb {
-			case "nondet", "alloc", "parallel":
+			case "nondet", "alloc", "parallel", "lockok", "shardok", "norecover":
+				owner := waiverOwner[verb]
 				if rest == "" {
-					owner := "determinism"
-					switch verb {
-					case "alloc":
-						owner = "noalloc"
-					case "parallel":
-						owner = "sgoroutine"
-					}
 					a.malformed(owner, pos, "//xui:%s needs a reason: //xui:%s <why this is safe>", verb, verb)
 					continue
 				}
@@ -210,8 +290,14 @@ func (a *Annotations) collectFile(p *Package, f *ast.File) {
 					a.Nondet = append(a.Nondet, w)
 				case "alloc":
 					a.Alloc = append(a.Alloc, w)
-				default:
+				case "parallel":
 					a.Parallel = append(a.Parallel, w)
+				case "lockok":
+					a.LockOk = append(a.LockOk, w)
+				case "shardok":
+					a.ShardOk = append(a.ShardOk, w)
+				default:
+					a.NoRecover = append(a.NoRecover, w)
 				}
 			case "noalloc":
 				if !attached[c] {
@@ -221,11 +307,34 @@ func (a *Annotations) collectFile(p *Package, f *ast.File) {
 				if !attached[c] {
 					a.malformed("alias", pos, "misplaced //xui:aliased: it must annotate a struct field")
 				}
+			case "guardedby":
+				if !attached[c] {
+					a.malformed("lockcheck", pos, "misplaced //xui:guardedby: it must annotate a struct field or a var in a parenthesized var block")
+				}
+			case "producer":
+				if !attached[c] {
+					a.malformed("shardsafe", pos, "misplaced //xui:producer: it must annotate a struct field")
+				}
+			case "crosssend":
+				if !attached[c] {
+					a.malformed("shardsafe", pos, "misplaced //xui:crosssend: it must be part of a function declaration's doc comment")
+				}
 			default:
-				a.malformed("determinism", pos, "unknown annotation //xui:%s (known: nondet, noalloc, alloc, aliased, parallel)", verb)
+				a.malformed("determinism", pos, "unknown annotation //xui:%s (known: nondet, noalloc, alloc, aliased, parallel, guardedby, producer, crosssend, lockok, shardok, norecover)", verb)
 			}
 		}
 	}
+}
+
+// waiverOwner names the analyzer each waiver verb belongs to, for
+// malformed-annotation attribution.
+var waiverOwner = map[string]string{
+	"nondet":    "determinism",
+	"alloc":     "noalloc",
+	"parallel":  "sgoroutine",
+	"lockok":    "lockcheck",
+	"shardok":   "shardsafe",
+	"norecover": "recoversafe",
 }
 
 func commentList(cg *ast.CommentGroup) []*ast.Comment {
@@ -269,7 +378,32 @@ func (a *Annotations) addNoalloc(p *Package, d *ast.FuncDecl, c *ast.Comment) {
 	a.Noalloc = append(a.Noalloc, fa)
 }
 
-func (a *Annotations) addAliased(p *Package, ts *ast.TypeSpec, fld *ast.Field, c *ast.Comment) {
+// collectStructFields dispatches the field-level annotations (aliased,
+// guardedby, producer) over one struct type's fields. owner is the struct
+// or variable name, for display.
+func (a *Annotations) collectStructFields(p *Package, owner string, st *ast.StructType, attached map[*ast.Comment]bool) {
+	for _, fld := range st.Fields.List {
+		for _, c := range append(commentList(fld.Doc), commentList(fld.Comment)...) {
+			verb, rest, ok := splitDirective(c)
+			if !ok {
+				continue
+			}
+			switch verb {
+			case "aliased":
+				attached[c] = true
+				a.addAliased(p, owner, fld, c)
+			case "guardedby":
+				attached[c] = true
+				a.addGuardedBy(p, owner, st, fld, rest, c)
+			case "producer":
+				attached[c] = true
+				a.addProducer(p, owner, fld, rest, c)
+			}
+		}
+	}
+}
+
+func (a *Annotations) addAliased(p *Package, owner string, fld *ast.Field, c *ast.Comment) {
 	pos := p.Fset.Position(c.Pos())
 	if len(fld.Names) == 0 {
 		a.malformed("alias", pos, "//xui:aliased on an embedded field; name the field")
@@ -278,20 +412,172 @@ func (a *Annotations) addAliased(p *Package, ts *ast.TypeSpec, fld *ast.Field, c
 	for _, name := range fld.Names {
 		obj := p.Info.Defs[name]
 		if obj == nil {
-			a.malformed("alias", pos, "//xui:aliased field %s.%s did not resolve", ts.Name.Name, name.Name)
+			a.malformed("alias", pos, "//xui:aliased field %s.%s did not resolve", owner, name.Name)
 			continue
 		}
 		if _, ok := obj.Type().Underlying().(*types.Slice); !ok {
-			a.malformed("alias", pos, "//xui:aliased field %s.%s is not a slice", ts.Name.Name, name.Name)
+			a.malformed("alias", pos, "//xui:aliased field %s.%s is not a slice", owner, name.Name)
 			continue
 		}
 		a.Aliased = append(a.Aliased, &FieldAnno{
 			Obj:    obj,
-			Struct: ts.Name.Name,
+			Struct: owner,
 			Field:  name.Name,
 			Pos:    pos,
 		})
 	}
+}
+
+// addGuardedBy records a //xui:guardedby <mu> field annotation, validating
+// that mu names a sibling field of mutex type.
+func (a *Annotations) addGuardedBy(p *Package, owner string, st *ast.StructType, fld *ast.Field, mu string, c *ast.Comment) {
+	pos := p.Fset.Position(c.Pos())
+	if mu == "" || strings.ContainsAny(mu, " \t,") {
+		a.malformed("lockcheck", pos, "//xui:guardedby needs exactly one mutex name: //xui:guardedby mu")
+		return
+	}
+	var sibling *ast.Field
+	for _, f := range st.Fields.List {
+		for _, n := range f.Names {
+			if n.Name == mu {
+				sibling = f
+			}
+		}
+	}
+	if sibling == nil {
+		a.malformed("lockcheck", pos, "//xui:guardedby %s: %s has no field named %s", mu, owner, mu)
+		return
+	}
+	if len(sibling.Names) > 0 {
+		if obj := p.Info.Defs[sibling.Names[0]]; obj != nil && !isMutexType(obj.Type()) {
+			a.malformed("lockcheck", pos, "//xui:guardedby %s: field %s.%s is not a sync.Mutex or sync.RWMutex", mu, owner, mu)
+			return
+		}
+	}
+	if len(fld.Names) == 0 {
+		a.malformed("lockcheck", pos, "//xui:guardedby on an embedded field; name the field")
+		return
+	}
+	for _, name := range fld.Names {
+		obj := p.Info.Defs[name]
+		if obj == nil {
+			a.malformed("lockcheck", pos, "//xui:guardedby field %s.%s did not resolve", owner, name.Name)
+			continue
+		}
+		a.GuardedBy = append(a.GuardedBy, &GuardAnno{
+			Obj: obj, Mu: mu, Owner: owner, Field: name.Name, Pos: pos,
+		})
+	}
+}
+
+func isMutexType(t types.Type) bool {
+	s := t.String()
+	return s == "sync.Mutex" || s == "sync.RWMutex"
+}
+
+// addProducer records a //xui:producer <f,g> field annotation: only the
+// named functions may write the field or take its address.
+func (a *Annotations) addProducer(p *Package, owner string, fld *ast.Field, rest string, c *ast.Comment) {
+	pos := p.Fset.Position(c.Pos())
+	var writers []string
+	for _, w := range strings.Split(rest, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			writers = append(writers, w)
+		}
+	}
+	if len(writers) == 0 {
+		a.malformed("shardsafe", pos, "//xui:producer needs the writer list: //xui:producer <func,...>")
+		return
+	}
+	if len(fld.Names) == 0 {
+		a.malformed("shardsafe", pos, "//xui:producer on an embedded field; name the field")
+		return
+	}
+	for _, name := range fld.Names {
+		obj := p.Info.Defs[name]
+		if obj == nil {
+			a.malformed("shardsafe", pos, "//xui:producer field %s.%s did not resolve", owner, name.Name)
+			continue
+		}
+		a.Producer = append(a.Producer, &ProducerAnno{
+			Obj: obj, Struct: owner, Field: name.Name, Writers: writers, Pos: pos,
+		})
+	}
+}
+
+// addCrossSend records a //xui:crosssend function annotation. The function
+// must have a parameter named "when" — that is the argument whose value
+// shardsafe requires to be epoch-derived at every call site.
+func (a *Annotations) addCrossSend(p *Package, d *ast.FuncDecl, c *ast.Comment) {
+	pos := p.Fset.Position(c.Pos())
+	obj, _ := p.Info.Defs[d.Name].(*types.Func)
+	if obj == nil {
+		a.malformed("shardsafe", pos, "//xui:crosssend function %s did not resolve", d.Name.Name)
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+	whenIdx := -1
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i).Name() == "when" {
+			whenIdx = i
+			break
+		}
+	}
+	if whenIdx < 0 {
+		a.malformed("shardsafe", pos, "//xui:crosssend function %s has no parameter named \"when\"", funcDisplayName(d))
+		return
+	}
+	a.CrossSend = append(a.CrossSend, &CrossSendAnno{
+		Obj: obj, Name: funcDisplayName(d), WhenIdx: whenIdx, Pos: pos,
+	})
+}
+
+// collectLocalGuards finds //xui:guardedby annotations on local variables:
+// a ValueSpec inside a parenthesized var block in a function body, carrying
+// the directive as its doc or trailing comment.
+func (a *Annotations) collectLocalGuards(p *Package, d *ast.FuncDecl, attached map[*ast.Comment]bool) {
+	ast.Inspect(d.Body, func(node ast.Node) bool {
+		ds, ok := node.(*ast.DeclStmt)
+		if !ok {
+			return true
+		}
+		gd, ok := ds.Decl.(*ast.GenDecl)
+		if !ok {
+			return true
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, c := range append(commentList(vs.Doc), commentList(vs.Comment)...) {
+				verb, rest, ok := splitDirective(c)
+				if !ok || verb != "guardedby" {
+					continue
+				}
+				attached[c] = true
+				pos := p.Fset.Position(c.Pos())
+				if rest == "" || strings.ContainsAny(rest, " \t,") {
+					a.malformed("lockcheck", pos, "//xui:guardedby needs exactly one mutex name: //xui:guardedby mu")
+					continue
+				}
+				if len(vs.Names) != 1 {
+					a.malformed("lockcheck", pos, "//xui:guardedby on a local must annotate exactly one variable")
+					continue
+				}
+				obj := p.Info.Defs[vs.Names[0]]
+				if obj == nil {
+					a.malformed("lockcheck", pos, "//xui:guardedby local %s did not resolve", vs.Names[0].Name)
+					continue
+				}
+				a.GuardedBy = append(a.GuardedBy, &GuardAnno{
+					Obj: obj, Mu: rest, Local: true,
+					Owner: funcDisplayName(d), Field: vs.Names[0].Name, Pos: pos,
+				})
+			}
+		}
+		return true
+	})
 }
 
 func funcDisplayName(d *ast.FuncDecl) string {

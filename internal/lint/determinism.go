@@ -28,7 +28,7 @@ var randConstructors = map[string]bool{
 	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
 }
 
-func runDeterminism(s *Suite, p *Package, report func(pos token.Pos, msg string)) {
+func runDeterminism(s *Suite, p *Package, report func(pos token.Pos, msg string, path ...Frame)) {
 	if !matchPkg(p.Path, s.Cfg.DeterminismPkgs) {
 		return
 	}
@@ -43,9 +43,129 @@ func runDeterminism(s *Suite, p *Package, report func(pos token.Pos, msg string)
 			return true
 		})
 	}
+	checkDetBoundary(s, p, report)
 }
 
-func checkNondetCall(p *Package, call *ast.CallExpr, report func(pos token.Pos, msg string)) {
+// checkDetBoundary closes the wrapper blind spot: a deterministic package
+// calling a module function outside the deterministic set whose call tree
+// — followed through wrappers and stored func values — contains a
+// nondeterminism source is flagged at the boundary call, with the witness
+// path. Calls between deterministic packages need no edge check (each
+// package is checked directly); calls into the standard library are the
+// intra checks' job.
+func checkDetBoundary(s *Suite, p *Package, report func(pos token.Pos, msg string, path ...Frame)) {
+	g := s.Graph()
+	facts := s.detReach()
+	seen := map[token.Pos]bool{}
+	for _, n := range g.Nodes {
+		if n.Pkg != p {
+			continue
+		}
+		for _, e := range n.Out {
+			if e.Callee == nil || (e.Kind != EdgeDirect && e.Kind != EdgeFuncVal) {
+				continue
+			}
+			if matchPkg(e.Callee.Pkg.Path, s.Cfg.DeterminismPkgs) {
+				continue
+			}
+			fact := facts[e.Callee]
+			if fact == nil || seen[e.Pos] {
+				continue
+			}
+			seen[e.Pos] = true
+			frames := append([]Frame{{
+				Func: e.Callee.Name,
+				File: p.Fset.Position(e.Pos).Filename,
+				Line: p.Fset.Position(e.Pos).Line,
+			}}, blamePath(p.Fset, facts, e.Callee)...)
+			report(e.Pos, fmt.Sprintf(
+				"call into non-deterministic code: %s reaches %s (via %s); a simulation package must not depend on it (waive with //xui:nondet <reason> if the result never feeds simulated state)",
+				e.Callee.Name, fact.desc, pathString(frames)), frames...)
+		}
+	}
+}
+
+// detReach lazily computes, per function, whether its call tree contains a
+// nondeterminism source (time.Now, global math/rand, os.Getenv), following
+// direct and func-value edges, go statements and defers included. Sources
+// already waived in place with //xui:nondet do not count.
+func (s *Suite) detReach() map[*Node]*reachFact {
+	if s.detFactsMap == nil {
+		g := s.Graph()
+		s.detFactsMap = g.reach(
+			func(e *Edge) bool { return e.Kind == EdgeDirect || e.Kind == EdgeFuncVal },
+			func(n *Node) (string, token.Position, bool) {
+				return ownNondetSource(s, n)
+			},
+		)
+	}
+	return s.detFactsMap
+}
+
+// ownNondetSource scans one function body (nested literals excluded — they
+// are their own nodes) for a nondeterminism source call.
+func ownNondetSource(s *Suite, n *Node) (string, token.Position, bool) {
+	p := n.Pkg
+	desc := ""
+	var at token.Position
+	ast.Inspect(n.Body(), func(node ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		if node != ast.Node(n.Body()) {
+			if _, ok := node.(*ast.FuncLit); ok {
+				return false
+			}
+		}
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if d, ok := classifyNondet(p, call); ok {
+			pos := p.Fset.Position(call.Pos())
+			if s.Annos.waiveNondet(pos) {
+				return true
+			}
+			desc, at = d, pos
+		}
+		return true
+	})
+	return desc, at, desc != ""
+}
+
+// classifyNondet names the nondeterminism source a call is, if any:
+// "time.Now", "os.Getenv", "rand.Int", ...
+func classifyNondet(p *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "", false
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" {
+			return "time.Now", true
+		}
+	case "os":
+		switch fn.Name() {
+		case "Getenv", "LookupEnv", "Environ":
+			return "os." + fn.Name(), true
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			return pkgBase(fn.Pkg().Path()) + "." + fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+func checkNondetCall(p *Package, call *ast.CallExpr, report func(pos token.Pos, msg string, path ...Frame)) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return
@@ -88,7 +208,7 @@ func pkgBase(path string) string {
 // rows, emit metrics or trace events, accumulate floats — becomes
 // nondeterministic. The one recognized-safe shape is the collect-then-sort
 // idiom: a body that only appends the key to a slice.
-func checkMapRange(p *Package, rs *ast.RangeStmt, report func(pos token.Pos, msg string)) {
+func checkMapRange(p *Package, rs *ast.RangeStmt, report func(pos token.Pos, msg string, path ...Frame)) {
 	tv, ok := p.Info.Types[rs.X]
 	if !ok {
 		return

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+)
+
+// FindingsSchema is the versioned identifier of the machine-readable
+// findings document emitted by `xuivet -json`. Consumers must check it:
+// the schema only changes with the version suffix.
+const FindingsSchema = "xuivet-findings/1"
+
+// Findings is the top-level -json document.
+type Findings struct {
+	// Schema is always FindingsSchema ("xuivet-findings/1").
+	Schema string `json:"schema"`
+	// Analyzers lists the analyzers that ran, in their fixed order.
+	Analyzers []string `json:"analyzers"`
+	// Findings holds every surviving diagnostic, sorted by position.
+	Findings []Finding `json:"findings"`
+}
+
+// Finding is one diagnostic in the -json document. File is relative to the
+// module root when the diagnostic lies inside it, so output is stable
+// across checkouts.
+type Finding struct {
+	Analyzer string  `json:"analyzer"`
+	File     string  `json:"file"`
+	Line     int     `json:"line"`
+	Col      int     `json:"col"`
+	Message  string  `json:"message"`
+	Path     []Frame `json:"path,omitempty"`
+}
+
+// NewFindings builds the versioned -json document from diagnostics.
+// analyzers lists what ran; root, when non-empty, makes file paths
+// root-relative.
+func NewFindings(diags []Diagnostic, analyzers []string, root string) Findings {
+	out := Findings{
+		Schema:    FindingsSchema,
+		Analyzers: analyzers,
+		Findings:  []Finding{}, // never null in JSON
+	}
+	rel := func(file string) string {
+		if root == "" {
+			return file
+		}
+		if r, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(r, "..") {
+			return filepath.ToSlash(r)
+		}
+		return file
+	}
+	for _, d := range diags {
+		f := Finding{
+			Analyzer: d.Analyzer,
+			File:     rel(d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Message:  d.Message,
+		}
+		for _, fr := range d.Path {
+			f.Path = append(f.Path, Frame{Func: fr.Func, File: rel(fr.File), Line: fr.Line})
+		}
+		out.Findings = append(out.Findings, f)
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestFindingsSchemaGolden pins the exact byte shape of the -json document:
+// the schema identifier, the field names, path relativization against the
+// module root, and the blame-chain frames. Any change here is a consumer
+// contract change and must bump the schema version.
+func TestFindingsSchemaGolden(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Analyzer: "determinism",
+			Pos:      token.Position{Filename: "/mod/internal/sim/engine.go", Line: 42, Column: 9},
+			Message:  "call into non-deterministic code: Stamp reaches time.Now (via Stamp -> WallClock -> time.Now)",
+			Path: []Frame{
+				{Func: "Stamp", File: "/mod/internal/host/clock.go", Line: 12},
+				{Func: "WallClock", File: "/mod/internal/host/clock.go", Line: 7},
+				{Func: "time.Now", File: "/mod/internal/host/clock.go", Line: 7},
+			},
+		},
+		{
+			Analyzer: "lockcheck",
+			// Outside the module root: the path must stay absolute.
+			Pos:     token.Position{Filename: "/elsewhere/outside.go", Line: 3, Column: 1},
+			Message: "field S.n (//xui:guardedby mu) accessed without holding s.mu",
+		},
+	}
+	doc := NewFindings(diags, []string{"determinism", "lockcheck"}, "/mod")
+	if doc.Schema != "xuivet-findings/1" {
+		t.Fatalf("schema identifier changed: %q", doc.Schema)
+	}
+	got, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "findings.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("findings document drifted from golden file (run with -update to accept):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestFindingsNeverNull: an empty run must emit "findings": [] rather than
+// null, so jq-style consumers can iterate without a guard.
+func TestFindingsNeverNull(t *testing.T) {
+	b, err := json.Marshal(NewFindings(nil, []string{"determinism"}, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"findings":[]`)) {
+		t.Errorf("empty document does not serialize findings as []: %s", b)
+	}
+}

@@ -14,21 +14,48 @@
 // compiler itself, whose -m escape-analysis diagnostics back the noalloc
 // analyzer.
 //
+// Since v2 the suite is interprocedural: a module-wide call graph
+// (callgraph.go) with explicit edge kinds — direct, interface, funcval,
+// dynamic — and a small forward dataflow layer (dataflow.go) let noalloc
+// verify the whole reachable call tree of an annotated function,
+// determinism see time.Now through wrappers and stored func values, and
+// the concurrency-contract analyzers (shardsafe, lockcheck, recoversafe)
+// check disciplines that span function boundaries. DESIGN.md §15 describes
+// the construction and its soundness limits.
+//
 // Annotation grammar (all comments start exactly with "//xui:"):
 //
-//	//xui:nondet <reason>   waive a determinism diagnostic on this or the
-//	                        next line; the reason is mandatory
-//	//xui:noalloc           (function doc comment) the function body must
-//	                        not contain compiler-attributed heap allocations
-//	//xui:alloc <reason>    inside a //xui:noalloc function, waive the
-//	                        allocation on this or the next line (cold paths)
-//	//xui:aliased           (struct field) the slice field's backing array
-//	                        is aliased by published results; reslicing or
-//	                        truncating it in place is forbidden
-//	//xui:parallel <reason> waive a single-goroutine (sgoroutine) diagnostic
-//	                        on this or the next line; reserved for the
-//	                        sharded engine's epoch machinery, where the
-//	                        contract is per shard kernel rather than global
+//	//xui:nondet <reason>    waive a determinism diagnostic on this or the
+//	                         next line; the reason is mandatory
+//	//xui:noalloc            (function doc comment) the function body and
+//	                         its statically reachable module callees must
+//	                         not contain compiler-attributed heap allocations
+//	//xui:alloc <reason>     inside a //xui:noalloc call tree, waive the
+//	                         allocation on this or the next line (cold
+//	                         paths); on a call line it also vouches for the
+//	                         callee, pruning that edge from the closure
+//	//xui:aliased            (struct field) the slice field's backing array
+//	                         is aliased by published results; reslicing or
+//	                         truncating it in place is forbidden
+//	//xui:parallel <reason>  waive a single-goroutine (sgoroutine) diagnostic
+//	                         on this or the next line; legitimate only in
+//	                         the sharded engine's epoch machinery
+//	                         (shardsafe audits the scope)
+//	//xui:guardedby <mu>     (struct field, or local var in a parenthesized
+//	                         var block) the field may only be accessed while
+//	                         the named sibling mutex is held (lockcheck)
+//	//xui:lockok <reason>    waive a lockcheck diagnostic on this or the
+//	                         next line
+//	//xui:producer <f,...>   (struct field) only the named functions may
+//	                         write the field or take its address — the
+//	                         single-producer mailbox discipline (shardsafe)
+//	//xui:crosssend          (function doc comment) every call site's
+//	                         "when" argument must derive from an
+//	                         epoch-boundary time source (shardsafe)
+//	//xui:shardok <reason>   waive a shardsafe diagnostic on this or the
+//	                         next line
+//	//xui:norecover <reason> waive a recoversafe diagnostic on this or the
+//	                         next line
 package lint
 
 import (
@@ -42,10 +69,20 @@ import (
 )
 
 // Diagnostic is one analyzer finding, positioned in the analyzed source.
+// Path, when present, is the call-path blame chain from the reported site
+// down to the fact that triggered the finding (interprocedural analyzers).
 type Diagnostic struct {
 	Analyzer string         `json:"analyzer"`
 	Pos      token.Position `json:"pos"`
 	Message  string         `json:"message"`
+	Path     []Frame        `json:"path,omitempty"`
+}
+
+// Frame is one step of a call-path blame chain.
+type Frame struct {
+	Func string `json:"func"`
+	File string `json:"file"`
+	Line int    `json:"line"`
 }
 
 func (d Diagnostic) String() string {
@@ -62,11 +99,12 @@ type Package struct {
 	Info  *types.Info
 }
 
-// Analyzer is one named contract check.
+// Analyzer is one named contract check. The report callback optionally
+// carries a call-path blame chain for interprocedural findings.
 type Analyzer struct {
 	Name string
 	Doc  string
-	run  func(s *Suite, p *Package, report func(pos token.Pos, msg string))
+	run  func(s *Suite, p *Package, report func(pos token.Pos, msg string, path ...Frame))
 }
 
 // Config selects which packages each contract applies to and what the
@@ -84,6 +122,18 @@ type Config struct {
 	// ProbeTypes names the interface types whose calls must be nil-guarded
 	// (matched by type name, declared anywhere in the module).
 	ProbeTypes []string
+	// LockCheckPkgs lists import-path prefixes where //xui:guardedby fields
+	// are enforced and no lock may be held across a blocking call.
+	LockCheckPkgs []string
+	// RecoverSafePkgs lists import-path prefixes where every go statement's
+	// body must be dominated by a recover wrapper.
+	RecoverSafePkgs []string
+	// ParallelWaiverPkgs lists the only import-path prefixes where
+	// //xui:parallel waivers are legitimate — the sharded engine's epoch
+	// machinery. A parallel waiver anywhere else in a single-goroutine
+	// package is a shardsafe finding: it would silently punch a hole in the
+	// kernel's single-goroutine contract.
+	ParallelWaiverPkgs []string
 }
 
 // DefaultConfig returns the analyzer configuration for this module.
@@ -110,6 +160,20 @@ func DefaultConfig(modulePath string) *Config {
 		modulePath + "/internal/cpu",
 		modulePath + "/internal/shard",
 	}
+	cfg.ParallelWaiverPkgs = []string{modulePath + "/internal/shard"}
+	// The concurrent host-side packages: the daemon, the sweep pool, the
+	// run cache, the metrics/trace registries and the invariant checker.
+	for _, p := range []string{
+		"internal/obs", "internal/runcache", "internal/server",
+		"internal/check", "internal/sweep",
+	} {
+		cfg.LockCheckPkgs = append(cfg.LockCheckPkgs, modulePath+"/"+p)
+	}
+	for _, p := range []string{
+		"internal/server", "internal/sweep", "internal/shard",
+	} {
+		cfg.RecoverSafePkgs = append(cfg.RecoverSafePkgs, modulePath+"/"+p)
+	}
 	return cfg
 }
 
@@ -122,12 +186,18 @@ func matchPkg(path string, prefixes []string) bool {
 	return false
 }
 
-// Suite holds the loaded packages, the module-wide annotation tables, and
-// the analyzer set.
+// Suite holds the loaded packages, the module-wide annotation tables, the
+// lazily built call graph and its derived dataflow facts, and the analyzer
+// set.
 type Suite struct {
 	Cfg   *Config
 	Pkgs  []*Package
 	Annos *Annotations
+
+	graph        *CallGraph
+	detFactsMap  map[*Node]*reachFact
+	blockFacts   map[*Node]*reachFact
+	recoverFacts map[*Node]*reachFact
 }
 
 // NewSuite collects annotations across pkgs and prepares the analyzers.
@@ -137,7 +207,15 @@ func NewSuite(cfg *Config, pkgs []*Package) *Suite {
 	return s
 }
 
-// Analyzers returns the five contract analyzers in a fixed order.
+// Graph returns the module call graph, built on first use.
+func (s *Suite) Graph() *CallGraph {
+	if s.graph == nil {
+		s.graph = BuildCallGraph(s.Pkgs)
+	}
+	return s.graph
+}
+
+// Analyzers returns the contract analyzers in a fixed order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		analyzerDeterminism(),
@@ -145,6 +223,9 @@ func Analyzers() []*Analyzer {
 		analyzerSingleGoroutine(),
 		analyzerNoalloc(),
 		analyzerAlias(),
+		analyzerShardSafe(),
+		analyzerLockCheck(),
+		analyzerRecoverSafe(),
 	}
 }
 
@@ -183,12 +264,9 @@ func (s *Suite) Run(enabled map[string]bool) []Diagnostic {
 		}
 		for _, p := range s.Pkgs {
 			pkg := p
-			a.run(s, pkg, func(pos token.Pos, msg string) {
-				d := Diagnostic{Analyzer: a.Name, Pos: pkg.Fset.Position(pos), Message: msg}
-				if a.Name == "determinism" && s.Annos.waiveNondet(d.Pos) {
-					return
-				}
-				if a.Name == "sgoroutine" && s.Annos.waiveParallel(d.Pos) {
+			a.run(s, pkg, func(pos token.Pos, msg string, path ...Frame) {
+				d := Diagnostic{Analyzer: a.Name, Pos: pkg.Fset.Position(pos), Message: msg, Path: path}
+				if s.waived(a.Name, d.Pos) {
 					return
 				}
 				out = append(out, d)
@@ -206,39 +284,48 @@ func (s *Suite) Run(enabled map[string]bool) []Diagnostic {
 	return out
 }
 
-// StaleWaivers returns every //xui:nondet, //xui:alloc and //xui:parallel
-// waiver that suppressed nothing in the analyses run so far — code that
-// became clean, so the waiver should be deleted. Call after Run (and
-// EscapeCheck, for alloc waivers).
+// waived dispatches a diagnostic position to the waiver table owned by the
+// reporting analyzer, marking any matching waiver used.
+func (s *Suite) waived(analyzer string, pos token.Position) bool {
+	switch analyzer {
+	case "determinism":
+		return s.Annos.waiveNondet(pos)
+	case "sgoroutine":
+		return s.Annos.waiveParallel(pos)
+	case "lockcheck":
+		return s.Annos.waiveLockOk(pos)
+	case "shardsafe":
+		return s.Annos.waiveShardOk(pos)
+	case "recoversafe":
+		return s.Annos.waiveNoRecover(pos)
+	}
+	return false
+}
+
+// StaleWaivers returns every waiver (//xui:nondet, //xui:alloc,
+// //xui:parallel, //xui:lockok, //xui:shardok, //xui:norecover) that
+// suppressed nothing in the analyses run so far — code that became clean,
+// so the waiver should be deleted. Call after Run (and EscapeCheck, for
+// alloc waivers).
 func (s *Suite) StaleWaivers() []Diagnostic {
 	var out []Diagnostic
-	for _, w := range s.Annos.Nondet {
-		if !w.Used {
-			out = append(out, Diagnostic{
-				Analyzer: "determinism",
-				Pos:      token.Position{Filename: w.File, Line: w.Line, Column: 1},
-				Message:  fmt.Sprintf("stale //xui:nondet waiver (%q): no diagnostic suppressed; delete it", w.Reason),
-			})
+	stale := func(analyzer, verb string, ws []*Waiver) {
+		for _, w := range ws {
+			if !w.Used {
+				out = append(out, Diagnostic{
+					Analyzer: analyzer,
+					Pos:      token.Position{Filename: w.File, Line: w.Line, Column: 1},
+					Message:  fmt.Sprintf("stale //xui:%s waiver (%q): no diagnostic suppressed; delete it", verb, w.Reason),
+				})
+			}
 		}
 	}
-	for _, w := range s.Annos.Alloc {
-		if !w.Used {
-			out = append(out, Diagnostic{
-				Analyzer: "noalloc",
-				Pos:      token.Position{Filename: w.File, Line: w.Line, Column: 1},
-				Message:  fmt.Sprintf("stale //xui:alloc waiver (%q): no allocation suppressed; delete it", w.Reason),
-			})
-		}
-	}
-	for _, w := range s.Annos.Parallel {
-		if !w.Used {
-			out = append(out, Diagnostic{
-				Analyzer: "sgoroutine",
-				Pos:      token.Position{Filename: w.File, Line: w.Line, Column: 1},
-				Message:  fmt.Sprintf("stale //xui:parallel waiver (%q): no diagnostic suppressed; delete it", w.Reason),
-			})
-		}
-	}
+	stale("determinism", "nondet", s.Annos.Nondet)
+	stale("noalloc", "alloc", s.Annos.Alloc)
+	stale("sgoroutine", "parallel", s.Annos.Parallel)
+	stale("lockcheck", "lockok", s.Annos.LockOk)
+	stale("shardsafe", "shardok", s.Annos.ShardOk)
+	stale("recoversafe", "norecover", s.Annos.NoRecover)
 	sortDiags(out)
 	return out
 }

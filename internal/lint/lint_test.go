@@ -40,18 +40,115 @@ func TestAliasFixture(t *testing.T) {
 	runFixture(t, "alias", "alias")
 }
 
+func TestLockCheckFixture(t *testing.T) {
+	s := runFixture(t, "lockcheck", "lockcheck")
+	stale := s.StaleWaivers()
+	if len(stale) != 1 {
+		t.Fatalf("want exactly 1 stale waiver, got %d: %v", len(stale), stale)
+	}
+	if !strings.Contains(stale[0].Message, "stale //xui:lockok waiver") {
+		t.Errorf("stale waiver reason not surfaced: %s", stale[0])
+	}
+}
+
+func TestRecoverSafeFixture(t *testing.T) {
+	s := runFixture(t, "recoversafe", "recoversafe")
+	stale := s.StaleWaivers()
+	if len(stale) != 1 {
+		t.Fatalf("want exactly 1 stale waiver, got %d: %v", len(stale), stale)
+	}
+	if !strings.Contains(stale[0].Message, "stale //xui:norecover waiver") {
+		t.Errorf("stale waiver reason not surfaced: %s", stale[0])
+	}
+}
+
+func TestShardSafeFixture(t *testing.T) {
+	s := runFixture(t, "shardsafe", "shardsafe")
+	stale := s.StaleWaivers()
+	if len(stale) != 1 {
+		t.Fatalf("want exactly 1 stale waiver, got %d: %v", len(stale), stale)
+	}
+	if !strings.Contains(stale[0].Message, "stale //xui:shardok waiver") {
+		t.Errorf("stale waiver reason not surfaced: %s", stale[0])
+	}
+}
+
+// TestParallelWaiverScope proves a //xui:parallel waiver in a
+// single-goroutine package OUTSIDE ParallelWaiverPkgs is reported even
+// though it suppresses nothing.
+func TestParallelWaiverScope(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "parscope")
+	p, err := LoadPackageDir(dir, "fixture/parscope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &Config{SingleGoroutinePkgs: []string{"fixture/parscope"}}
+	s := NewSuite(cfg, []*Package{p})
+	diags := s.Run(map[string]bool{"shardsafe": true})
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 scope diagnostic, got %d: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "outside the sharded engine") {
+		t.Errorf("unexpected message: %s", diags[0])
+	}
+}
+
+// TestInterprocDeterminism proves the boundary check sees through wrapper
+// layers in another package: simpkg.Bad -> util.Stamp -> util.WallClock ->
+// time.Now is reported at the boundary call with the witness path, while
+// the deterministic call and the waived call are not.
+func TestInterprocDeterminism(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "detmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, _, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &Config{DeterminismPkgs: []string{"detmod/simpkg"}}
+	s := NewSuite(cfg, pkgs)
+	diags := s.Run(map[string]bool{"determinism": true})
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 boundary diagnostic, got %d: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if !strings.Contains(d.Message, "Stamp reaches time.Now") {
+		t.Errorf("boundary source not named: %s", d)
+	}
+	if !strings.Contains(d.Message, "via Stamp -> WallClock -> time.Now") {
+		t.Errorf("witness path missing: %s", d)
+	}
+	if len(d.Path) == 0 {
+		t.Errorf("no structured blame path on %s", d)
+	}
+	if stale := s.StaleWaivers(); len(stale) != 0 {
+		t.Errorf("the //xui:nondet waiver in Waived was not consumed: %v", stale)
+	}
+}
+
 // TestAnnotationValidation pins the malformed-annotation diagnostics:
 // missing reasons, misplaced function/field annotations, unknown verbs.
 func TestAnnotationValidation(t *testing.T) {
 	s, _ := loadFixture(t, "annos")
 	diags := s.Run(nil)
 	expected := []string{
+		// The sync import needed by the guardedby cases trips the
+		// single-goroutine import check — the fixture config treats the
+		// fixture as a simulation package.
+		"import of sync violates the single-goroutine simulation contract",
 		"//xui:nondet needs a reason",
 		"//xui:alloc needs a reason",
 		"misplaced //xui:noalloc",
 		"misplaced //xui:aliased",
 		"is not a slice",
 		"unknown annotation //xui:frobnicate",
+		"misplaced //xui:guardedby",
+		"//xui:lockok needs a reason",
+		"Locked has no field named missing",
+		"field Locked.notMu is not a sync.Mutex or sync.RWMutex",
+		"//xui:producer needs the writer list",
+		"//xui:crosssend function NoWhen has no parameter named \"when\"",
 	}
 	if len(diags) != len(expected) {
 		t.Errorf("want %d diagnostics, got %d:", len(expected), len(diags))
@@ -78,6 +175,15 @@ func TestAnnotationValidation(t *testing.T) {
 	if len(s.Annos.Aliased) != 1 || s.Annos.Aliased[0].Field != "rows" {
 		t.Errorf("valid //xui:aliased not collected: %+v", s.Annos.Aliased)
 	}
+	if len(s.Annos.GuardedBy) != 1 || s.Annos.GuardedBy[0].Field != "ok" {
+		t.Errorf("valid //xui:guardedby not collected: %+v", s.Annos.GuardedBy)
+	}
+	if len(s.Annos.Producer) != 1 || s.Annos.Producer[0].Field != "rows" {
+		t.Errorf("valid //xui:producer not collected: %+v", s.Annos.Producer)
+	}
+	if len(s.Annos.CrossSend) != 1 {
+		t.Errorf("valid //xui:crosssend not collected: %+v", s.Annos.CrossSend)
+	}
 }
 
 // TestEscapeCheckFixture proves the noalloc analyzer fails when a
@@ -94,21 +200,43 @@ func TestEscapeCheckFixture(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := NewSuite(DefaultConfig(modPath), pkgs)
-	diags, err := s.EscapeCheck(root, "")
+	diags, err := s.EscapeCheck(root, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(diags) != 1 {
-		t.Fatalf("want exactly 1 escape diagnostic (Leaky), got %d: %v", len(diags), diags)
+	if len(diags) != 2 {
+		t.Fatalf("want 2 escape diagnostics (Leaky + transitive leakyHelper), got %d: %v", len(diags), diags)
 	}
-	d := diags[0]
-	if !strings.Contains(d.Message, "noalloc function Leaky") {
-		t.Errorf("diagnostic not attributed to Leaky: %s", d)
+	var leaky, transitive *Diagnostic
+	for i := range diags {
+		switch {
+		case strings.Contains(diags[i].Message, "noalloc function Leaky"):
+			leaky = &diags[i]
+		case strings.Contains(diags[i].Message, "TransitiveRoot"):
+			transitive = &diags[i]
+		}
 	}
-	if !strings.Contains(d.Message, "escapes to heap") && !strings.Contains(d.Message, "moved to heap") {
-		t.Errorf("diagnostic does not carry the compiler's reason: %s", d)
+	if leaky == nil {
+		t.Fatalf("no diagnostic attributed to Leaky: %v", diags)
 	}
-	// The //xui:alloc waiver in Waived was consumed, so nothing is stale.
+	if !strings.Contains(leaky.Message, "escapes to heap") && !strings.Contains(leaky.Message, "moved to heap") {
+		t.Errorf("diagnostic does not carry the compiler's reason: %s", *leaky)
+	}
+	if transitive == nil {
+		t.Fatalf("no transitive diagnostic blaming TransitiveRoot: %v", diags)
+	}
+	if !strings.Contains(transitive.Message, "reached from //xui:noalloc TransitiveRoot") {
+		t.Errorf("transitive diagnostic does not name its root: %s", *transitive)
+	}
+	if !strings.Contains(transitive.Message, "via leakyHelper") {
+		t.Errorf("transitive diagnostic has no blame chain: %s", *transitive)
+	}
+	if len(transitive.Path) == 0 {
+		t.Errorf("no structured blame path on %s", *transitive)
+	}
+	// The //xui:alloc waivers in Waived and VouchedRoot were consumed (the
+	// latter vouches for the whole vouchedHelper subtree), so nothing is
+	// stale and vouchedHelper's allocation is not reported.
 	if stale := s.StaleWaivers(); len(stale) != 0 {
 		t.Errorf("unexpected stale waivers: %v", stale)
 	}
@@ -133,7 +261,7 @@ func TestModuleCleanAtHEAD(t *testing.T) {
 	for _, d := range s.Run(nil) {
 		t.Errorf("%s", d)
 	}
-	escape, err := s.EscapeCheck(root, "")
+	escape, err := s.EscapeCheck(root, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -34,7 +34,7 @@ func analyzerNilProbe() *Analyzer {
 	}
 }
 
-func runNilProbe(s *Suite, p *Package, report func(pos token.Pos, msg string)) {
+func runNilProbe(s *Suite, p *Package, report func(pos token.Pos, msg string, path ...Frame)) {
 	probeNames := map[string]bool{}
 	for _, n := range s.Cfg.ProbeTypes {
 		probeNames[n] = true
@@ -93,7 +93,7 @@ func (g *guards) invalidate(expr string) {
 type guardWalker struct {
 	p          *Package
 	probeNames map[string]bool
-	report     func(pos token.Pos, msg string)
+	report     func(pos token.Pos, msg string, path ...Frame)
 }
 
 // probeType reports whether t is (a pointer to) a named interface type

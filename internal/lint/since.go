@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ChangedPackages implements the -since incremental mode: it asks git which
+// .go files changed between rev and the working tree (committed, staged,
+// unstaged, and untracked), maps them to module packages, and closes the
+// set over reverse imports — a package whose dependency changed must be
+// re-analyzed because interprocedural facts flow across package boundaries.
+// The returned set maps import paths to true; a nil map with nil error
+// means "nothing changed".
+func ChangedPackages(moduleDir, rev string, pkgs []*Package) (map[string]bool, error) {
+	files, err := gitChangedFiles(moduleDir, rev)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	// Map changed files to the packages that own their directories.
+	byDir := map[string]*Package{}
+	for _, p := range pkgs {
+		if len(p.Files) == 0 {
+			continue
+		}
+		dir := filepath.Dir(p.Fset.Position(p.Files[0].Pos()).Filename)
+		byDir[dir] = p
+	}
+	changed := map[string]bool{}
+	for _, f := range files {
+		if !strings.HasSuffix(f, ".go") {
+			continue
+		}
+		dir := filepath.Join(moduleDir, filepath.Dir(f))
+		if p, ok := byDir[dir]; ok {
+			changed[p.Path] = true
+		}
+	}
+	if len(changed) == 0 {
+		return nil, nil
+	}
+	return expandAffected(changed, pkgs), nil
+}
+
+// expandAffected closes a set of changed import paths over reverse module
+// imports: any package importing an affected package (transitively) is
+// affected too.
+func expandAffected(changed map[string]bool, pkgs []*Package) map[string]bool {
+	// importers[dep] = packages in the module that import dep.
+	importers := map[string][]string{}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, imp := range f.Imports {
+				dep := strings.Trim(imp.Path.Value, `"`)
+				importers[dep] = append(importers[dep], p.Path)
+			}
+		}
+	}
+	affected := map[string]bool{}
+	var queue []string
+	for path := range changed {
+		affected[path] = true
+		queue = append(queue, path)
+	}
+	for len(queue) > 0 {
+		dep := queue[0]
+		queue = queue[1:]
+		for _, imp := range importers[dep] {
+			if !affected[imp] {
+				affected[imp] = true
+				queue = append(queue, imp)
+			}
+		}
+	}
+	return affected
+}
+
+// gitChangedFiles lists paths (module-relative) that differ from rev,
+// including untracked files.
+func gitChangedFiles(moduleDir, rev string) ([]string, error) {
+	diff := exec.Command("git", "diff", "--name-only", rev, "--")
+	diff.Dir = moduleDir
+	out, err := diff.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("lint: git diff --name-only %s failed: %v\n%s", rev, err, out)
+	}
+	seen := map[string]bool{}
+	var files []string
+	add := func(line string) {
+		line = strings.TrimSpace(line)
+		if line != "" && !seen[line] {
+			seen[line] = true
+			files = append(files, line)
+		}
+	}
+	for _, line := range strings.Split(string(out), "\n") {
+		add(line)
+	}
+	untracked := exec.Command("git", "ls-files", "--others", "--exclude-standard")
+	untracked.Dir = moduleDir
+	out, err = untracked.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("lint: git ls-files --others failed: %v\n%s", err, out)
+	}
+	for _, line := range strings.Split(string(out), "\n") {
+		add(line)
+	}
+	sort.Strings(files)
+	return files, nil
+}

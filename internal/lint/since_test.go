@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"testing"
+)
+
+// TestExpandAffected: a change in m/a must re-analyze its direct importer
+// m/b and the transitive importer m/c, but not the unrelated m/d —
+// interprocedural facts flow across package boundaries, so the closure is
+// over reverse imports.
+func TestExpandAffected(t *testing.T) {
+	mk := func(path string, imports ...string) *Package {
+		f := &ast.File{}
+		for _, imp := range imports {
+			f.Imports = append(f.Imports, &ast.ImportSpec{
+				Path: &ast.BasicLit{Value: strconv.Quote(imp)},
+			})
+		}
+		return &Package{Path: path, Files: []*ast.File{f}}
+	}
+	pkgs := []*Package{
+		mk("m/a"),
+		mk("m/b", "m/a"),
+		mk("m/c", "m/b", "fmt"),
+		mk("m/d", "fmt"),
+	}
+	got := expandAffected(map[string]bool{"m/a": true}, pkgs)
+	for _, want := range []string{"m/a", "m/b", "m/c"} {
+		if !got[want] {
+			t.Errorf("%s not in affected set: %v", want, got)
+		}
+	}
+	if got["m/d"] {
+		t.Errorf("unrelated package m/d dragged into affected set: %v", got)
+	}
+	if len(got) != 3 {
+		t.Errorf("want exactly 3 affected packages, got %d: %v", len(got), got)
+	}
+}

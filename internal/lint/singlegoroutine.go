@@ -26,7 +26,7 @@ func analyzerSingleGoroutine() *Analyzer {
 	}
 }
 
-func runSingleGoroutine(s *Suite, p *Package, report func(pos token.Pos, msg string)) {
+func runSingleGoroutine(s *Suite, p *Package, report func(pos token.Pos, msg string, path ...Frame)) {
 	if !matchPkg(p.Path, s.Cfg.SingleGoroutinePkgs) {
 		return
 	}

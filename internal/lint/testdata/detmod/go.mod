@@ -1,0 +1,3 @@
+module detmod
+
+go 1.22

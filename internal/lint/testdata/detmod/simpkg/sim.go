@@ -1,0 +1,22 @@
+// Package simpkg is the deterministic package of the fixture module: calls
+// into module code whose call tree reaches a nondeterminism source are
+// boundary violations, however many wrapper layers deep the source hides.
+package simpkg
+
+import "detmod/util"
+
+// Step only reaches deterministic code; no finding.
+func Step(x int64) int64 {
+	return util.Pure(x)
+}
+
+// Bad reaches time.Now through two wrapper layers.
+func Bad() int64 {
+	return util.Stamp()
+}
+
+// Waived makes the same call with an in-place waiver.
+func Waived() int64 {
+	//xui:nondet log timestamp only; never fed back into simulated state
+	return util.Stamp()
+}

@@ -1,0 +1,13 @@
+// Package util is host-side helper code, outside the deterministic set.
+package util
+
+import "time"
+
+// WallClock wraps the forbidden source behind a helper.
+func WallClock() int64 { return time.Now().UnixNano() }
+
+// Stamp forwards through a second layer, so the witness path has depth.
+func Stamp() int64 { return WallClock() }
+
+// Pure is deterministic.
+func Pure(x int64) int64 { return x * 2 }

@@ -37,3 +37,31 @@ func Waived(n int) {
 	//xui:alloc deliberate refill path, amortised over many calls
 	sink = make([]int, n)
 }
+
+// leakyHelper allocates; it is reached from a //xui:noalloc root through a
+// direct call, so the transitive check attributes its allocation to the
+// root with a blame chain. noinline keeps the compiler from absorbing the
+// allocation into the caller's frame.
+//
+//go:noinline
+func leakyHelper(n int) []int {
+	return make([]int, n)
+}
+
+//xui:noalloc
+func TransitiveRoot(n int) int {
+	return len(leakyHelper(n))
+}
+
+// vouchedHelper allocates too, but its caller vouches for the call with an
+// //xui:alloc waiver on the call line, pruning the whole subtree.
+//
+//go:noinline
+func vouchedHelper(n int) []int {
+	return make([]int, n)
+}
+
+//xui:noalloc
+func VouchedRoot(n int) int {
+	return len(vouchedHelper(n)) //xui:alloc cold refill; the callee subtree is vouched for
+}

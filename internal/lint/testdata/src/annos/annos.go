@@ -3,6 +3,8 @@
 // unknown verbs are reported.
 package annos
 
+import "sync"
+
 //xui:nondet
 var missingReason = 1
 
@@ -36,3 +38,33 @@ type Right struct {
 }
 
 func (r *Right) Drop() { r.rows = nil }
+
+//xui:guardedby mu
+var notAGuard = 1
+
+//xui:lockok
+var missingLockReason = 3
+
+type Locked struct {
+	mu    sync.Mutex
+	notMu int
+	//xui:guardedby missing
+	x int
+	//xui:guardedby notMu
+	y int
+	//xui:guardedby mu
+	ok int
+}
+
+type Mailboxes struct {
+	//xui:producer
+	boxes []int
+	//xui:producer fill
+	rows []int
+}
+
+//xui:crosssend
+func NoWhen(x int) { _ = x }
+
+//xui:crosssend
+func ValidCrossSend(when int64) { _ = when }

@@ -1,0 +1,107 @@
+// Package lockcheck exercises the lockcheck analyzer: //xui:guardedby
+// fields must be accessed under their mutex on every path, no blocking
+// operation may run with a lock held (including through module callees via
+// the mayBlock summary), and //xui:lockok waives a finding.
+package lockcheck
+
+import (
+	"sync"
+	"time"
+)
+
+// S carries a guarded counter and a channel for blocking cases.
+type S struct {
+	mu sync.Mutex
+	n  int //xui:guardedby mu
+	ch chan int
+}
+
+func (s *S) Good() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	return s.n
+}
+
+func (s *S) AlsoGood() {
+	s.mu.Lock()
+	s.n = 1
+	s.mu.Unlock()
+}
+
+func (s *S) Bad() int {
+	return s.n // want `field S\.n \(//xui:guardedby mu\) accessed without holding s\.mu`
+}
+
+func (s *S) BadAfterUnlock() {
+	s.mu.Lock()
+	s.n = 1
+	s.mu.Unlock()
+	s.n = 2 // want `accessed without holding s\.mu`
+}
+
+func (s *S) BranchBad(cond bool) {
+	if cond {
+		s.mu.Lock()
+		s.n = 1
+		s.mu.Unlock()
+	}
+	// The lock from the branch does not survive the join.
+	s.n = 2 // want `accessed without holding s\.mu`
+}
+
+func (s *S) Waived() int {
+	//xui:lockok construction-time read; no goroutine has the receiver yet
+	return s.n
+}
+
+func (s *S) SleepUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding s\.mu blocks with the lock held`
+}
+
+func (s *S) RecvUnderLock() {
+	s.mu.Lock()
+	v := <-s.ch // want `channel receive while holding s\.mu blocks with the lock held`
+	s.n = v
+	s.mu.Unlock()
+}
+
+// blockingHelper's own body blocks; the interprocedural summary carries
+// that fact to its callers.
+func (s *S) blockingHelper() {
+	<-s.ch
+}
+
+func (s *S) IndirectBlock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blockingHelper() // want `call to \(\*S\)\.blockingHelper while holding s\.mu may block`
+}
+
+func (s *S) SelectDefaultOK() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		s.n = v
+	default:
+	}
+}
+
+//xui:lockok nothing is suppressed here, so this waiver is stale
+func StaleWaiverHere() {}
+
+// LocalGuard shows the local form: a var in a parenthesized var block.
+func LocalGuard() int {
+	var (
+		mu sync.Mutex
+		//xui:guardedby mu
+		total int
+	)
+	mu.Lock()
+	total++
+	mu.Unlock()
+	return total // want `local total \(//xui:guardedby mu\) accessed without holding mu`
+}

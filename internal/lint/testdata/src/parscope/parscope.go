@@ -1,0 +1,8 @@
+// Package parscope exercises //xui:parallel waiver scoping: the package is
+// under the single-goroutine contract but NOT in ParallelWaiverPkgs, so
+// the waiver below is reported as out of place even though it suppresses
+// nothing.
+package parscope
+
+//xui:parallel speed hack
+func F() int { return 1 }

@@ -1,0 +1,79 @@
+// Package recoversafe exercises the recoversafe analyzer: every spawned
+// goroutine body must be dominated by a recover wrapper — a top-level
+// defer whose call tree contains recover(), armed before any real work.
+package recoversafe
+
+func work() {}
+
+// rec is a named recover helper; the call-graph summary sees the recover.
+func rec() {
+	if r := recover(); r != nil {
+		_ = r
+	}
+}
+
+// recIndirect recovers one call deeper; still visible to the summary.
+func recIndirect() { rec() }
+
+func SpawnBareNamed() {
+	go work() // want `goroutine body has no recover wrapper`
+}
+
+func SpawnBareLit() {
+	go func() { // want `no recover wrapper before real work`
+		work()
+	}()
+}
+
+func SpawnGuardedLit() {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				_ = r
+			}
+		}()
+		work()
+	}()
+}
+
+func SpawnNamedGuard() {
+	go func() {
+		defer rec()
+		work()
+	}()
+}
+
+func SpawnIndirectGuard() {
+	go func() {
+		defer recIndirect()
+		work()
+	}()
+}
+
+func guardedWorker() {
+	defer rec()
+	work()
+}
+
+func SpawnGuardedNamed() {
+	go guardedWorker()
+}
+
+func SpawnLateGuard() {
+	go func() { // want `no recover wrapper before real work`
+		work()
+		defer rec()
+	}()
+}
+
+func SpawnDynamic(f func()) {
+	go f() // want `go statement through a dynamic func value`
+}
+
+func SpawnWaived(f func()) {
+	//xui:norecover test-only goroutine; a panic should fail the harness
+	go f()
+}
+
+//xui:norecover nothing is suppressed here, so this waiver is stale
+func StaleWaiverHere() {}

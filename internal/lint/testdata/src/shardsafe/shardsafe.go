@@ -1,0 +1,74 @@
+// Package shardsafe exercises the shardsafe analyzer: single-producer
+// mailbox fields (//xui:producer) may only be written by their annotated
+// writers, and every //xui:crosssend call site must pass a "when" derived
+// from an epoch-boundary source.
+package shardsafe
+
+// Clock provides the epoch time sources.
+type Clock struct{ now int64 }
+
+func (c *Clock) Now() int64       { return c.now }
+func (c *Clock) Lookahead() int64 { return 10 }
+
+// Engine mimics the sharded engine's mailbox layout.
+type Engine struct {
+	clock    Clock
+	epochEnd int64
+	out      [][]int  //xui:producer push
+	seqs     []uint64 //xui:producer push
+}
+
+// push is the annotated single producer: writes and address-takes of the
+// mailbox fields are legal here and nowhere else.
+func (e *Engine) push(src, v int) {
+	box := &e.out[src]
+	*box = append(*box, v)
+	e.seqs[src]++
+}
+
+// Send delivers v at when.
+//
+//xui:crosssend
+func (e *Engine) Send(dst int, when int64, v int) {
+	_ = when
+	e.push(dst, v)
+}
+
+func (e *Engine) RogueWrite() {
+	e.seqs[0]++ // want `write of single-producer field Engine\.seqs \(//xui:producer push\) in \(\*Engine\)\.RogueWrite`
+}
+
+func (e *Engine) RogueAddr() *[]int {
+	return &e.out[0] // want `address-take of single-producer field Engine\.out`
+}
+
+func (e *Engine) WaivedWrite() {
+	//xui:shardok reset path; runs before any worker exists
+	e.seqs[0] = 0
+}
+
+func (e *Engine) GoodSendNow() {
+	e.Send(1, e.clock.Now()+5, 1)
+}
+
+func (e *Engine) GoodSendEpoch() {
+	end := e.epochEnd
+	e.Send(1, end+1, 2)
+}
+
+// forward's own "when" parameter is trusted; its callers are checked.
+func (e *Engine) forward(when int64) {
+	e.Send(0, when+1, 3)
+}
+
+func (e *Engine) BadSend() {
+	e.Send(1, 42, 4) // want `cross-shard send \(\*Engine\)\.Send called with a "when" not derived from an epoch-boundary source`
+}
+
+func (e *Engine) WaivedSend(t int64) {
+	//xui:shardok t is the epoch bound, threaded through a renamed parameter
+	e.Send(1, t, 5)
+}
+
+//xui:shardok nothing is suppressed here, so this waiver is stale
+func StaleWaiverHere() {}

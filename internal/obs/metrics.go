@@ -19,9 +19,9 @@ import (
 // workers (internal/sweep) record into one shared registry.
 type Registry struct {
 	mu       sync.Mutex
-	counters map[string]uint64
-	gauges   map[string]float64
-	hists    map[string]*stats.Histogram
+	counters map[string]uint64           //xui:guardedby mu
+	gauges   map[string]float64          //xui:guardedby mu
+	hists    map[string]*stats.Histogram //xui:guardedby mu
 }
 
 // NewRegistry returns an empty registry.

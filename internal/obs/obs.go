@@ -99,14 +99,14 @@ type Tracer struct {
 	MaxEvents int
 
 	mu      sync.Mutex
-	events  []event
-	dropped uint64
+	events  []event //xui:guardedby mu
+	dropped uint64  //xui:guardedby mu
 
 	stream  *streamState // non-nil: streaming mode
 	ring    bool         // flight-recorder mode
-	ringAt  int          // next ring slot to overwrite once full
-	wrapped uint64       // ring-mode events overwritten
-	closed  bool         // Close called; further events are dropped
+	ringAt  int          //xui:guardedby mu
+	wrapped uint64       //xui:guardedby mu
+	closed  bool         //xui:guardedby mu
 }
 
 // NewTracer returns an empty buffered tracer with the default event cap.

@@ -178,11 +178,11 @@ func (s *streamState) write(raw string) {
 // to zero: the buffer is reused), keeping Tracer.add allocation-free.
 func (t *Tracer) flushLocked() {
 	s := t.stream
-	if len(t.events) == 0 {
+	if len(t.events) == 0 { //xui:lockok flushLocked runs with t.mu held (Locked suffix convention)
 		return
 	}
 	if s.err != nil {
-		t.events = t.events[:0]
+		t.events = t.events[:0] //xui:lockok caller holds t.mu
 		return
 	}
 	if !s.started {
@@ -190,7 +190,7 @@ func (t *Tracer) flushLocked() {
 		s.started = true
 	}
 	s.buf = s.buf[:0]
-	for _, e := range t.events {
+	for _, e := range t.events { //xui:lockok caller holds t.mu
 		if s.written > 0 {
 			s.buf = append(s.buf, ',')
 		}
@@ -201,7 +201,7 @@ func (t *Tracer) flushLocked() {
 	if s.err == nil {
 		_, s.err = s.w.Write(s.buf)
 	}
-	t.events = t.events[:0]
+	t.events = t.events[:0] //xui:lockok caller holds t.mu
 }
 
 // appendEvent serialises one event as a Chrome trace-event JSON object.
@@ -249,7 +249,7 @@ func appendJSONString(b []byte, s string) []byte {
 	for i := 0; i < len(s); i++ {
 		c := s[i]
 		if c < 0x20 || c >= 0x7f || c == '"' || c == '\\' {
-			raw, err := json.Marshal(s)
+			raw, err := json.Marshal(s) //xui:alloc cold fallback for names needing escapes; the ASCII fast path below never allocates
 			if err != nil {
 				return append(b, `""`...)
 			}

@@ -83,7 +83,7 @@ type Stats struct {
 // and published without threading cache handles around.
 var registry struct {
 	mu     sync.Mutex
-	caches []statser
+	caches []statser //xui:guardedby mu
 }
 
 type statser interface {
@@ -106,7 +106,7 @@ type Cache[V any] struct {
 	name string
 
 	mu      sync.Mutex
-	entries map[string]*entry[V]
+	entries map[string]*entry[V] //xui:guardedby mu
 
 	// codec, when non-nil, lets the cache participate in the persistent
 	// tier (see Persist / SetBackend).

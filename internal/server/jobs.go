@@ -84,15 +84,15 @@ type job struct {
 	spec Spec
 
 	mu        sync.Mutex
-	status    string
-	cached    bool // answered from cache (memory or disk) without running
-	err       string
-	result    []byte // canonical result document (report fingerprint bytes)
-	prog      progress
-	tracePath string
-	traceDone bool // tracer closed; the trace file is complete
-	queuedAt  time.Time
-	doneAt    time.Time
+	status    string    //xui:guardedby mu
+	cached    bool      //xui:guardedby mu
+	err       string    //xui:guardedby mu
+	result    []byte    //xui:guardedby mu
+	prog      progress  //xui:guardedby mu
+	tracePath string    // set before the job is published; immutable after
+	traceDone bool      //xui:guardedby mu
+	queuedAt  time.Time // set before the job is published; immutable after
+	doneAt    time.Time //xui:guardedby mu
 }
 
 // view is the JSON shape of a job status response.

@@ -73,7 +73,7 @@ type Server struct {
 	baseCtx *obs.Context
 
 	mu   sync.Mutex
-	jobs map[string]*job
+	jobs map[string]*job //xui:guardedby mu
 
 	queue     chan *job
 	stop      chan struct{}
@@ -159,6 +159,17 @@ func (s *Server) Close() error {
 // executor drains the job queue, one job at a time.
 func (s *Server) executor() {
 	defer s.wg.Done()
+	// Jobs are individually panic-isolated inside runJob; a panic reaching
+	// this frame means daemon infrastructure (cache recheck, metrics,
+	// trace setup) failed. Count it and respawn so queued jobs keep
+	// draining instead of the whole process dying.
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.Inc("server/executor_panics")
+			s.wg.Add(1)
+			go s.executor()
+		}
+	}()
 	for {
 		select {
 		case <-s.stop:

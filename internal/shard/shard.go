@@ -26,6 +26,7 @@ package shard
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync/atomic" //xui:parallel epoch work-claiming counter; the only shared word during an epoch
 
@@ -62,9 +63,9 @@ type Engine struct {
 	// row src is written only by the goroutine running shard src; all rows
 	// are drained by the coordinator at the barrier. seqs/sent are
 	// likewise source-owned.
-	out  [][]Msg
-	seqs []uint64
-	sent []uint64
+	out  [][]Msg  //xui:producer push,pop
+	seqs []uint64 //xui:producer push
+	sent []uint64 //xui:producer push
 
 	merged []Msg     // barrier scratch, reused across epochs
 	sorter msgSorter // preallocated sort.Interface over merged
@@ -152,6 +153,7 @@ func (e *Engine) SetBarrierHook(fn func()) { e.barrier = fn }
 // (single-goroutine setup), the message is scheduled directly.
 //
 //xui:noalloc
+//xui:crosssend
 func (e *Engine) Send(src, dst int, when sim.Time, fn sim.Handler) {
 	if !e.running {
 		e.sims[dst].Schedule(when, fn)
@@ -323,6 +325,17 @@ func (e *Engine) Run() {
 type workerPool struct {
 	start []chan sim.Time //xui:parallel release + completion channels; barrier protocol, not model state
 	done  chan struct{}
+	// panicked buffers worker panics (one slot per worker) so a panicking
+	// worker can still arrive at the barrier instead of deadlocking the
+	// coordinator; await re-raises on the coordinator goroutine.
+	panicked chan workerPanic //xui:parallel panic hand-off from workers to the coordinator
+}
+
+// workerPanic carries a recovered worker panic, stack included, to the
+// coordinator for deterministic re-raising.
+type workerPanic struct {
+	val   any
+	stack []byte
 }
 
 // startPool spawns the epoch workers for one run and returns the function
@@ -337,12 +350,13 @@ func (e *Engine) startPool() (stop func()) {
 		return func() {}
 	}
 	p := &workerPool{
-		start: make([]chan sim.Time, w-1), //xui:parallel building the barrier-protocol channels
-		done:  make(chan struct{}),
+		start:    make([]chan sim.Time, w-1), //xui:parallel building the barrier-protocol channels
+		done:     make(chan struct{}),
+		panicked: make(chan workerPanic, w-1), //xui:parallel buffered one slot per worker: a panic send never blocks
 	}
 	for i := range p.start {
 		p.start[i] = make(chan sim.Time) //xui:parallel worker channel + epoch worker; owns one shard at a time via the claim counter
-		go e.runWorker(p.start[i], p.done)
+		go e.runWorker(p, p.start[i])
 	}
 	e.pool = p
 	return func() {
@@ -357,15 +371,24 @@ func (e *Engine) startPool() (stop func()) {
 }
 
 // runWorker is one epoch worker's loop: wait for release, claim and run
-// shards, report at the barrier; a closed start channel ends the run.
+// shards, report at the barrier; a closed start channel ends the run. A
+// panic inside a shard kernel is recovered, handed to the coordinator, and
+// the worker still arrives at the barrier — otherwise await would deadlock
+// and the panic would kill the whole process instead of failing the run.
 //
 //xui:parallel worker loop signature; carries the barrier-protocol channels
-func (e *Engine) runWorker(start chan sim.Time, done chan struct{}) {
+func (e *Engine) runWorker(p *workerPool, start chan sim.Time) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panicked <- workerPanic{val: r, stack: debug.Stack()} //xui:parallel buffered panic hand-off; covers the barrier arrival below too
+			p.done <- struct{}{}                                    // barrier arrival even on panic, so await returns
+		}
+	}()
 	for range start { //xui:parallel block until the coordinator releases the next epoch
 		e.epochWork()
-		done <- struct{}{} //xui:parallel barrier arrival
+		p.done <- struct{}{} //xui:parallel barrier arrival
 	}
-	done <- struct{}{} //xui:parallel shutdown acknowledgement
+	p.done <- struct{}{} //xui:parallel shutdown acknowledgement
 }
 
 // release hands the epoch bound to every worker.
@@ -375,10 +398,17 @@ func (p *workerPool) release(end sim.Time) {
 	}
 }
 
-// await blocks until every worker reaches the barrier.
+// await blocks until every worker reaches the barrier, then re-raises any
+// worker panic on the coordinator goroutine (a dead worker never claims
+// another shard, so re-raising before the next release is mandatory).
 func (p *workerPool) await() {
 	for range p.start {
 		<-p.done //xui:parallel barrier wait; re-acquires shard kernels and mailboxes
+	}
+	select { //xui:parallel drain worker panics after the barrier; buffered receive, never blocks
+	case wp := <-p.panicked:
+		panic(fmt.Sprintf("shard: epoch worker panicked: %v\n%s", wp.val, wp.stack))
+	default:
 	}
 }
 

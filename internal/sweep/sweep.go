@@ -53,12 +53,15 @@ type Options struct {
 
 // jobPanic carries a captured worker panic back to the caller. progress
 // marks a panic raised by the OnProgress callback rather than the job
-// function itself (the job's result is valid in that case).
+// function itself (the job's result is valid in that case); loop marks a
+// panic raised by the worker claim loop's own bookkeeping (metrics,
+// tracing) outside any job frame.
 type jobPanic struct {
 	index    int
 	value    any
 	stack    []byte
 	progress bool
+	loop     bool
 }
 
 // Run fans fn over jobs on a pool of the given size (<= 0 means
@@ -106,7 +109,7 @@ func RunOpts[J, R any](jobs []J, opts Options, fn func(i int, job J) R) ([]R, er
 		failed    atomic.Bool // a job panicked; stop claiming new jobs
 		progMu    sync.Mutex  // serialises OnProgress calls
 		panicMu   sync.Mutex
-		panics    []jobPanic
+		panics    []jobPanic //xui:guardedby panicMu
 		wg        sync.WaitGroup
 	)
 	ctxDone := func() bool {
@@ -157,6 +160,18 @@ func RunOpts[J, R any](jobs []J, opts Options, fn func(i int, job J) R) ([]R, er
 	for w := 0; w < workers; w++ {
 		go func(worker int) {
 			defer wg.Done()
+			// Jobs and progress callbacks have their own recover frames
+			// below; this one contains panics from the claim loop's own
+			// bookkeeping, which would otherwise kill the whole process.
+			// Registered after wg.Done so it runs first on unwind.
+			defer func() {
+				if r := recover(); r != nil {
+					failed.Store(true)
+					panicMu.Lock()
+					panics = append(panics, jobPanic{index: len(jobs), value: r, stack: stackTrace(), loop: true})
+					panicMu.Unlock()
+				}
+			}()
 			workerKey := fmt.Sprintf("sweep/%s/worker%d/jobs", name, worker)
 			counterKey := fmt.Sprintf("%s/worker%d/jobs", name, worker)
 			if tracer.Enabled() {
@@ -221,14 +236,17 @@ func RunOpts[J, R any](jobs []J, opts Options, fn func(i int, job J) R) ([]R, er
 	metrics.SetGauge(etaKey, 0)
 	metrics.SetGauge("sweep/"+name+"/wall_ms", float64(time.Since(epoch).Milliseconds()))
 
-	if len(panics) > 0 {
+	if len(panics) > 0 { //xui:lockok wg.Wait joined every worker; no concurrent writers remain
 		// Re-raise the lowest-indexed panic so failures are deterministic
 		// regardless of which worker hit its job first.
-		first := panics[0]
+		first := panics[0] //xui:lockok post-join read; covers the scan below
 		for _, p := range panics[1:] {
 			if p.index < first.index {
 				first = p
 			}
+		}
+		if first.loop {
+			panic(fmt.Sprintf("sweep: worker loop of %q panicked: %v\n%s", name, first.value, first.stack))
 		}
 		where := "job"
 		if first.progress {
